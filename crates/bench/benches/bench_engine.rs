@@ -1,0 +1,57 @@
+//! Substrate bench: discrete-event engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sixg_netsim::engine::Engine;
+use sixg_netsim::time::SimDuration;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/event_throughput");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u64> = Engine::new();
+                let mut world = 0u64;
+                for i in 0..n {
+                    eng.schedule(SimDuration::from_micros(i), |_, w| *w += 1);
+                }
+                eng.run(&mut world);
+                assert_eq!(world, n);
+                world
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_self_scheduling_chain(c: &mut Criterion) {
+    c.bench_function("engine/self_scheduling_chain_10k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            fn tick(eng: &mut Engine<u64>, w: &mut u64) {
+                *w += 1;
+                if *w < 10_000 {
+                    eng.schedule(SimDuration::from_micros(1), tick);
+                }
+            }
+            eng.schedule(SimDuration::ZERO, tick);
+            eng.run(&mut world);
+            world
+        });
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_event_throughput, bench_self_scheduling_chain
+}
+criterion_main!(benches);

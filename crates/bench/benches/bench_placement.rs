@@ -1,0 +1,65 @@
+//! E10/E13 bench: greedy UPF placement and hypervisor placement at
+//! growing problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sixg_core::slicing::{HypervisorPlanner, Objective};
+
+fn synthetic_matrix(switches: usize, sites: usize) -> Vec<Vec<f64>> {
+    (0..switches)
+        .map(|s| {
+            (0..sites)
+                .map(|c| {
+                    // Deterministic pseudo-geography.
+                    let d = ((s * 37 + c * 101) % 97) as f64;
+                    0.5 + d / 10.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_hypervisor_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/hypervisor");
+    for (switches, sites, k) in [(20usize, 8usize, 3usize), (100, 16, 4), (400, 32, 5)] {
+        let planner = HypervisorPlanner::new(synthetic_matrix(switches, sites));
+        for obj in [Objective::Latency, Objective::Resilience, Objective::LoadBalance] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{obj:?}"), format!("{switches}x{sites}k{k}")),
+                &k,
+                |b, &k| {
+                    b.iter(|| planner.place(k, obj).mean_latency_ms);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_upf_placement(c: &mut Criterion) {
+    use sixg_core::recommend::upf::{deploy_upfs, place_upfs, Dataplane};
+    use sixg_measure::klagenfurt::KlagenfurtScenario;
+    use sixg_netsim::routing::PathComputer;
+
+    let mut scenario = KlagenfurtScenario::paper(0x6B6C_7531);
+    let upfs = deploy_upfs(&mut scenario, Dataplane::HostCpu);
+    let candidates: Vec<_> = upfs.iter().map(|u| u.node).collect();
+    let clients: Vec<_> = scenario.ue.values().map(|&n| (n, 1.0)).collect();
+    c.bench_function("placement/upf_greedy_k2_33_clients", |b| {
+        let pc = PathComputer::new(&scenario.topo, &scenario.as_graph);
+        b.iter(|| place_upfs(&pc, &candidates, &clients, 2).mean_latency_ms);
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_hypervisor_placement, bench_upf_placement
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Substrate bench: BGP path selection and router-level path computation
+//! on the Klagenfurt scenario topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sixg_bench::shared_scenario;
+use sixg_measure::klagenfurt::{CAMPUS_AS, OP_AS};
+use sixg_netsim::routing::PathComputer;
+
+fn bench_as_path(c: &mut Criterion) {
+    let s = shared_scenario();
+    c.bench_function("routing/bgp_as_path", |b| {
+        b.iter(|| s.as_graph.as_path(OP_AS, CAMPUS_AS).expect("policy path"));
+    });
+}
+
+fn bench_router_path(c: &mut Criterion) {
+    let s = shared_scenario();
+    let (ue, anchor) = s.table1_endpoints();
+    c.bench_function("routing/router_level_path", |b| {
+        let pc = PathComputer::new(&s.topo, &s.as_graph);
+        b.iter(|| pc.route(ue, anchor).expect("routable"));
+    });
+}
+
+fn bench_all_campaign_routes(c: &mut Criterion) {
+    let s = shared_scenario();
+    let targets = s.measurement_targets();
+    c.bench_function("routing/all_297_campaign_routes", |b| {
+        let pc = PathComputer::new(&s.topo, &s.as_graph);
+        b.iter(|| {
+            let mut hops = 0usize;
+            for &ue in s.ue.values() {
+                for &t in &targets {
+                    hops += pc.route(ue, t).expect("routable").hop_count();
+                }
+            }
+            hops
+        });
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_as_path, bench_router_path, bench_all_campaign_routes
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E12 bench: PDR/QER rule-store lookups — the context-aware store's
+//! speedup over a linear table at realistic rule counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sixg_core::recommend::cpf::{ContextAwareRuleStore, LinearRuleStore, QosRule};
+use sixg_netsim::rng::SimRng;
+
+fn stores(n: u32, seed: u64) -> (LinearRuleStore, ContextAwareRuleStore) {
+    let mut rng = SimRng::from_seed(seed);
+    let mut linear = LinearRuleStore::new();
+    let mut ctx = ContextAwareRuleStore::new();
+    for i in 0..n {
+        let rule = QosRule {
+            ue: i % (n / 4).max(1),
+            flow: i % 8,
+            priority: rng.below(8) as u8,
+            gbr_bps: 1e6,
+        };
+        linear.install(rule);
+        ctx.install(rule);
+    }
+    (linear, ctx)
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpf/rule_lookup");
+    for n in [1_000u32, 10_000, 100_000] {
+        let (linear, ctx) = stores(n, 7);
+        let ue_space = (n / 4).max(1) as u64;
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut rng = SimRng::from_seed(1);
+            b.iter(|| {
+                let ue = rng.below(ue_space) as u32;
+                linear.lookup(ue, rng.below(8) as u32).probes
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("context_aware", n), &n, |b, _| {
+            let mut rng = SimRng::from_seed(1);
+            b.iter(|| {
+                let ue = rng.below(ue_space) as u32;
+                ctx.lookup(ue, rng.below(8) as u32).probes
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_install(c: &mut Criterion) {
+    c.bench_function("cpf/context_aware_install_10k", |b| {
+        b.iter(|| {
+            let (_, ctx) = stores(10_000, 9);
+            ctx.len()
+        });
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_lookups, bench_install
+}
+criterion_main!(benches);

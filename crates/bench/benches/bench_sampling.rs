@@ -1,0 +1,62 @@
+//! Substrate bench: per-sample cost of the latency decomposition, the 5G
+//! access model, and the mmWave PHY mixture.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sixg_bench::shared_scenario;
+use sixg_geo::CellId;
+use sixg_netsim::latency::DelaySampler;
+use sixg_netsim::radio::phy::MmWavePhy;
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::SimRng;
+
+fn bench_path_rtt(c: &mut Criterion) {
+    let s = shared_scenario();
+    let c2 = CellId::parse("C2").unwrap();
+    let path = &s.routes[&(c2, 0)];
+    let sampler = DelaySampler::new(&s.topo);
+    let mut group = c.benchmark_group("sampling/path_rtt");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ten_hop_rtt", |b| {
+        let mut rng = SimRng::from_seed(1);
+        b.iter(|| sampler.rtt_ms(&path.hops, 64, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_access_models(c: &mut Criterion) {
+    let s = shared_scenario();
+    let c2 = CellId::parse("C2").unwrap();
+    let access = s.access_for(c2);
+    c.bench_function("sampling/fiveg_access_rtt", |b| {
+        let mut rng = SimRng::from_seed(2);
+        b.iter(|| access.sample_rtt_ms(&mut rng));
+    });
+}
+
+fn bench_phy_mixture(c: &mut Criterion) {
+    let phy = MmWavePhy::calibrated();
+    c.bench_function("sampling/mmwave_phy", |b| {
+        let mut rng = SimRng::from_seed(3);
+        b.iter(|| phy.sample_ms(&mut rng));
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("sampling/fiveg_fit_inversion", |b| {
+        b.iter(|| sixg_netsim::radio::FiveGAccess::fit(68.0, 38.0));
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_path_rtt, bench_access_models, bench_phy_mixture, bench_calibration
+}
+criterion_main!(benches);

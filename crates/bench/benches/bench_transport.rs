@@ -1,0 +1,79 @@
+//! Substrate bench: event-driven reliable transport and frame delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sixg_geo::GeoPoint;
+use sixg_netsim::protocols::transport::{transfer, TransferConfig};
+use sixg_netsim::routing::{AsGraph, PathComputer};
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::topology::{Asn, LinkParams, NodeKind, Topology};
+use sixg_workloads::video::{VideoConfig, VideoStream};
+
+fn path() -> (Topology, Vec<(sixg_netsim::NodeId, sixg_netsim::LinkId)>) {
+    let mut t = Topology::new();
+    let a = t.add_node(NodeKind::Server, "a", GeoPoint::new(46.6, 14.3), Asn(1));
+    let m = t.add_node(NodeKind::CoreRouter, "m", GeoPoint::new(47.0, 15.4), Asn(1));
+    let b = t.add_node(NodeKind::Server, "b", GeoPoint::new(48.2, 16.4), Asn(1));
+    t.add_link(a, m, LinkParams::metro());
+    t.add_link(m, b, LinkParams::metro());
+    let g = AsGraph::new();
+    let hops = PathComputer::new(&t, &g).route(a, b).unwrap().hops;
+    (t, hops)
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let (t, hops) = path();
+    let mut group = c.benchmark_group("transport/transfer");
+    for mb in [1u64, 4] {
+        let bytes = mb * 1_000_000;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(mb), &bytes, |b, &bytes| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                transfer(&t, &hops, TransferConfig { bytes, ..Default::default() }, seed)
+                    .transmissions
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossy_transfer(c: &mut Criterion) {
+    let (t, hops) = path();
+    c.bench_function("transport/transfer_1mb_5pct_loss", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            transfer(
+                &t,
+                &hops,
+                TransferConfig { loss_prob: 0.05, ..Default::default() },
+                seed,
+            )
+            .retransmissions
+        });
+    });
+}
+
+fn bench_video_delivery(c: &mut Criterion) {
+    let (t, hops) = path();
+    let stream = VideoStream::new(VideoConfig::ar_headset());
+    c.bench_function("transport/video_600_frames", |b| {
+        let mut rng = SimRng::from_seed(5);
+        b.iter(|| stream.deliver(&t, &hops, 600, |_| 0.5, &mut rng).mean_latency_ms);
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_transfer, bench_lossy_transfer, bench_video_delivery
+}
+criterion_main!(benches);

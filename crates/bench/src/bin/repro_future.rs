@@ -1,0 +1,77 @@
+//! E16 — Section VI future-work extensions, implemented and measured:
+//! federated learning at the edge, energy-efficient management, and
+//! intelligent (predictive) slicing.
+
+use sixg_bench::{compare, header, REPRO_SEED};
+use sixg_core::autoscale::{run_autoscale, ScalePolicy};
+use sixg_core::energy::{evaluate_deployments, simulate_sleep, SitePower, SleepPolicy};
+use sixg_netsim::radio::{CellEnv, FiveGAccess, SixGAccess};
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::topology::NodeId;
+use sixg_workloads::federated::{run_federated, FlConfig};
+use sixg_workloads::services::Service;
+
+fn main() {
+    header("Federated learning at the edge (synchronous FedAvg, 5 MB model)");
+    let aggregator = Service::new("fedavg-edge", NodeId(0), 50.0);
+    let mut rng = SimRng::from_seed(REPRO_SEED);
+    println!(
+        "{:<26} {:>14} {:>14} {:>12}",
+        "access / uplink", "round (s)", "comm (s)", "straggler"
+    );
+    let cases = [
+        ("6G, 50 Mbit/s up", 50e6, 200e6, true),
+        ("6G, 2 Mbit/s up", 2e6, 20e6, true),
+        ("loaded 5G, 50 Mbit/s up", 50e6, 200e6, false),
+    ];
+    for (name, up, down, sixg) in cases {
+        let cfg = FlConfig::reference(aggregator.clone(), up, down);
+        let stats = if sixg {
+            run_federated(&cfg, &SixGAccess::default(), &mut rng)
+        } else {
+            run_federated(&cfg, &FiveGAccess::new(CellEnv::new(0.9, 0.8)), &mut rng)
+        };
+        println!(
+            "{:<26} {:>14.2} {:>14.2} {:>11.1}%",
+            name,
+            stats.mean_round_s,
+            stats.mean_comm_s,
+            stats.straggler_overhead * 100.0
+        );
+    }
+
+    header("Energy per byte across deployment layouts (Table-I flow)");
+    for d in evaluate_deployments(REPRO_SEED) {
+        println!(
+            "{:<28} {:>10.0} nJ/byte   {:>10.1} J/GB",
+            d.layout, d.nj_per_byte, d.joules_per_gb
+        );
+    }
+
+    header("Sleep scheduling over a diurnal day (100 sites)");
+    let on = simulate_sleep(SleepPolicy::AlwaysOn, 100, SitePower::default(), 0.2, 1000.0);
+    let sleep = simulate_sleep(SleepPolicy::ThresholdSleep, 100, SitePower::default(), 0.2, 1000.0);
+    compare("fleet energy, always-on", "(baseline)", format!("{:.1} kWh", on.energy_kwh));
+    compare(
+        "fleet energy, threshold sleep",
+        "(saves energy)",
+        format!("{:.1} kWh (-{:.1} %)", sleep.energy_kwh, sleep.saving_pct),
+    );
+    compare(
+        "mean wake-up penalty",
+        "(bounded)",
+        format!("{:.1} ms/request", sleep.mean_wake_penalty_ms),
+    );
+
+    header("Intelligent slicing: static vs predictive reservations (96 epochs)");
+    let s = run_autoscale(ScalePolicy::Static, 96, 10e9, 1.1e9, 1e9, 5.0);
+    let p = run_autoscale(ScalePolicy::Predictive, 96, 10e9, 1.1e9, 1e9, 5.0);
+    println!(
+        "{:<12} violations {:>4}   mean waste {:>7.2} Gbit/s   resizes {:>3}",
+        "static", s.violations, s.mean_waste_bps / 1e9, s.resizes
+    );
+    println!(
+        "{:<12} violations {:>4}   mean waste {:>7.2} Gbit/s   resizes {:>3}",
+        "predictive", p.violations, p.mean_waste_bps / 1e9, p.resizes
+    );
+}

@@ -1,0 +1,34 @@
+//! E8 — Section IV-C's Fezeu et al. PHY citation: "the system transmitted
+//! 4.4% of packets in under 1 ms and 22.36% in under 3 ms … On average,
+//! the application layer added 35 ms".
+
+use sixg_bench::{compare, header, ms, pct};
+use sixg_netsim::radio::phy::{MmWavePhy, APP_LAYER_MEAN_MS, FRAC_UNDER_1MS, FRAC_UNDER_3MS};
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::stats::Welford;
+
+fn main() {
+    let phy = MmWavePhy::calibrated();
+    let n = 1_000_000;
+
+    header("5G mmWave PHY latency distribution (Fezeu et al.)");
+    let f1 = phy.empirical_fraction_below(1.0, n, 1);
+    let f3 = phy.empirical_fraction_below(3.0, n, 2);
+    compare("packets under 1 ms", pct(FRAC_UNDER_1MS * 100.0), pct(f1 * 100.0));
+    compare("packets under 3 ms", pct(FRAC_UNDER_3MS * 100.0), pct(f3 * 100.0));
+    compare("PHY mean", "(not stated)", ms(phy.mean_ms()));
+
+    // A compact CDF table for plotting.
+    println!("\nCDF (ms -> fraction below):");
+    for x in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0] {
+        println!("  {x:>5.1} ms  {:>7.4}", phy.empirical_fraction_below(x, 200_000, 3));
+    }
+
+    header("Application-layer overhead");
+    let mut rng = SimRng::from_seed(4);
+    let mut w = Welford::new();
+    for _ in 0..200_000 {
+        w.push(MmWavePhy::app_layer_sample_ms(&mut rng));
+    }
+    compare("mean application-layer addition", ms(APP_LAYER_MEAN_MS), ms(w.mean()));
+}

@@ -1,0 +1,76 @@
+//! E13 — Section V-C: end-to-end slicing and hypervisor placement.
+//!
+//! * slice isolation: a bulk overload cannot hurt the critical slice,
+//!   unlike a shared best-effort queue;
+//! * hypervisor placement under the three literature objectives;
+//! * reactive vs predictive reconfiguration.
+
+use sixg_bench::{compare, header, ms};
+use sixg_core::slicing::{
+    simulate_reconfig, HypervisorPlanner, Objective, ReconfigStrategy, SliceManager, SliceSpec,
+};
+use sixg_netsim::packet::TrafficClass;
+
+fn main() {
+    header("Slice isolation on a shared 1 Gbit/s link");
+    let mut m = SliceManager::new(1e9);
+    m.admit(SliceSpec {
+        name: "ar-critical".into(),
+        class: TrafficClass::Critical,
+        reserved_bps: 100e6,
+        max_latency_ms: 1.5,
+    })
+    .expect("critical slice admits");
+    m.admit(SliceSpec {
+        name: "bulk".into(),
+        class: TrafficClass::Bulk,
+        reserved_bps: 700e6,
+        max_latency_ms: 100.0,
+    })
+    .expect("bulk slice admits");
+    m.set_load("ar-critical", 30e6);
+    m.set_load("bulk", 2e9); // bulk tenant misbehaving at 2 Gbit/s
+
+    compare("critical slice latency (sliced)", "(bounded)", ms(m.slice_latency_ms("ar-critical")));
+    compare("bulk slice latency (sliced)", "(policed)", ms(m.slice_latency_ms("bulk")));
+    compare("shared best-effort latency", "(collapses)", ms(m.shared_latency_ms()));
+    compare("all slice bounds met", "yes", format!("{}", m.all_bounds_met()));
+
+    header("Hypervisor placement objectives (4 switches, 3 sites, k=2)");
+    let planner = HypervisorPlanner::new(vec![
+        vec![1.0, 8.0, 6.0],
+        vec![2.0, 7.0, 6.0],
+        vec![9.0, 1.0, 6.0],
+        vec![8.0, 2.0, 6.0],
+    ]);
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>10}",
+        "objective", "sites", "mean (ms)", "failover (ms)", "max load"
+    );
+    for obj in [Objective::Latency, Objective::Resilience, Objective::LoadBalance] {
+        let p = planner.place(2, obj);
+        println!(
+            "{:<14} {:>10} {:>14.2} {:>14.2} {:>10}",
+            format!("{obj:?}"),
+            format!("{:?}", p.sites),
+            p.mean_latency_ms,
+            p.worst_failover_ms,
+            p.max_load
+        );
+    }
+
+    header("Reactive vs predictive reconfiguration (500 steps, 6 ms bound)");
+    for strat in [ReconfigStrategy::Reactive, ReconfigStrategy::Predictive] {
+        let s = simulate_reconfig(strat, 500, 6.0);
+        println!(
+            "{:<12} violations: {:>4}   reconfigurations: {:>4}",
+            format!("{strat:?}"),
+            s.violations,
+            s.reconfigurations
+        );
+    }
+    println!(
+        "\nThe paper: placement strategies 'typically operate in a reactive\n\
+         rather than predictive manner' — prediction removes most violations."
+    );
+}

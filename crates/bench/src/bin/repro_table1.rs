@@ -1,0 +1,30 @@
+//! E4 — Table I: "Networking hops for local service request".
+//!
+//! Traceroutes from the mobile node in C2 to the university anchor in E3
+//! (< 5 km apart) and prints the ten-hop table with the paper's node
+//! names, plus the mean RTL over repetitions (the paper observed 65 ms).
+
+use sixg_bench::{compare, header, ms, shared_scenario};
+use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
+use sixg_netsim::stats::Welford;
+
+fn main() {
+    let s = shared_scenario();
+    let campaign = MobileCampaign::new(s, CampaignConfig::default());
+
+    header("Table I — networking hops for local service request");
+    let trace = campaign.table1_traceroute(0);
+    print!("{}", trace.render_table());
+
+    let mut w = Welford::new();
+    for rep in 0..500 {
+        w.push(campaign.table1_traceroute(rep).total_rtt_ms());
+    }
+
+    println!();
+    compare("hop count", 10, trace.hop_count());
+    compare("overall RTL", "65 ms", ms(w.mean()));
+    let (ue, anchor) = s.table1_endpoints();
+    let d = s.topo.node(ue).pos.distance_km(s.topo.node(anchor).pos);
+    compare("endpoint separation", "< 5 km", format!("{d:.1} km"));
+}

@@ -1,0 +1,183 @@
+//! Geographic routing-detour analysis (Figure 4, Table I discussion).
+//!
+//! The paper's data trace shows a local (< 5 km) request travelling
+//! Klagenfurt → Vienna → Prague → Bucharest → Vienna — "a total distance
+//! of 2544 km" — before descending back to Klagenfurt. This module takes
+//! any [`FlowTrace`] and quantifies that inefficiency: the city-level
+//! route, its outbound length (the paper's 2 544 km figure), the full
+//! round length, and the detour ratio against the direct geodesic.
+
+use serde::{Deserialize, Serialize};
+use sixg_geo::{GeoPoint, Polyline};
+use sixg_netsim::trace::FlowTrace;
+
+/// Cluster radius used to merge consecutive same-city hops, km.
+pub const CITY_CLUSTER_KM: f64 = 30.0;
+
+/// Result of the detour analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetourAnalysis {
+    /// City-level waypoints (consecutive hops within
+    /// [`CITY_CLUSTER_KM`] merged), source first.
+    pub city_waypoints: Vec<GeoPoint>,
+    /// Fibre length of the outbound route — up to (and including) the
+    /// last waypoint *before* re-entering the source cluster, km. This is
+    /// the paper's "total distance of 2544 km".
+    pub outbound_km: f64,
+    /// Fibre length of the complete route, km.
+    pub total_km: f64,
+    /// Direct geodesic source → destination, km.
+    pub direct_km: f64,
+    /// `total_km / direct_km` (how many times longer than needed).
+    pub detour_ratio: f64,
+    /// Router hops observed.
+    pub hop_count: usize,
+    /// Farthest point from the source along the route, km.
+    pub farthest_km: f64,
+}
+
+impl DetourAnalysis {
+    /// Analyses a flow trace.
+    pub fn from_trace(trace: &FlowTrace) -> Self {
+        let src = trace.src_pos;
+        // City-level merge: keep a waypoint only when it leaves the
+        // current cluster.
+        let mut waypoints: Vec<GeoPoint> = vec![src];
+        for hop in &trace.hops {
+            let last = *waypoints.last().expect("non-empty");
+            if hop.pos.distance_km(last) > CITY_CLUSTER_KM {
+                waypoints.push(hop.pos);
+            }
+        }
+
+        let full = Polyline::new(waypoints.clone());
+        let total_km = full.fibre_km();
+
+        // Outbound: stop before the route re-enters the source cluster.
+        let mut outbound_points: Vec<GeoPoint> = vec![src];
+        for &p in waypoints.iter().skip(1) {
+            if p.distance_km(src) <= CITY_CLUSTER_KM {
+                break;
+            }
+            outbound_points.push(p);
+        }
+        let outbound_km = if outbound_points.len() > 1 {
+            Polyline::new(outbound_points).fibre_km()
+        } else {
+            0.0
+        };
+
+        let dst = trace.hops.last().map(|h| h.pos).unwrap_or(src);
+        let direct_km = src.distance_km(dst);
+        let farthest_km = trace
+            .hops
+            .iter()
+            .map(|h| h.pos.distance_km(src))
+            .fold(0.0, f64::max);
+
+        Self {
+            city_waypoints: waypoints,
+            outbound_km,
+            total_km,
+            direct_km,
+            detour_ratio: if direct_km > 1e-9 { total_km / direct_km } else { f64::INFINITY },
+            hop_count: trace.hop_count(),
+            farthest_km,
+        }
+    }
+
+    /// True when the route is "inefficient" in the paper's sense: more
+    /// hops than `hop_budget` or a detour ratio above `ratio_budget`.
+    pub fn is_inefficient(&self, hop_budget: usize, ratio_budget: f64) -> bool {
+        self.hop_count > hop_budget || self.detour_ratio > ratio_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
+    use sixg_measure::klagenfurt::KlagenfurtScenario;
+    use std::sync::OnceLock;
+
+    fn scenario() -> &'static KlagenfurtScenario {
+        static S: OnceLock<KlagenfurtScenario> = OnceLock::new();
+        S.get_or_init(|| KlagenfurtScenario::paper(0x6B6C_7531))
+    }
+
+    fn analysis() -> DetourAnalysis {
+        let c = MobileCampaign::new(scenario(), CampaignConfig::default());
+        DetourAnalysis::from_trace(&c.table1_traceroute(0))
+    }
+
+    #[test]
+    fn outbound_distance_is_about_2544_km() {
+        let a = analysis();
+        assert!(
+            (a.outbound_km - 2544.0).abs() < 60.0,
+            "outbound {} km (paper: 2544 km)",
+            a.outbound_km
+        );
+    }
+
+    #[test]
+    fn city_route_is_klu_vie_prg_buh_vie_klu() {
+        let a = analysis();
+        // Klagenfurt, Vienna, Prague, Bucharest, Vienna, Klagenfurt-area.
+        assert_eq!(a.city_waypoints.len(), 6, "waypoints: {:?}", a.city_waypoints);
+    }
+
+    #[test]
+    fn detour_ratio_is_extreme() {
+        let a = analysis();
+        assert!(a.direct_km < 5.0, "direct {}", a.direct_km);
+        assert!(a.detour_ratio > 400.0, "ratio {}", a.detour_ratio);
+        assert!(a.is_inefficient(10, 2.0));
+    }
+
+    #[test]
+    fn farthest_point_is_bucharest() {
+        let a = analysis();
+        // Klagenfurt → Bucharest ≈ 1000 km.
+        assert!((a.farthest_km - 1000.0).abs() < 100.0, "farthest {}", a.farthest_km);
+    }
+
+    #[test]
+    fn ten_hops_observed() {
+        let a = analysis();
+        assert_eq!(a.hop_count, 10);
+    }
+
+    #[test]
+    fn local_trace_is_efficient() {
+        use sixg_netsim::topology::NodeId;
+        use sixg_netsim::trace::HopRecord;
+        let klu = GeoPoint::new(46.62, 14.30);
+        let near = GeoPoint::new(46.63, 14.31);
+        let trace = FlowTrace {
+            src_pos: klu,
+            hops: vec![
+                HopRecord {
+                    hop: 1,
+                    node: NodeId(0),
+                    name: "gw".into(),
+                    ip: "10.0.0.1".into(),
+                    rtt_ms: 1.0,
+                    pos: klu,
+                },
+                HopRecord {
+                    hop: 2,
+                    node: NodeId(1),
+                    name: "dst".into(),
+                    ip: "10.0.0.2".into(),
+                    rtt_ms: 2.0,
+                    pos: near,
+                },
+            ],
+        };
+        let a = DetourAnalysis::from_trace(&trace);
+        assert_eq!(a.city_waypoints.len(), 1); // never leaves the cluster
+        assert_eq!(a.outbound_km, 0.0);
+        assert!(!a.is_inefficient(10, 100.0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Energy-efficient network management (the paper's future-work
+//! direction).
+//!
+//! Section VI: "we plan to explore … energy-efficient network
+//! management". This module quantifies two energy questions the
+//! recommendation engines raise:
+//!
+//! 1. **Transport energy** — joules per byte across deployment layouts:
+//!    the detoured baseline burns router-hops and long-haul amplifiers; a
+//!    peered/edge layout does not;
+//! 2. **Sleep scheduling** — putting under-utilised cell sites into sleep
+//!    states over a diurnal load curve, trading wake-up latency for
+//!    energy.
+
+use serde::{Deserialize, Serialize};
+use sixg_measure::klagenfurt::KlagenfurtScenario;
+use sixg_netsim::routing::PathComputer;
+use sixg_netsim::topology::NodeId;
+
+/// Per-hop forwarding energy, nanojoules per byte (router ASIC class).
+pub const ROUTER_NJ_PER_BYTE: f64 = 15.0;
+/// Long-haul transport energy (amplifiers/regeneration), nJ per byte·km.
+pub const LONGHAUL_NJ_PER_BYTE_KM: f64 = 0.9;
+/// 5G radio energy per byte at the air interface, nJ per byte.
+pub const RADIO_5G_NJ_PER_BYTE: f64 = 600.0;
+/// 6G target radio energy per byte (10× efficiency target), nJ per byte.
+pub const RADIO_6G_NJ_PER_BYTE: f64 = 60.0;
+
+/// Energy accounting for moving one byte along a routed path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportEnergy {
+    /// Router forwarding share, nJ/byte.
+    pub forwarding_nj: f64,
+    /// Long-haul distance share, nJ/byte.
+    pub longhaul_nj: f64,
+    /// Radio access share, nJ/byte.
+    pub radio_nj: f64,
+}
+
+impl TransportEnergy {
+    /// Total energy, nJ per byte.
+    pub fn total_nj(&self) -> f64 {
+        self.forwarding_nj + self.longhaul_nj + self.radio_nj
+    }
+
+    /// Joules to move `bytes` along this path.
+    pub fn joules_for(&self, bytes: f64) -> f64 {
+        self.total_nj() * bytes * 1e-9
+    }
+}
+
+/// Energy per byte of a flow in the scenario, with a radio constant for
+/// the access technology (`RADIO_5G_NJ_PER_BYTE` / `RADIO_6G_NJ_PER_BYTE`
+/// / 0.0 for wired).
+pub fn flow_energy(
+    scenario: &KlagenfurtScenario,
+    src: NodeId,
+    dst: NodeId,
+    radio_nj_per_byte: f64,
+) -> Option<TransportEnergy> {
+    let pc = PathComputer::new(&scenario.topo, &scenario.as_graph);
+    let path = pc.route(src, dst)?;
+    let forwarding_nj = path.hop_count() as f64 * ROUTER_NJ_PER_BYTE;
+    let longhaul_nj = path.route_km(&scenario.topo) * LONGHAUL_NJ_PER_BYTE_KM;
+    Some(TransportEnergy { forwarding_nj, longhaul_nj, radio_nj: radio_nj_per_byte })
+}
+
+// ---------------------------------------------------------------------
+// Sleep scheduling
+// ---------------------------------------------------------------------
+
+/// A cell site's power profile, watts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SitePower {
+    /// Power while serving traffic.
+    pub active_w: f64,
+    /// Power while idle-but-on.
+    pub idle_w: f64,
+    /// Power in sleep state.
+    pub sleep_w: f64,
+    /// Wake-up latency penalty added to the first request, ms.
+    pub wake_ms: f64,
+}
+
+impl Default for SitePower {
+    fn default() -> Self {
+        // Representative small-cell figures.
+        Self { active_w: 220.0, idle_w: 95.0, sleep_w: 12.0, wake_ms: 80.0 }
+    }
+}
+
+/// Sleep-management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SleepPolicy {
+    /// Sites never sleep (today's default).
+    AlwaysOn,
+    /// Sites sleep whenever hourly utilisation is below the threshold.
+    ThresholdSleep,
+}
+
+/// Outcome of a diurnal sleep simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepStats {
+    /// Energy over the simulated day, kilowatt-hours (whole fleet).
+    pub energy_kwh: f64,
+    /// Savings vs always-on, percent.
+    pub saving_pct: f64,
+    /// Mean extra latency imposed by wake-ups, ms per request.
+    pub mean_wake_penalty_ms: f64,
+}
+
+/// Diurnal utilisation (0..1) of site `i` of `n` at `hour` — offices peak
+/// at noon, residential cells in the evening.
+pub fn diurnal_utilisation(i: usize, n: usize, hour: u32) -> f64 {
+    let phase = if i < n / 2 { 13.0 } else { 20.0 };
+    let h = hour as f64;
+    let day = (-((h - phase) * (h - phase)) / 18.0).exp();
+    (0.08 + 0.9 * day).min(1.0)
+}
+
+/// Simulates one day over `n_sites` sites, `requests_per_hour` per site
+/// at full utilisation.
+pub fn simulate_sleep(
+    policy: SleepPolicy,
+    n_sites: usize,
+    power: SitePower,
+    sleep_threshold: f64,
+    requests_per_hour: f64,
+) -> SleepStats {
+    let mut energy_wh = 0.0;
+    let mut always_on_wh = 0.0;
+    let mut wake_penalty_ms = 0.0;
+    let mut requests = 0.0;
+
+    for hour in 0..24u32 {
+        for i in 0..n_sites {
+            let u = diurnal_utilisation(i, n_sites, hour);
+            let active_share = u;
+            let base = power.active_w * active_share + power.idle_w * (1.0 - active_share);
+            always_on_wh += base;
+            let reqs = requests_per_hour * u;
+            requests += reqs;
+            match policy {
+                SleepPolicy::AlwaysOn => energy_wh += base,
+                SleepPolicy::ThresholdSleep => {
+                    if u < sleep_threshold {
+                        // Site sleeps; each request pays a wake-up.
+                        energy_wh += power.sleep_w * (1.0 - active_share)
+                            + power.active_w * active_share;
+                        wake_penalty_ms += reqs * power.wake_ms;
+                    } else {
+                        energy_wh += base;
+                    }
+                }
+            }
+        }
+    }
+
+    SleepStats {
+        energy_kwh: energy_wh / 1e3,
+        saving_pct: (always_on_wh - energy_wh) / always_on_wh * 100.0,
+        mean_wake_penalty_ms: if requests > 0.0 { wake_penalty_ms / requests } else { 0.0 },
+    }
+}
+
+/// Convenience: energy comparison of the three deployment layouts for the
+/// Table-I flow (baseline detour, after local peering, edge UPF).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentEnergy {
+    /// Layout name.
+    pub layout: String,
+    /// nJ per byte moved.
+    pub nj_per_byte: f64,
+    /// Joules per gigabyte.
+    pub joules_per_gb: f64,
+}
+
+/// Evaluates transport energy for the baseline and peered layouts.
+pub fn evaluate_deployments(seed: u64) -> Vec<DeploymentEnergy> {
+    use crate::recommend::peering::{apply_local_peering, PeeringDepth};
+
+    let mut out = Vec::new();
+    let scenario = KlagenfurtScenario::paper(seed);
+    let (ue, anchor) = scenario.table1_endpoints();
+    let base = flow_energy(&scenario, ue, anchor, RADIO_5G_NJ_PER_BYTE).expect("routable");
+    out.push(DeploymentEnergy {
+        layout: "baseline detour (5G)".into(),
+        nj_per_byte: base.total_nj(),
+        joules_per_gb: base.joules_for(1e9),
+    });
+
+    let mut peered = KlagenfurtScenario::paper(seed);
+    apply_local_peering(&mut peered, PeeringDepth::LocalIsp);
+    let p = flow_energy(&peered, ue, anchor, RADIO_5G_NJ_PER_BYTE).expect("routable");
+    out.push(DeploymentEnergy {
+        layout: "local peering (5G)".into(),
+        nj_per_byte: p.total_nj(),
+        joules_per_gb: p.joules_for(1e9),
+    });
+
+    let p6 = flow_energy(&peered, ue, anchor, RADIO_6G_NJ_PER_BYTE).expect("routable");
+    out.push(DeploymentEnergy {
+        layout: "local peering (6G radio)".into(),
+        nj_per_byte: p6.total_nj(),
+        joules_per_gb: p6.joules_for(1e9),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detour_burns_more_transport_energy() {
+        let layouts = evaluate_deployments(1);
+        assert_eq!(layouts.len(), 3);
+        let baseline = &layouts[0];
+        let peered = &layouts[1];
+        // The 2 791 km round adds ~2.5 µJ/byte of long-haul energy.
+        assert!(
+            baseline.nj_per_byte > peered.nj_per_byte + 1000.0,
+            "baseline {} vs peered {}",
+            baseline.nj_per_byte,
+            peered.nj_per_byte
+        );
+    }
+
+    #[test]
+    fn radio_dominates_after_peering() {
+        let layouts = evaluate_deployments(1);
+        let peered_5g = &layouts[1];
+        let peered_6g = &layouts[2];
+        // 5G radio is the dominant share once the path is local; the 6G
+        // radio target cuts the total by a large factor.
+        assert!(peered_5g.nj_per_byte > 3.0 * peered_6g.nj_per_byte);
+    }
+
+    #[test]
+    fn sleep_saves_energy_with_bounded_penalty() {
+        let on = simulate_sleep(SleepPolicy::AlwaysOn, 100, SitePower::default(), 0.2, 1000.0);
+        let sleep =
+            simulate_sleep(SleepPolicy::ThresholdSleep, 100, SitePower::default(), 0.2, 1000.0);
+        assert_eq!(on.saving_pct, 0.0);
+        assert!(sleep.saving_pct > 10.0, "saving {}", sleep.saving_pct);
+        assert!(sleep.energy_kwh < on.energy_kwh);
+        // Wake-ups only hit low-traffic hours ⇒ small mean penalty.
+        assert!(sleep.mean_wake_penalty_ms < 30.0, "penalty {}", sleep.mean_wake_penalty_ms);
+    }
+
+    #[test]
+    fn higher_threshold_saves_more_costs_more_latency() {
+        let mild =
+            simulate_sleep(SleepPolicy::ThresholdSleep, 50, SitePower::default(), 0.15, 1000.0);
+        let aggressive =
+            simulate_sleep(SleepPolicy::ThresholdSleep, 50, SitePower::default(), 0.5, 1000.0);
+        assert!(aggressive.saving_pct > mild.saving_pct);
+        assert!(aggressive.mean_wake_penalty_ms >= mild.mean_wake_penalty_ms);
+    }
+
+    #[test]
+    fn diurnal_curve_is_bounded_and_peaked() {
+        for hour in 0..24 {
+            for i in [0usize, 9] {
+                let u = diurnal_utilisation(i, 10, hour);
+                assert!((0.0..=1.0).contains(&u));
+            }
+        }
+        assert!(diurnal_utilisation(0, 10, 13) > diurnal_utilisation(0, 10, 3));
+        assert!(diurnal_utilisation(9, 10, 20) > diurnal_utilisation(9, 10, 8));
+    }
+
+    #[test]
+    fn energy_units_consistent() {
+        let e = TransportEnergy { forwarding_nj: 100.0, longhaul_nj: 400.0, radio_nj: 500.0 };
+        assert_eq!(e.total_nj(), 1000.0);
+        assert!((e.joules_for(1e9) - 1000.0).abs() < 1e-9); // 1000 nJ/B × 1 GB = 1 kJ
+    }
+}

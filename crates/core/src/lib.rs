@@ -1,0 +1,44 @@
+//! # sixg-core — the paper's analytical contribution, executable
+//!
+//! *6G Infrastructures for Edge AI* makes three moves: it derives
+//! **requirements** for edge-AI applications (Section III), quantifies the
+//! **gap** between those requirements and measured 5G performance
+//! (Section IV), and proposes three **6G infrastructure strategies** to
+//! close it (Section V). This crate implements all three on top of the
+//! `sixg-netsim` / `sixg-measure` substrate so every number in the paper's
+//! argument is *recomputed*, not quoted:
+//!
+//! * [`requirements`] — application classes and their latency / bandwidth /
+//!   scalability envelopes;
+//! * [`gap`] — requirement-vs-measurement analysis (the ≈270 % exceedance,
+//!   per-cell compliance maps);
+//! * [`detour`] — geographic routing-detour analysis (Figure 4's 2 544 km);
+//! * [`recommend::peering`] — local peering optimisation (Section V-A);
+//! * [`recommend::upf`] — User Plane Function integration, placement, and
+//!   SmartNIC offload (Section V-B);
+//! * [`recommend::cpf`] — control-plane enhancement: RIC consolidation,
+//!   context-aware QoS rule stores, hybrid control (Section V-C);
+//! * [`slicing`] — end-to-end network slicing with admission control and
+//!   hypervisor placement (reactive vs predictive);
+//! * [`orchestrator`] — the evaluation pipeline: baseline 5G → apply
+//!   strategy → re-measure → report.
+//!
+//! The paper's future-work directions (Section VI) are implemented as
+//! extensions:
+//!
+//! * [`autoscale`] — intelligent (forecast-driven) network slicing;
+//! * [`energy`] — energy-efficient network management (transport energy
+//!   per deployment layout, diurnal sleep scheduling).
+
+pub mod autoscale;
+pub mod detour;
+pub mod energy;
+pub mod gap;
+pub mod orchestrator;
+pub mod recommend;
+pub mod requirements;
+pub mod slicing;
+
+pub use gap::GapReport;
+pub use orchestrator::StrategyReport;
+pub use requirements::{ApplicationClass, RequirementProfile};

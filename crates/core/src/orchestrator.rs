@@ -1,0 +1,169 @@
+//! The evaluation pipeline: baseline 5G → apply strategy → re-measure.
+//!
+//! This is the glue the paper's Section V argument rests on: each
+//! recommendation is applied to the *same* measured Klagenfurt scenario
+//! and its effect re-measured, producing one [`StrategyReport`] per
+//! strategy. The benchmark binaries print these as the "what 6G buys"
+//! table.
+
+use crate::recommend::cpf::ControlPlaneLayout;
+use crate::recommend::peering::{self, PeeringDepth};
+use crate::recommend::upf;
+use serde::{Deserialize, Serialize};
+use sixg_netsim::rng::{SimRng, StreamKey};
+
+/// One strategy's before/after summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Metric name (what was measured).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Value after applying the strategy.
+    pub improved: f64,
+    /// Relative reduction, percent.
+    pub reduction_pct: f64,
+    /// One-line interpretation.
+    pub note: String,
+}
+
+impl StrategyReport {
+    fn new(
+        strategy: &str,
+        metric: &str,
+        baseline: f64,
+        improved: f64,
+        note: impl Into<String>,
+    ) -> Self {
+        Self {
+            strategy: strategy.into(),
+            metric: metric.into(),
+            baseline,
+            improved,
+            reduction_pct: (baseline - improved) / baseline * 100.0,
+            note: note.into(),
+        }
+    }
+}
+
+/// Section V-A: local peering.
+pub fn evaluate_peering(seed: u64) -> StrategyReport {
+    let r = peering::evaluate(seed, PeeringDepth::LocalIsp);
+    StrategyReport::new(
+        "local-peering",
+        "network RTT C2→anchor (ms)",
+        r.before.wire_rtt_ms,
+        r.after.wire_rtt_ms,
+        format!(
+            "hops {}→{}, route {:.0} km→{:.0} km; wired endpoints reach {:.1} ms",
+            r.before.hops, r.after.hops, r.before.route_km, r.after.route_km, r.wired_rtt_after_ms
+        ),
+    )
+}
+
+/// Section V-B: UPF integration.
+pub fn evaluate_upf(seed: u64) -> StrategyReport {
+    let r = upf::evaluate(seed);
+    StrategyReport::new(
+        "upf-integration",
+        "service RTT C2 (ms)",
+        r.baseline_ms,
+        r.edge_upf_ms,
+        format!(
+            "edge breakout {:.1} ms (lit.: 5-6.2 ms); bulk via central UPF {:.1} ms",
+            r.edge_upf_ms, r.bulk_ms
+        ),
+    )
+}
+
+/// Section V-C: control-plane enhancement (RIC consolidation).
+pub fn evaluate_cpf(seed: u64) -> StrategyReport {
+    let core = ControlPlaneLayout::core_hosted();
+    let ric = ControlPlaneLayout::ric_consolidated();
+    let mut rng = SimRng::for_stream(StreamKey::root(seed).with_label("cpf-eval"));
+    let n = 5000;
+    let mean = |layout: &ControlPlaneLayout, rng: &mut SimRng| -> f64 {
+        (0..n).map(|_| layout.session_setup_ms(rng)).sum::<f64>() / n as f64
+    };
+    let baseline = mean(&core, &mut rng);
+    let improved = mean(&ric, &mut rng);
+    StrategyReport::new(
+        "cpf-enhancement",
+        "session setup latency (ms)",
+        baseline,
+        improved,
+        "session & mobility management consolidated in the Near-RT RIC at the edge",
+    )
+}
+
+/// All three strategies, in the paper's order.
+pub fn evaluate_all(seed: u64) -> Vec<StrategyReport> {
+    vec![evaluate_peering(seed), evaluate_upf(seed), evaluate_cpf(seed)]
+}
+
+/// Renders reports as an aligned text table.
+pub fn render_reports(reports: &[StrategyReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<32} {:>10} {:>10} {:>8}\n",
+        "strategy", "metric", "baseline", "improved", "cut%"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<18} {:<32} {:>10.2} {:>10.2} {:>8.1}\n",
+            r.strategy, r.metric, r.baseline, r.improved, r.reduction_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn reports() -> &'static Vec<StrategyReport> {
+        static R: OnceLock<Vec<StrategyReport>> = OnceLock::new();
+        R.get_or_init(|| evaluate_all(1))
+    }
+
+    #[test]
+    fn all_three_strategies_reported() {
+        let r = reports();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].strategy, "local-peering");
+        assert_eq!(r[1].strategy, "upf-integration");
+        assert_eq!(r[2].strategy, "cpf-enhancement");
+    }
+
+    #[test]
+    fn every_strategy_improves() {
+        for r in reports() {
+            assert!(r.improved < r.baseline, "{}: {} -> {}", r.strategy, r.baseline, r.improved);
+            assert!(r.reduction_pct > 30.0, "{}: only {}%", r.strategy, r.reduction_pct);
+        }
+    }
+
+    #[test]
+    fn upf_reduction_band_matches_paper() {
+        let r = &reports()[1];
+        assert!((88.0..=95.0).contains(&r.reduction_pct), "UPF cut {}%", r.reduction_pct);
+    }
+
+    #[test]
+    fn peering_removes_most_wire_latency() {
+        let r = &reports()[0];
+        assert!(r.reduction_pct > 85.0, "peering cut {}%", r.reduction_pct);
+    }
+
+    #[test]
+    fn rendering_is_tabular() {
+        let table = render_reports(reports());
+        assert_eq!(table.lines().count(), 4);
+        assert!(table.contains("local-peering"));
+        assert!(table.contains("upf-integration"));
+        assert!(table.contains("cpf-enhancement"));
+    }
+}

@@ -1,0 +1,13 @@
+//! The paper's three 6G infrastructure strategies (Section V), executable.
+//!
+//! * [`peering`] — local peering optimisation: detect policy-induced
+//!   detours, add local interconnects, re-run routing (Section V-A);
+//! * [`upf`] — User Plane Function integration: placement optimisation,
+//!   dynamic per-class selection, SmartNIC offload (Section V-B);
+//! * [`cpf`] — control-plane functionality enhancement: Near-RT RIC
+//!   consolidation, context-aware QoS rule stores, hybrid control
+//!   (Section V-C).
+
+pub mod cpf;
+pub mod peering;
+pub mod upf;

@@ -1,0 +1,203 @@
+//! Application requirement profiles (Section III).
+//!
+//! The paper's requirements analysis distils, per application family, the
+//! network envelope that 6G must provide: round-trip latency, sustained
+//! throughput, daily data volume, and device density. The constants below
+//! carry the paper's citations: AR motion-to-photon < 20 ms [12][13],
+//! 60 FPS ⇒ 16.6 ms frame interval, IoT protocol overhead 5–8 ms [14],
+//! autonomous vehicles at 4 TB/day, telemedicine above 10 GB/day, 125
+//! billion devices by 2030 [11].
+
+use serde::{Deserialize, Serialize};
+
+/// The 6G latency target the paper cites (100 µs class), ms.
+pub const SIXG_LATENCY_TARGET_MS: f64 = 0.1;
+/// The 5G specification latency claim, ms.
+pub const FIVEG_SPEC_LATENCY_MS: f64 = 1.0;
+/// Frame interval at 60 FPS, ms.
+pub const FRAME_INTERVAL_60FPS_MS: f64 = 1000.0 / 60.0;
+/// User-perceived latency bound for interactive applications, ms [13].
+pub const USER_PERCEIVED_BOUND_MS: f64 = 16.0;
+/// IoT protocol overhead band, ms [14].
+pub const IOT_OVERHEAD_MS: (f64, f64) = (5.0, 8.0);
+/// Global connected-device forecast for 2030 [11].
+pub const DEVICES_BY_2030: f64 = 125e9;
+
+/// Application families the paper analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApplicationClass {
+    /// The AR dodgeball use case (Section IV-A).
+    ArGaming,
+    /// Interactive 60 FPS video.
+    VideoStreaming,
+    /// Autonomous-vehicle coordination (V2X).
+    AutonomousVehicle,
+    /// Remote surgery / telemedicine.
+    RemoteSurgery,
+    /// General IoT telemetry over MQTT/AMQP/CoAP.
+    IotTelemetry,
+    /// Smart-factory closed loops.
+    IndustrialAutomation,
+    /// City-scale sensing and control.
+    SmartCity,
+}
+
+/// A quantified requirement envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequirementProfile {
+    /// Application family.
+    pub class: ApplicationClass,
+    /// Maximum acceptable round-trip latency, ms.
+    pub max_rtl_ms: f64,
+    /// Sustained per-session throughput, bits per second.
+    pub min_throughput_bps: f64,
+    /// Data volume per day per entity, gigabytes.
+    pub data_per_day_gb: f64,
+    /// Device density the deployment must support, devices per km².
+    pub device_density_per_km2: f64,
+    /// Source note (paper section / citation).
+    pub note: &'static str,
+}
+
+impl ApplicationClass {
+    /// All classes in presentation order.
+    pub const ALL: [ApplicationClass; 7] = [
+        ApplicationClass::ArGaming,
+        ApplicationClass::VideoStreaming,
+        ApplicationClass::AutonomousVehicle,
+        ApplicationClass::RemoteSurgery,
+        ApplicationClass::IotTelemetry,
+        ApplicationClass::IndustrialAutomation,
+        ApplicationClass::SmartCity,
+    ];
+
+    /// The Section III envelope for this class.
+    pub fn profile(self) -> RequirementProfile {
+        match self {
+            ApplicationClass::ArGaming => RequirementProfile {
+                class: self,
+                max_rtl_ms: 20.0,
+                min_throughput_bps: 25e6,
+                data_per_day_gb: 50.0,
+                device_density_per_km2: 10_000.0,
+                note: "motion-to-photon <20 ms [12][15]",
+            },
+            ApplicationClass::VideoStreaming => RequirementProfile {
+                class: self,
+                max_rtl_ms: FRAME_INTERVAL_60FPS_MS,
+                min_throughput_bps: 25e6,
+                data_per_day_gb: 30.0,
+                device_density_per_km2: 10_000.0,
+                note: "60 FPS => 16.6 ms frame interval [13]",
+            },
+            ApplicationClass::AutonomousVehicle => RequirementProfile {
+                class: self,
+                max_rtl_ms: 20.0,
+                min_throughput_bps: 100e6,
+                data_per_day_gb: 4_000.0,
+                device_density_per_km2: 50_000.0,
+                note: "4 TB/day sensor load (Section III-B)",
+            },
+            ApplicationClass::RemoteSurgery => RequirementProfile {
+                class: self,
+                max_rtl_ms: 10.0,
+                min_throughput_bps: 45e6,
+                data_per_day_gb: 100.0,
+                device_density_per_km2: 1_000.0,
+                note: "haptic stability bound; >10 GB/day (Section III-B)",
+            },
+            ApplicationClass::IotTelemetry => RequirementProfile {
+                class: self,
+                // User-perceived bound minus the protocol's own overhead.
+                max_rtl_ms: USER_PERCEIVED_BOUND_MS - IOT_OVERHEAD_MS.0,
+                min_throughput_bps: 1e6,
+                data_per_day_gb: 1.0,
+                device_density_per_km2: 1_000_000.0,
+                note: "16 ms user-perceived minus 5-8 ms protocol overhead [13][14]",
+            },
+            ApplicationClass::IndustrialAutomation => RequirementProfile {
+                class: self,
+                max_rtl_ms: 10.0,
+                min_throughput_bps: 10e6,
+                data_per_day_gb: 5_000.0,
+                device_density_per_km2: 100_000.0,
+                note: "5 TB/day per line (Section III-C)",
+            },
+            ApplicationClass::SmartCity => RequirementProfile {
+                class: self,
+                max_rtl_ms: 100.0,
+                min_throughput_bps: 1e6,
+                data_per_day_gb: 10.0,
+                device_density_per_km2: 1_000_000.0,
+                note: "50k intersections, Tokyo scenario (Section III-C)",
+            },
+        }
+    }
+
+    /// The strictest (smallest) RTL requirement across all classes, ms.
+    pub fn strictest_rtl_ms() -> f64 {
+        Self::ALL
+            .iter()
+            .map(|c| c.profile().max_rtl_ms)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The requirement the paper measures the campaign against: the AR use
+/// case's 20 ms round-trip budget.
+pub fn campaign_reference_requirement() -> RequirementProfile {
+    ApplicationClass::ArGaming.profile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_budget_is_20ms() {
+        assert_eq!(campaign_reference_requirement().max_rtl_ms, 20.0);
+    }
+
+    #[test]
+    fn all_profiles_positive_and_consistent() {
+        for c in ApplicationClass::ALL {
+            let p = c.profile();
+            assert!(p.max_rtl_ms > 0.0, "{c:?}");
+            assert!(p.min_throughput_bps > 0.0, "{c:?}");
+            assert!(p.data_per_day_gb > 0.0, "{c:?}");
+            assert!(p.device_density_per_km2 > 0.0, "{c:?}");
+            assert_eq!(p.class, c);
+        }
+    }
+
+    #[test]
+    fn surgery_is_strictest() {
+        assert_eq!(ApplicationClass::strictest_rtl_ms(), 10.0);
+    }
+
+    #[test]
+    fn video_requirement_matches_frame_interval() {
+        let p = ApplicationClass::VideoStreaming.profile();
+        assert!((p.max_rtl_ms - 16.6667).abs() < 0.01);
+    }
+
+    #[test]
+    fn iot_budget_subtracts_protocol_overhead() {
+        let p = ApplicationClass::IotTelemetry.profile();
+        assert_eq!(p.max_rtl_ms, 11.0);
+    }
+
+    #[test]
+    fn av_data_volume_is_4tb() {
+        let p = ApplicationClass::AutonomousVehicle.profile();
+        assert_eq!(p.data_per_day_gb, 4_000.0);
+    }
+
+    #[test]
+    fn sixg_target_is_100us() {
+        assert_eq!(SIXG_LATENCY_TARGET_MS, 0.1);
+        // "ten times lower than 5G's 1-millisecond latency" (Section II-A).
+        let ratio = FIVEG_SPEC_LATENCY_MS / SIXG_LATENCY_TARGET_MS;
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+}

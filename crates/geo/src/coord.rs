@@ -1,0 +1,165 @@
+//! WGS-84 coordinates and great-circle geometry.
+//!
+//! The simulator only needs city-scale to continent-scale distances, so the
+//! spherical-earth (haversine) model is accurate to well under 0.5 % — far
+//! below the jitter of any latency measurement the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Speed of light in vacuum, km/s.
+pub const C_VACUUM_KM_S: f64 = 299_792.458;
+
+/// Effective propagation speed in optical fibre (≈ 2/3 c), km/s.
+///
+/// This is the constant used throughout the workspace to convert route
+/// length into propagation delay; 5 µs/km is the usual engineering figure
+/// and corresponds to `1.0 / (C_VACUUM_KM_S * 2/3)`.
+pub const C_FIBRE_KM_S: f64 = C_VACUUM_KM_S * 2.0 / 3.0;
+
+/// A point on the WGS-84 sphere, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north. Valid range `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east. Valid range `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, normalising longitude into `[-180, 180)` and
+    /// clamping latitude into `[-90, 90]`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        Self { lat, lon }
+    }
+
+    /// Latitude/longitude in radians.
+    #[inline]
+    pub fn to_radians(self) -> (f64, f64) {
+        (self.lat.to_radians(), self.lon.to_radians())
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let (la1, lo1) = self.to_radians();
+        let (la2, lo2) = other.to_radians();
+        let dlat = la2 - la1;
+        let dlon = lo2 - lo1;
+        let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+    }
+
+    /// Initial bearing from `self` towards `other`, degrees in `[0, 360)`.
+    pub fn bearing_deg(self, other: GeoPoint) -> f64 {
+        let (la1, lo1) = self.to_radians();
+        let (la2, lo2) = other.to_radians();
+        let dlon = lo2 - lo1;
+        let y = dlon.sin() * la2.cos();
+        let x = la1.cos() * la2.sin() - la1.sin() * la2.cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// Destination point after travelling `distance_km` along the initial
+    /// `bearing_deg` great circle.
+    pub fn destination(self, bearing_deg: f64, distance_km: f64) -> GeoPoint {
+        let (la1, lo1) = self.to_radians();
+        let brg = bearing_deg.to_radians();
+        let ang = distance_km / EARTH_RADIUS_KM;
+        let la2 = (la1.sin() * ang.cos() + la1.cos() * ang.sin() * brg.cos()).asin();
+        let lo2 = lo1
+            + (brg.sin() * ang.sin() * la1.cos()).atan2(ang.cos() - la1.sin() * la2.sin());
+        GeoPoint::new(la2.to_degrees(), lo2.to_degrees())
+    }
+
+    /// Point `frac` of the way from `self` to `other` along the great
+    /// circle (`frac` in `[0, 1]`).
+    pub fn interpolate(self, other: GeoPoint, frac: f64) -> GeoPoint {
+        let d = self.distance_km(other);
+        if d < 1e-9 {
+            return self;
+        }
+        self.destination(self.bearing_deg(other), d * frac.clamp(0.0, 1.0))
+    }
+
+    /// One-way light-in-fibre propagation delay to `other`, in seconds.
+    pub fn fibre_delay_s(self, other: GeoPoint) -> f64 {
+        self.distance_km(other) / C_FIBRE_KM_S
+    }
+}
+
+/// One-way fibre propagation delay for a given route length, seconds.
+#[inline]
+pub fn fibre_delay_for_km(km: f64) -> f64 {
+    km / C_FIBRE_KM_S
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn klagenfurt() -> GeoPoint {
+        GeoPoint::new(46.6247, 14.3050)
+    }
+    fn vienna() -> GeoPoint {
+        GeoPoint::new(48.2082, 16.3738)
+    }
+
+    #[test]
+    fn distance_klagenfurt_vienna_is_about_234_km() {
+        let d = klagenfurt().distance_km(vienna());
+        assert!((d - 234.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = klagenfurt();
+        let b = vienna();
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        assert!(a.distance_km(a) < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let a = klagenfurt();
+        let brg = a.bearing_deg(vienna());
+        let d = a.distance_km(vienna());
+        let reached = a.destination(brg, d);
+        assert!(reached.distance_km(vienna()) < 0.5, "missed by {} km", reached.distance_km(vienna()));
+    }
+
+    #[test]
+    fn interpolate_midpoint_is_halfway() {
+        let a = klagenfurt();
+        let b = vienna();
+        let m = a.interpolate(b, 0.5);
+        let d_am = a.distance_km(m);
+        let d_mb = m.distance_km(b);
+        assert!((d_am - d_mb).abs() < 0.5);
+    }
+
+    #[test]
+    fn fibre_delay_is_about_5_us_per_km() {
+        // 1000 km should be ~5 ms one-way.
+        let s = fibre_delay_for_km(1000.0);
+        assert!((s - 0.005).abs() < 0.0003, "got {s}");
+    }
+
+    #[test]
+    fn longitude_normalisation() {
+        let p = GeoPoint::new(0.0, 190.0);
+        assert!((p.lon - (-170.0)).abs() < 1e-9);
+        let q = GeoPoint::new(95.0, 0.0);
+        assert_eq!(q.lat, 90.0);
+    }
+
+    #[test]
+    fn bearing_north_is_zero() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 0.0);
+        assert!(a.bearing_deg(b).abs() < 1e-6);
+    }
+}

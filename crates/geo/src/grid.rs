@@ -1,0 +1,271 @@
+//! Grid segmentation of an urban sector into labelled cells.
+//!
+//! The paper divides each sector `S` into cells `SC ∈ S` of 1 km side
+//! length, labelled by column letter (A, B, C, …) and row number (1, 2, …).
+//! The Klagenfurt scenario of Figure 1 uses a 6 × 7 grid (A–F × 1–7) of
+//! which 33 cells were traversed.
+//!
+//! Cells are laid out with `A1` at the *north-west* corner: columns advance
+//! eastwards, rows advance southwards, matching the reading order of the
+//! paper's heatmaps.
+
+use crate::coord::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a grid cell: column letter + 1-based row number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Zero-based column index (0 = `A`).
+    pub col: u8,
+    /// Zero-based row index (0 = row `1`).
+    pub row: u8,
+}
+
+impl CellId {
+    /// Creates a cell id from zero-based column and row indices.
+    pub const fn new(col: u8, row: u8) -> Self {
+        Self { col, row }
+    }
+
+    /// Parses labels such as `"C2"`. Only single-letter columns (A–Z) and
+    /// rows 1–99 are supported, which covers every scenario in the paper.
+    pub fn parse(label: &str) -> Option<Self> {
+        let mut chars = label.chars();
+        let c = chars.next()?.to_ascii_uppercase();
+        if !c.is_ascii_uppercase() {
+            return None;
+        }
+        let rest: String = chars.collect();
+        let row: u8 = rest.parse().ok()?;
+        if row == 0 {
+            return None;
+        }
+        Some(Self::new(c as u8 - b'A', row - 1))
+    }
+
+    /// Human-readable label, e.g. `C2`.
+    pub fn label(&self) -> String {
+        format!("{}{}", (b'A' + self.col) as char, self.row + 1)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl FromStr for CellId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| format!("invalid cell label: {s:?}"))
+    }
+}
+
+/// A rectangular grid of square cells anchored at a geographic origin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// North-west corner of cell `A1`.
+    pub origin: GeoPoint,
+    /// Number of columns (west→east).
+    pub cols: u8,
+    /// Number of rows (north→south).
+    pub rows: u8,
+    /// Cell side length in kilometres (1.0 in the paper).
+    pub cell_km: f64,
+}
+
+impl GridSpec {
+    /// Creates a grid. Panics if dimensions are zero or the cell size is
+    /// non-positive.
+    pub fn new(origin: GeoPoint, cols: u8, rows: u8, cell_km: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must be non-empty");
+        assert!(cell_km > 0.0, "cell size must be positive");
+        Self { origin, cols, rows, cell_km }
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// True when the grid contains no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all cells in row-major order (`A1, B1, …, A2, …`).
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| CellId::new(c, r)))
+    }
+
+    /// True when the cell lies inside the grid.
+    pub fn contains(&self, cell: CellId) -> bool {
+        cell.col < self.cols && cell.row < self.rows
+    }
+
+    /// Geographic centre of a cell. Panics when the cell is outside the
+    /// grid.
+    pub fn centroid(&self, cell: CellId) -> GeoPoint {
+        assert!(self.contains(cell), "cell {cell} outside grid");
+        let east_km = (cell.col as f64 + 0.5) * self.cell_km;
+        let south_km = (cell.row as f64 + 0.5) * self.cell_km;
+        self.origin.destination(90.0, east_km).destination(180.0, south_km)
+    }
+
+    /// Maps a point to the cell containing it, or `None` if outside the
+    /// grid footprint.
+    ///
+    /// Uses a local equirectangular projection around the origin — exact to
+    /// centimetres at the ≤ 10 km extents the scenarios use.
+    pub fn locate(&self, p: GeoPoint) -> Option<CellId> {
+        let (east_km, south_km) = self.offsets_km(p);
+        if east_km < 0.0 || south_km < 0.0 {
+            return None;
+        }
+        let col = (east_km / self.cell_km) as u64;
+        let row = (south_km / self.cell_km) as u64;
+        if col >= self.cols as u64 || row >= self.rows as u64 {
+            return None;
+        }
+        Some(CellId::new(col as u8, row as u8))
+    }
+
+    /// Kilometre offsets (east, south) of `p` relative to the grid origin.
+    pub fn offsets_km(&self, p: GeoPoint) -> (f64, f64) {
+        let lat_mid = (self.origin.lat + p.lat) / 2.0;
+        let km_per_deg_lat = 111.1949; // 2πR/360
+        let km_per_deg_lon = km_per_deg_lat * lat_mid.to_radians().cos();
+        let east = (p.lon - self.origin.lon) * km_per_deg_lon;
+        let south = (self.origin.lat - p.lat) * km_per_deg_lat;
+        (east, south)
+    }
+
+    /// Chebyshev (king-move) distance between two cells, in cells.
+    pub fn cell_distance(&self, a: CellId, b: CellId) -> u8 {
+        let dc = a.col.abs_diff(b.col);
+        let dr = a.row.abs_diff(b.row);
+        dc.max(dr)
+    }
+
+    /// The 4-neighbourhood of a cell, clipped to the grid.
+    pub fn neighbours4(&self, cell: CellId) -> Vec<CellId> {
+        let mut out = Vec::with_capacity(4);
+        if cell.col > 0 {
+            out.push(CellId::new(cell.col - 1, cell.row));
+        }
+        if cell.col + 1 < self.cols {
+            out.push(CellId::new(cell.col + 1, cell.row));
+        }
+        if cell.row > 0 {
+            out.push(CellId::new(cell.col, cell.row - 1));
+        }
+        if cell.row + 1 < self.rows {
+            out.push(CellId::new(cell.col, cell.row + 1));
+        }
+        out
+    }
+
+    /// True when the cell touches the grid boundary. Border cells are where
+    /// the paper observes "< 10 measurements" (Figure 2's `0.0` markers).
+    pub fn is_border(&self, cell: CellId) -> bool {
+        cell.col == 0 || cell.row == 0 || cell.col + 1 == self.cols || cell.row + 1 == self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(GeoPoint::new(46.65, 14.25), 6, 7, 1.0)
+    }
+
+    #[test]
+    fn parse_and_label_round_trip() {
+        for label in ["A1", "C2", "E3", "F7", "B3", "E5"] {
+            let c = CellId::parse(label).unwrap();
+            assert_eq!(c.label(), label);
+        }
+        assert_eq!(CellId::parse("C2"), Some(CellId::new(2, 1)));
+        assert!(CellId::parse("").is_none());
+        assert!(CellId::parse("7C").is_none());
+        assert!(CellId::parse("C0").is_none());
+    }
+
+    #[test]
+    fn grid_has_42_cells_in_paper_layout() {
+        let g = grid();
+        assert_eq!(g.len(), 42);
+        let all: Vec<_> = g.cells().collect();
+        assert_eq!(all.len(), 42);
+        assert_eq!(all[0].label(), "A1");
+        assert_eq!(all[41].label(), "F7");
+    }
+
+    #[test]
+    fn centroid_locates_back_to_same_cell() {
+        let g = grid();
+        for cell in g.cells() {
+            let c = g.centroid(cell);
+            assert_eq!(g.locate(c), Some(cell), "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn locate_outside_grid_is_none() {
+        let g = grid();
+        assert_eq!(g.locate(GeoPoint::new(46.80, 14.25)), None); // far north
+        assert_eq!(g.locate(GeoPoint::new(46.65, 14.10)), None); // far west
+        assert_eq!(g.locate(GeoPoint::new(46.40, 14.25)), None); // far south
+    }
+
+    #[test]
+    fn neighbours_clip_at_borders() {
+        let g = grid();
+        assert_eq!(g.neighbours4(CellId::parse("A1").unwrap()).len(), 2);
+        assert_eq!(g.neighbours4(CellId::parse("C3").unwrap()).len(), 4);
+        assert_eq!(g.neighbours4(CellId::parse("F7").unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn border_detection() {
+        let g = grid();
+        assert!(g.is_border(CellId::parse("A1").unwrap()));
+        assert!(g.is_border(CellId::parse("F4").unwrap()));
+        assert!(g.is_border(CellId::parse("C7").unwrap()));
+        assert!(!g.is_border(CellId::parse("C3").unwrap()));
+        assert!(!g.is_border(CellId::parse("B2").unwrap()));
+    }
+
+    #[test]
+    fn cell_distance_is_chebyshev() {
+        let g = grid();
+        let a = CellId::parse("C2").unwrap();
+        let b = CellId::parse("E3").unwrap();
+        assert_eq!(g.cell_distance(a, b), 2);
+        assert_eq!(g.cell_distance(a, a), 0);
+    }
+
+    #[test]
+    fn centroids_are_about_cell_km_apart() {
+        let g = grid();
+        let a = g.centroid(CellId::parse("C3").unwrap());
+        let b = g.centroid(CellId::parse("D3").unwrap());
+        let d = a.distance_km(b);
+        assert!((d - 1.0).abs() < 0.02, "got {d}");
+    }
+
+    #[test]
+    fn c2_to_e3_under_5km_as_in_table1() {
+        // The paper notes the Table I endpoints (C2 mobile node, E3 anchor)
+        // are separated by less than 5 km.
+        let g = grid();
+        let a = g.centroid(CellId::parse("C2").unwrap());
+        let b = g.centroid(CellId::parse("E3").unwrap());
+        assert!(a.distance_km(b) < 5.0);
+    }
+}

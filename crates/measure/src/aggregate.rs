@@ -1,0 +1,219 @@
+//! Per-cell aggregation of latency samples.
+//!
+//! Figures 2 and 3 of the paper are per-cell grids of mean and standard
+//! deviation of round-trip latency, with cells holding fewer than ten
+//! measurements rendered as `0.0`.
+
+use serde::{Deserialize, Serialize};
+use sixg_geo::{CellId, GridSpec};
+use sixg_netsim::stats::Welford;
+
+/// Minimum samples for a cell to be reported (paper Section IV-C).
+pub const MIN_SAMPLES: u64 = 10;
+
+/// Aggregated statistics of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// The cell.
+    pub cell: CellId,
+    /// Number of RTL samples collected while traversing the cell.
+    pub count: u64,
+    /// Mean round-trip latency, ms (0.0 when `count < MIN_SAMPLES`).
+    pub mean_ms: f64,
+    /// Sample standard deviation, ms (0.0 when `count < MIN_SAMPLES`).
+    pub std_ms: f64,
+}
+
+impl CellStats {
+    /// True when the cell is reported as `0.0` in the paper's figures.
+    pub fn is_masked(&self) -> bool {
+        self.count < MIN_SAMPLES
+    }
+}
+
+/// A full per-cell field over a grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellField {
+    grid: GridSpec,
+    acc: Vec<Welford>,
+}
+
+impl CellField {
+    /// Empty field over `grid`.
+    pub fn new(grid: GridSpec) -> Self {
+        let n = grid.len();
+        Self { grid, acc: vec![Welford::new(); n] }
+    }
+
+    /// The grid this field is defined over.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    fn idx(&self, cell: CellId) -> usize {
+        assert!(self.grid.contains(cell), "cell {cell} outside grid");
+        cell.row as usize * self.grid.cols as usize + cell.col as usize
+    }
+
+    /// Records one RTL sample for a cell.
+    pub fn push(&mut self, cell: CellId, rtl_ms: f64) {
+        let i = self.idx(cell);
+        self.acc[i].push(rtl_ms);
+    }
+
+    /// Merges another field (parallel reduction). Grids must match shape.
+    pub fn merge(&mut self, other: &CellField) {
+        assert_eq!(self.grid.cols, other.grid.cols, "grid shape mismatch");
+        assert_eq!(self.grid.rows, other.grid.rows, "grid shape mismatch");
+        for (a, b) in self.acc.iter_mut().zip(&other.acc) {
+            a.merge(b);
+        }
+    }
+
+    /// Statistics of one cell, with the masking rule applied.
+    pub fn stats(&self, cell: CellId) -> CellStats {
+        let w = &self.acc[self.idx(cell)];
+        if w.count() < MIN_SAMPLES {
+            CellStats { cell, count: w.count(), mean_ms: 0.0, std_ms: 0.0 }
+        } else {
+            CellStats {
+                cell,
+                count: w.count(),
+                mean_ms: w.mean(),
+                std_ms: w.sample_std_dev(),
+            }
+        }
+    }
+
+    /// All cells' statistics, row-major.
+    pub fn all_stats(&self) -> Vec<CellStats> {
+        self.grid.cells().map(|c| self.stats(c)).collect()
+    }
+
+    /// Unmasked cells only.
+    pub fn reported(&self) -> Vec<CellStats> {
+        self.all_stats().into_iter().filter(|s| !s.is_masked()).collect()
+    }
+
+    /// Grand mean over *reported* cells (unweighted across cells, as the
+    /// paper compares cell means).
+    pub fn grand_mean_ms(&self) -> f64 {
+        let rep = self.reported();
+        if rep.is_empty() {
+            return 0.0;
+        }
+        rep.iter().map(|s| s.mean_ms).sum::<f64>() / rep.len() as f64
+    }
+
+    /// Minimum / maximum reported cell means with their cells.
+    pub fn mean_extrema(&self) -> Option<(CellStats, CellStats)> {
+        let rep = self.reported();
+        let min = rep.iter().min_by(|a, b| a.mean_ms.total_cmp(&b.mean_ms))?.clone();
+        let max = rep.iter().max_by(|a, b| a.mean_ms.total_cmp(&b.mean_ms))?.clone();
+        Some((min, max))
+    }
+
+    /// Minimum / maximum reported cell standard deviations.
+    pub fn std_extrema(&self) -> Option<(CellStats, CellStats)> {
+        let rep = self.reported();
+        let min = rep.iter().min_by(|a, b| a.std_ms.total_cmp(&b.std_ms))?.clone();
+        let max = rep.iter().max_by(|a, b| a.std_ms.total_cmp(&b.std_ms))?.clone();
+        Some((min, max))
+    }
+
+    /// Total sample count over all cells.
+    pub fn total_samples(&self) -> u64 {
+        self.acc.iter().map(|w| w.count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_geo::GeoPoint;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(GeoPoint::new(46.65, 14.25), 6, 7, 1.0)
+    }
+
+    #[test]
+    fn masking_below_ten_samples() {
+        let mut f = CellField::new(grid());
+        let a = CellId::parse("A1").unwrap();
+        let b = CellId::parse("B1").unwrap();
+        for i in 0..9 {
+            f.push(a, 50.0 + i as f64);
+        }
+        for i in 0..10 {
+            f.push(b, 70.0 + i as f64);
+        }
+        assert!(f.stats(a).is_masked());
+        assert_eq!(f.stats(a).mean_ms, 0.0);
+        assert!(!f.stats(b).is_masked());
+        assert!((f.stats(b).mean_ms - 74.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grand_mean_ignores_masked() {
+        let mut f = CellField::new(grid());
+        let a = CellId::parse("A1").unwrap();
+        let b = CellId::parse("B1").unwrap();
+        for _ in 0..20 {
+            f.push(a, 60.0);
+            f.push(b, 80.0);
+        }
+        f.push(CellId::parse("C1").unwrap(), 1000.0); // masked
+        assert!((f.grand_mean_ms() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrema() {
+        let mut f = CellField::new(grid());
+        for (cell, v) in [("A1", 61.0), ("B1", 110.0), ("C1", 75.0)] {
+            let c = CellId::parse(cell).unwrap();
+            for k in 0..12 {
+                f.push(c, v + (k % 3) as f64 * 0.1);
+            }
+        }
+        let (min, max) = f.mean_extrema().unwrap();
+        assert_eq!(min.cell.label(), "A1");
+        assert_eq!(max.cell.label(), "B1");
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let c = CellId::parse("C3").unwrap();
+        let mut whole = CellField::new(grid());
+        let mut p1 = CellField::new(grid());
+        let mut p2 = CellField::new(grid());
+        for i in 0..100 {
+            let v = 60.0 + (i as f64 * 0.7).sin() * 20.0;
+            whole.push(c, v);
+            if i % 2 == 0 {
+                p1.push(c, v);
+            } else {
+                p2.push(c, v);
+            }
+        }
+        p1.merge(&p2);
+        let (a, b) = (whole.stats(c), p1.stats(c));
+        assert_eq!(a.count, b.count);
+        assert!((a.mean_ms - b.mean_ms).abs() < 1e-9);
+        assert!((a.std_ms - b.std_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_field_grand_mean_zero() {
+        let f = CellField::new(grid());
+        assert_eq!(f.grand_mean_ms(), 0.0);
+        assert!(f.mean_extrema().is_none());
+        assert_eq!(f.total_samples(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn push_outside_panics() {
+        let mut f = CellField::new(grid());
+        f.push(CellId::new(20, 20), 1.0);
+    }
+}

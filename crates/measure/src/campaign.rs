@@ -1,0 +1,255 @@
+//! The mobile measurement campaign (Figures 2–3) and Table-I traceroute.
+//!
+//! A mobile node traverses the traversed cells along the street grid; in
+//! each cell it pings the anchor and the eight peers at a fixed cadence
+//! for as long as it dwells there, so per-cell sample counts vary with
+//! traffic flow exactly as in the paper. Samples are RIPE-Atlas-style pure
+//! network RTTs: wire path + radio access, no application processing.
+
+use crate::aggregate::CellField;
+use crate::klagenfurt::KlagenfurtScenario;
+use serde::{Deserialize, Serialize};
+use sixg_geo::mobility::ManhattanMobility;
+use sixg_geo::CellId;
+use sixg_netsim::latency::DelaySampler;
+use sixg_netsim::protocols::icmp::Pinger;
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::{SimRng, StreamKey};
+use sixg_netsim::trace::FlowTrace;
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Campaign seed (combined with the scenario seed).
+    pub seed: u64,
+    /// Seconds between consecutive measurements while dwelling in a cell.
+    pub sample_interval_s: f64,
+    /// Number of grid traversals ("passes"). The paper's campaign used
+    /// multiple mobile nodes; each pass models one node's sweep.
+    pub passes: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { seed: 1, sample_interval_s: 2.0, passes: 1 }
+    }
+}
+
+impl CampaignConfig {
+    /// A dense configuration for tight statistical reproduction (used by
+    /// golden tests and the figure regeneration binaries).
+    pub fn dense(seed: u64) -> Self {
+        Self { seed, sample_interval_s: 2.0, passes: 30 }
+    }
+}
+
+/// The mobile campaign runner.
+pub struct MobileCampaign<'a> {
+    scenario: &'a KlagenfurtScenario,
+    config: CampaignConfig,
+}
+
+impl<'a> MobileCampaign<'a> {
+    /// Creates a campaign over a scenario.
+    pub fn new(scenario: &'a KlagenfurtScenario, config: CampaignConfig) -> Self {
+        Self { scenario, config }
+    }
+
+    /// Number of samples taken in a cell during one pass, derived from the
+    /// dwell time (traffic-flow dependent) and the sampling cadence.
+    pub fn samples_for_dwell(&self, dwell_s: f64) -> usize {
+        (dwell_s / self.config.sample_interval_s).round().max(1.0) as usize
+    }
+
+    /// Samples of one (pass, cell) pair, in cadence order.
+    ///
+    /// Exposed so the rayon-parallel runner can shard work at cell
+    /// granularity while drawing from the *same* per-(pass, cell, index)
+    /// random streams — parallel and sequential runs are bitwise equal.
+    pub fn collect_cell(&self, pass: u32, cell: CellId, dwell_s: f64) -> Vec<f64> {
+        let s = self.scenario;
+        let sampler = DelaySampler::new(&s.topo);
+        let access = s.access_for(cell);
+        let targets = s.measurement_targets();
+        let n = self.samples_for_dwell(dwell_s);
+        let key = StreamKey::root(s.seed)
+            .with_label("campaign")
+            .with(self.config.seed)
+            .with(pass as u64)
+            .with(((cell.col as u64) << 8) | cell.row as u64);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = SimRng::for_stream(key.with(i as u64));
+            let ti = rng.below(targets.len() as u64) as usize;
+            let path = &s.routes[&(cell, ti)];
+            let wire = sampler.rtt_ms(&path.hops, 64, &mut rng);
+            let air = access.sample_rtt_ms(&mut rng);
+            out.push(wire + air);
+        }
+        out
+    }
+
+    /// Collects one (pass, cell) pair directly into `field`.
+    pub fn run_cell(&self, pass: u32, cell: CellId, dwell_s: f64, field: &mut CellField) {
+        for v in self.collect_cell(pass, cell, dwell_s) {
+            field.push(cell, v);
+        }
+    }
+
+    /// The per-pass traversal (deterministic in scenario + campaign seed).
+    pub fn traversal(&self, pass: u32) -> sixg_geo::mobility::Traversal {
+        let mob = ManhattanMobility::urban(
+            self.scenario.seed ^ self.config.seed.rotate_left(16) ^ pass as u64,
+        );
+        mob.traverse(&self.scenario.grid, &self.scenario.included)
+    }
+
+    /// Runs the full campaign sequentially.
+    pub fn run(&self) -> CellField {
+        let mut field = CellField::new(self.scenario.grid.clone());
+        for pass in 0..self.config.passes {
+            for visit in self.traversal(pass).visits {
+                self.run_cell(pass, visit.cell, visit.dwell_s, &mut field);
+            }
+        }
+        field
+    }
+
+    /// The Table-I traceroute: mobile node in C2 → university anchor.
+    pub fn table1_traceroute(&self, rep: u64) -> FlowTrace {
+        let s = self.scenario;
+        let (ue, anchor) = s.table1_endpoints();
+        let pc = sixg_netsim::routing::PathComputer::new(&s.topo, &s.as_graph);
+        let pinger = Pinger::new(&pc, &s.names, "vie");
+        let c2 = CellId::parse("C2").expect("static label");
+        let access = s.access_for(c2);
+        let key = StreamKey::root(s.seed).with_label("traceroute").with(rep);
+        let mut rng = SimRng::for_stream(key);
+        pinger
+            .traceroute(ue, anchor, Some(access), &mut rng)
+            .expect("table1 path must route")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_netsim::stats::Welford;
+
+    fn scenario() -> KlagenfurtScenario {
+        KlagenfurtScenario::paper(0x6B6C_7531)
+    }
+
+    #[test]
+    fn default_campaign_reports_all_traversed_cells() {
+        let s = scenario();
+        let field = MobileCampaign::new(&s, CampaignConfig::default()).run();
+        let reported = field.reported();
+        assert_eq!(reported.len(), 33);
+        // Skipped cells masked at 0.0.
+        for cell in s.grid.cells() {
+            let st = field.stats(cell);
+            if s.targets.traversed(cell) {
+                assert!(st.count >= 10, "cell {cell} has {}", st.count);
+            } else {
+                assert!(st.is_masked());
+                assert_eq!(st.mean_ms, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_counts_vary_with_traffic_flow() {
+        let s = scenario();
+        let c = MobileCampaign::new(&s, CampaignConfig::default());
+        let field = c.run();
+        let counts: Vec<u64> =
+            field.reported().iter().map(|st| st.count).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "dwell jitter must vary counts ({min}..{max})");
+    }
+
+    #[test]
+    fn dense_campaign_reproduces_figure2_anchors() {
+        let s = scenario();
+        let field = MobileCampaign::new(&s, CampaignConfig::dense(7)).run();
+        let c1 = field.stats(CellId::parse("C1").unwrap());
+        let c3 = field.stats(CellId::parse("C3").unwrap());
+        assert!((c1.mean_ms - 61.0).abs() < 2.0, "C1 {}", c1.mean_ms);
+        assert!((c3.mean_ms - 110.0).abs() < 3.0, "C3 {}", c3.mean_ms);
+        let (min, max) = field.mean_extrema().unwrap();
+        assert_eq!(min.cell.label(), "C1");
+        assert_eq!(max.cell.label(), "C3");
+        // Grand mean drives the paper's 270% claim.
+        let gm = field.grand_mean_ms();
+        assert!((gm - 74.1).abs() < 1.5, "grand mean {gm}");
+    }
+
+    #[test]
+    fn dense_campaign_reproduces_figure3_anchors() {
+        let s = scenario();
+        let field = MobileCampaign::new(&s, CampaignConfig::dense(8)).run();
+        let b3 = field.stats(CellId::parse("B3").unwrap());
+        let e5 = field.stats(CellId::parse("E5").unwrap());
+        assert!((b3.std_ms - 1.8).abs() < 0.5, "B3 σ {}", b3.std_ms);
+        assert!((e5.std_ms - 46.4).abs() < 4.0, "E5 σ {}", e5.std_ms);
+        let (min, max) = field.std_extrema().unwrap();
+        assert_eq!(min.cell.label(), "B3");
+        assert_eq!(max.cell.label(), "E5");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let s = scenario();
+        let a = MobileCampaign::new(&s, CampaignConfig::default()).run();
+        let b = MobileCampaign::new(&s, CampaignConfig::default()).run();
+        for cell in s.grid.cells() {
+            assert_eq!(a.stats(cell), b.stats(cell));
+        }
+    }
+
+    #[test]
+    fn table1_traceroute_matches_paper_shape() {
+        let s = scenario();
+        let c = MobileCampaign::new(&s, CampaignConfig::default());
+        let trace = c.table1_traceroute(0);
+        assert_eq!(trace.hop_count(), 10);
+        // Mean RTL over repetitions ≈ 65 ms (C2's Figure-2 value).
+        let mut w = Welford::new();
+        for rep in 0..300 {
+            w.push(c.table1_traceroute(rep).total_rtt_ms());
+        }
+        assert!((w.mean() - 65.0).abs() < 1.5, "mean RTL {}", w.mean());
+    }
+
+    #[test]
+    fn traceroute_renders_table1_rows() {
+        let s = scenario();
+        let c = MobileCampaign::new(&s, CampaignConfig::default());
+        let table = c.table1_traceroute(0).render_table();
+        for needle in [
+            "10.12.128.1",
+            "unn-37-19-223-61.datapacket.com [37.19.223.61]",
+            "vl204.vie-itx1-core-2.cdn77.com [185.156.45.138]",
+            "zetservers.peering.cz [185.0.20.31]",
+            "vie-dr2-cr1.zet.net [103.246.249.33]",
+            "amanet-cust.zet.net [185.104.63.33]",
+            "ae2-97.mx204-1.ix.vie.at.as39912.net [185.211.219.155]",
+            "003-228-016-195.ascus.at [195.16.228.3]",
+            "180-246-016-195.ascus.at [195.16.246.180]",
+            "195.140.139.133",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in\n{table}");
+        }
+    }
+
+    #[test]
+    fn more_passes_more_samples() {
+        let s = scenario();
+        let one = MobileCampaign::new(&s, CampaignConfig { passes: 1, ..Default::default() }).run();
+        let three =
+            MobileCampaign::new(&s, CampaignConfig { passes: 3, ..Default::default() }).run();
+        assert!(three.total_samples() > 2 * one.total_samples());
+    }
+}

@@ -1,0 +1,592 @@
+//! The Klagenfurt measurement scenario — the infrastructure of Section IV.
+//!
+//! This module assembles everything the paper's campaign touched:
+//!
+//! * the **grid**: 6 × 7 cells of 1 km (Figure 1), of which 33 are
+//!   traversed; the 9 skipped cells sit in low-density border regions;
+//! * the **operator side**: per-cell mobile UEs behind a CGNAT gateway
+//!   (Table I hop 1, `10.12.128.1`);
+//! * the **transit chain** that the operator's lack of local peering
+//!   forces traffic through: DataPacket/CDN77 in Vienna (hops 2–3), the
+//!   zet.net constellation reached over the Prague peering fabric
+//!   (hops 4–6, Bucharest), AS39912 back in Vienna (hop 7);
+//! * the **local ISP** (`ascus.at`, hops 8–9) that aggregates in Vienna
+//!   and finally descends to Klagenfurt;
+//! * the **campus AS** hosting the RIPE-Atlas-style anchor (hop 10);
+//! * eight **fixed peer nodes** in the sector (the "eight other nodes" of
+//!   Section IV-B) and an Exoscale-like **Vienna cloud** used by the wired
+//!   baseline;
+//! * the per-cell **radio calibration**: a target mean/σ field encoding
+//!   Figures 2–3 (anchors: 61 ms @ C1, 110 ms @ C3, 65 ms @ C2 for
+//!   Table I, σ 1.8 @ B3, σ 46.4 @ E5, grand mean ≈ 74 ms ⇒ the paper's
+//!   ≈270 % requirement exceedance), inverted through the analytic 5G
+//!   access model so that the campaign *reproduces* the field rather than
+//!   replaying it.
+
+use serde::{Deserialize, Serialize};
+use sixg_geo::population::SPARSE_THRESHOLD;
+use sixg_geo::{CellId, City, DensityRaster, GeoPoint, GridSpec};
+use sixg_netsim::latency::DelaySampler;
+use sixg_netsim::names::{NameRegistry, NameStyle, OrgProfile};
+use sixg_netsim::radio::{CellEnv, FiveGAccess};
+use sixg_netsim::rng::{SimRng, StreamKey};
+use sixg_netsim::routing::{AsGraph, PathComputer, RoutedPath};
+use sixg_netsim::stats::Welford;
+use sixg_netsim::topology::{Asn, LinkParams, NodeId, NodeKind, Topology};
+use std::collections::BTreeMap;
+
+/// Mobile network operator (the measured 5G provider).
+pub const OP_AS: Asn = Asn(25255);
+/// DataPacket / CDN77 transit (Table I hops 2–3).
+pub const DATAPACKET_AS: Asn = Asn(60068);
+/// zet.net constellation including the Prague peering presence (hops 4–6).
+pub const ZET_AS: Asn = Asn(57344);
+/// The Viennese AS39912 of Table I hop 7.
+pub const IX_AS: Asn = Asn(39912);
+/// Local access ISP `ascus.at` (hops 8–9), upstream of the campus.
+pub const ASCUS_AS: Asn = Asn(8445);
+/// University campus AS hosting the anchor (hop 10).
+pub const CAMPUS_AS: Asn = Asn(5383);
+/// Exoscale-like Vienna cloud (the 7–12 ms wired reference of [3]).
+pub const CLOUD_AS: Asn = Asn(61098);
+
+/// Per-cell calibration targets encoding the paper's Figures 2 and 3.
+///
+/// `0.0` marks the nine non-traversed cells (rendered `0.0` in Figure 2).
+/// Values are hand-assembled around the published anchors; the grand mean
+/// over traversed cells is ≈74.1 ms, matching the "≈270 % above the 20 ms
+/// requirement" claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetField {
+    /// Mean RTL targets, ms, `[row][col]` with row 0 = row "1".
+    pub mean: [[f64; 6]; 7],
+    /// Standard-deviation targets, ms.
+    pub std: [[f64; 6]; 7],
+}
+
+impl TargetField {
+    /// The published field.
+    pub fn paper() -> Self {
+        #[rustfmt::skip]
+        let mean = [
+            // A      B      C      D      E      F
+            [  0.0,  66.0,  61.0,  63.0,  68.0,   0.0], // 1
+            [ 70.0,  64.0,  65.0,  68.0,  72.0,   0.0], // 2
+            [ 68.0,  63.0, 110.0,  74.0,  66.0,  70.0], // 3
+            [ 72.0,  68.0,  82.0,  78.0,  75.0,  77.0], // 4
+            [ 73.0,  71.0,  80.0,  80.0,  95.0,  82.0], // 5
+            [  0.0,  73.0,  75.0,  81.0,  82.0,   0.0], // 6
+            [  0.0,   0.0,  74.0,  80.0,   0.0,   0.0], // 7
+        ];
+        #[rustfmt::skip]
+        let std = [
+            [  0.0,   6.2,   4.1,   5.5,   9.0,   0.0],
+            [  8.5,   3.9,   5.0,   7.7,  12.3,   0.0],
+            [  7.4,   1.8,  38.0,  11.2,   5.6,   9.8],
+            [ 10.5,   6.8,  22.4,  15.0,  12.8,  14.2],
+            [ 11.0,   8.2,  19.5,  18.3,  46.4,  20.1],
+            [  0.0,   9.4,  12.6,  17.8,  21.7,   0.0],
+            [  0.0,   0.0,  10.9,  16.4,   0.0,   0.0],
+        ];
+        Self { mean, std }
+    }
+
+    /// Target mean for a cell (0.0 = not traversed).
+    pub fn mean_of(&self, cell: CellId) -> f64 {
+        self.mean[cell.row as usize][cell.col as usize]
+    }
+
+    /// Target σ for a cell.
+    pub fn std_of(&self, cell: CellId) -> f64 {
+        self.std[cell.row as usize][cell.col as usize]
+    }
+
+    /// True when the cell was traversed by the campaign.
+    pub fn traversed(&self, cell: CellId) -> bool {
+        self.mean_of(cell) > 0.0
+    }
+
+    /// All traversed cells, row-major.
+    pub fn traversed_cells(&self, grid: &GridSpec) -> Vec<CellId> {
+        grid.cells().filter(|c| self.traversed(*c)).collect()
+    }
+
+    /// Grand mean over traversed cells.
+    pub fn grand_mean(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for row in &self.mean {
+            for &v in row {
+                if v > 0.0 {
+                    sum += v;
+                    n += 1;
+                }
+            }
+        }
+        sum / n as f64
+    }
+}
+
+/// The assembled scenario.
+pub struct KlagenfurtScenario {
+    /// Router-level topology.
+    pub topo: Topology,
+    /// AS business relationships.
+    pub as_graph: AsGraph,
+    /// Naming registry with Table-I names pinned.
+    pub names: NameRegistry,
+    /// The measurement grid.
+    pub grid: GridSpec,
+    /// Synthetic population-density raster.
+    pub density: DensityRaster,
+    /// Traversed cells.
+    pub included: Vec<CellId>,
+    /// Per-cell mobile UE.
+    pub ue: BTreeMap<CellId, NodeId>,
+    /// The university anchor (Table I hop 10).
+    pub anchor: NodeId,
+    /// The operator CGNAT gateway (Table I hop 1).
+    pub gw: NodeId,
+    /// The eight fixed peers of the campaign.
+    pub peers: Vec<NodeId>,
+    /// Vienna cloud node (wired baseline reference).
+    pub cloud: NodeId,
+    /// Calibration targets.
+    pub targets: TargetField,
+    /// Calibrated per-cell access models.
+    pub access: BTreeMap<CellId, FiveGAccess>,
+    /// Cached routes UE(cell) → target (anchor first, then peers).
+    pub routes: BTreeMap<(CellId, usize), RoutedPath>,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl KlagenfurtScenario {
+    /// Builds the scenario with the paper's target field.
+    pub fn paper(seed: u64) -> Self {
+        Self::build(seed, TargetField::paper())
+    }
+
+    /// Builds the scenario against an arbitrary target field (ablations).
+    pub fn build(seed: u64, targets: TargetField) -> Self {
+        // Grid anchored so that cell E3's centroid is the university.
+        let grid = GridSpec::new(GeoPoint::new(46.639, 14.206), 6, 7, 1.0);
+        let included = targets.traversed_cells(&grid);
+
+        let mut density = DensityRaster::synth_urban(&grid, 2.6, 3.0, 4800.0, 2.3);
+        // Calibration override: the synthetic monocentric profile is made
+        // consistent with the traversal plan — every traversed cell is
+        // dense, every skipped cell sparse (the paper ties its 0.0 cells
+        // to the <1000 /km² threshold).
+        for cell in grid.cells() {
+            let d = density.density(cell);
+            let jitter = (sixg_geo::mobility::mix64(seed ^ (cell.col as u64) << 8 ^ cell.row as u64)
+                % 200) as f64;
+            if targets.traversed(cell) && d < SPARSE_THRESHOLD {
+                density.set_density(cell, 1020.0 + jitter);
+            } else if !targets.traversed(cell) && d >= SPARSE_THRESHOLD {
+                density.set_density(cell, 720.0 + jitter);
+            }
+        }
+
+        let (topo, names, nodes) = build_topology(&grid, &included);
+        let as_graph = build_as_graph();
+
+        let mut scenario = Self {
+            grid,
+            density,
+            included,
+            ue: nodes.ue,
+            anchor: nodes.anchor,
+            gw: nodes.gw,
+            peers: nodes.peers,
+            cloud: nodes.cloud,
+            targets,
+            access: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            topo,
+            as_graph,
+            names,
+            seed,
+        };
+        scenario.compute_routes();
+        scenario.calibrate();
+        scenario
+    }
+
+    /// Recomputes the cached routes after a topology or policy mutation
+    /// (used by the recommendation engines when they add peering links or
+    /// UPF breakouts).
+    pub fn refresh_routes(&mut self) {
+        self.routes.clear();
+        self.compute_routes();
+    }
+
+    /// Measurement targets in campaign order: anchor first, then peers.
+    pub fn measurement_targets(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(1 + self.peers.len());
+        v.push(self.anchor);
+        v.extend(self.peers.iter().copied());
+        v
+    }
+
+    fn compute_routes(&mut self) {
+        let pc = PathComputer::new(&self.topo, &self.as_graph);
+        let targets = self.measurement_targets();
+        for (&cell, &ue) in &self.ue {
+            for (ti, &t) in targets.iter().enumerate() {
+                let path = pc
+                    .route(ue, t)
+                    .unwrap_or_else(|| panic!("no route from {cell} to target {ti}"));
+                self.routes.insert((cell, ti), path);
+            }
+        }
+    }
+
+    /// Empirical wire-path RTT statistics (mean, variance) for a cell's
+    /// target mixture, from `n` deterministic samples.
+    pub fn wire_rtt_stats(&self, cell: CellId, n: usize) -> (f64, f64) {
+        let sampler = DelaySampler::new(&self.topo);
+        let targets = self.measurement_targets();
+        let key = StreamKey::root(self.seed).with_label("calibration").with(cell_key(cell));
+        let mut rng = SimRng::for_stream(key);
+        let mut w = Welford::new();
+        for i in 0..n {
+            let ti = i % targets.len();
+            let path = &self.routes[&(cell, ti)];
+            w.push(sampler.rtt_ms(&path.hops, 64, &mut rng));
+        }
+        (w.mean(), w.variance())
+    }
+
+    fn calibrate(&mut self) {
+        for cell in self.included.clone() {
+            let (wire_mean, wire_var) = self.wire_rtt_stats(cell, 3000);
+            let target_mean = self.targets.mean_of(cell);
+            let target_std = self.targets.std_of(cell);
+            let access_mean = (target_mean - wire_mean).max(1.0);
+            let access_var = (target_std * target_std - wire_var).max(0.01);
+            self.access.insert(cell, FiveGAccess::fit(access_mean, access_var.sqrt()));
+        }
+    }
+
+    /// Calibrated access model for a traversed cell.
+    pub fn access_for(&self, cell: CellId) -> &FiveGAccess {
+        self.access
+            .get(&cell)
+            .unwrap_or_else(|| panic!("cell {cell} not traversed / calibrated"))
+    }
+
+    /// A neutral 5G access model for nodes outside calibrated cells.
+    pub fn default_access(&self) -> FiveGAccess {
+        FiveGAccess::new(CellEnv::new(0.4, 0.3))
+    }
+
+    /// The Table-I endpoints: mobile UE in C2, anchor in E3.
+    pub fn table1_endpoints(&self) -> (NodeId, NodeId) {
+        let c2 = CellId::parse("C2").expect("static label");
+        (self.ue[&c2], self.anchor)
+    }
+
+    /// The grid cell containing the anchor (E3 by construction).
+    pub fn anchor_cell(&self) -> CellId {
+        self.grid.locate(self.topo.node(self.anchor).pos).expect("anchor inside grid")
+    }
+}
+
+fn cell_key(cell: CellId) -> u64 {
+    ((cell.col as u64) << 8) | cell.row as u64
+}
+
+struct ScenarioNodes {
+    ue: BTreeMap<CellId, NodeId>,
+    anchor: NodeId,
+    gw: NodeId,
+    peers: Vec<NodeId>,
+    cloud: NodeId,
+}
+
+fn build_topology(
+    grid: &GridSpec,
+    included: &[CellId],
+) -> (Topology, NameRegistry, ScenarioNodes) {
+    let mut t = Topology::new();
+    let mut names = NameRegistry::new();
+
+
+    let prg = City::Prague.position();
+    let buh = City::Bucharest.position();
+
+    // --- Operator (hop 1) -------------------------------------------------
+    let gw = t.add_node(NodeKind::CoreRouter, "op-cgnat-klu", GeoPoint::new(46.622, 14.300), OP_AS);
+    names.pin_ip(gw, [10, 12, 128, 1]);
+    names.pin_name(gw, "10.12.128.1");
+
+    // --- DataPacket / CDN77, Vienna (hops 2-3) ----------------------------
+    let dp_vie =
+        t.add_node(NodeKind::BorderRouter, "dp-edge-vie", GeoPoint::new(48.210, 16.363), DATAPACKET_AS);
+    names.pin_ip(dp_vie, [37, 19, 223, 61]);
+    names.pin_name(dp_vie, "unn-37-19-223-61.datapacket.com");
+    let cdn_vie =
+        t.add_node(NodeKind::CoreRouter, "cdn77-core-vie", GeoPoint::new(48.203, 16.378), DATAPACKET_AS);
+    names.pin_ip(cdn_vie, [185, 156, 45, 138]);
+    names.pin_name(cdn_vie, "vl204.vie-itx1-core-2.cdn77.com");
+
+    // --- zet.net constellation (hops 4-6) ---------------------------------
+    let zet_prg = t.add_node(NodeKind::Ixp, "zetservers-prg", prg, ZET_AS);
+    names.pin_ip(zet_prg, [185, 0, 20, 31]);
+    names.pin_name(zet_prg, "zetservers.peering.cz");
+    let zet_buh = t.add_node(NodeKind::CoreRouter, "zet-dr2-buh", buh, ZET_AS);
+    names.pin_ip(zet_buh, [103, 246, 249, 33]);
+    names.pin_name(zet_buh, "vie-dr2-cr1.zet.net");
+    let amanet_buh =
+        t.add_node(NodeKind::CoreRouter, "amanet-buh", GeoPoint::new(44.440, 26.090), ZET_AS);
+    names.pin_ip(amanet_buh, [185, 104, 63, 33]);
+    names.pin_name(amanet_buh, "amanet-cust.zet.net");
+
+    // --- AS39912, Vienna (hop 7) ------------------------------------------
+    let ix_vie = t.add_node(NodeKind::BorderRouter, "mx204-vie", GeoPoint::new(48.195, 16.370), IX_AS);
+    names.pin_ip(ix_vie, [185, 211, 219, 155]);
+    names.pin_name(ix_vie, "ae2-97.mx204-1.ix.vie.at.as39912.net");
+
+    // --- ascus.at (hops 8-9) ----------------------------------------------
+    let ascus_vie =
+        t.add_node(NodeKind::BorderRouter, "ascus-bras-vie", GeoPoint::new(48.220, 16.390), ASCUS_AS);
+    names.pin_ip(ascus_vie, [195, 16, 228, 3]);
+    names.pin_name(ascus_vie, "003-228-016-195.ascus.at");
+    let ascus_klu =
+        t.add_node(NodeKind::CoreRouter, "ascus-agg-klu", GeoPoint::new(46.630, 14.310), ASCUS_AS);
+    names.pin_ip(ascus_klu, [195, 16, 246, 180]);
+    names.pin_name(ascus_klu, "180-246-016-195.ascus.at");
+
+    // --- Campus anchor (hop 10) -------------------------------------------
+    let e3 = CellId::parse("E3").expect("static label");
+    let anchor = t.add_node(NodeKind::Anchor, "uni-anchor", grid.centroid(e3), CAMPUS_AS);
+    names.pin_ip(anchor, [195, 140, 139, 133]);
+    names.pin_name(anchor, "195.140.139.133");
+
+    // --- Exoscale-like cloud, Vienna --------------------------------------
+    let cloud =
+        t.add_node(NodeKind::CloudDc, "cloud-vie", GeoPoint::new(48.230, 16.410), CLOUD_AS);
+    names.register_org(
+        CLOUD_AS,
+        OrgProfile {
+            domain: "exo-cloud.net".into(),
+            cc: "at".into(),
+            style: NameStyle::PlainHost,
+            prefix: [194, 182],
+        },
+    );
+
+    // --- Links -------------------------------------------------------------
+    // Operator backhaul to its (only) transit, physically Klagenfurt→Vienna.
+    t.add_link(gw, dp_vie, LinkParams { bandwidth_bps: 100e9, utilisation: 0.50, extra_ms: 0.4 });
+    // DataPacket internal Vienna fabric.
+    t.add_link(dp_vie, cdn_vie, LinkParams::backbone());
+    // Vienna→Prague private peering wave towards zet.
+    t.add_link(cdn_vie, zet_prg, LinkParams { bandwidth_bps: 10e9, utilisation: 0.55, extra_ms: 0.4 });
+    // zet internal: Prague fabric → Bucharest core.
+    t.add_link(zet_prg, zet_buh, LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.5 });
+    t.add_link(zet_buh, amanet_buh, LinkParams::backbone());
+    // Bucharest → Vienna long-haul into AS39912.
+    t.add_link(amanet_buh, ix_vie, LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.4 });
+    // AS39912 → ascus.
+    t.add_link(ix_vie, ascus_vie, LinkParams::metro());
+    // ascus internal aggregation, Vienna → Klagenfurt.
+    t.add_link(ascus_vie, ascus_klu, LinkParams { bandwidth_bps: 10e9, utilisation: 0.45, extra_ms: 0.2 });
+    // ascus → campus access.
+    t.add_link(ascus_klu, anchor, LinkParams::access_wired());
+    // ascus ↔ cloud peering in Vienna (cloud ingress pipeline adds fixed
+    // processing).
+    t.add_link(ascus_vie, cloud, LinkParams { bandwidth_bps: 100e9, utilisation: 0.30, extra_ms: 2.0 });
+
+    // --- Mobile UEs (one per traversed cell) -------------------------------
+    let mut ue = BTreeMap::new();
+    for &cell in included {
+        let id = t.add_node(
+            NodeKind::UserEquipment,
+            format!("ue-{}", cell.label().to_lowercase()),
+            grid.centroid(cell),
+            OP_AS,
+        );
+        t.add_link(id, gw, LinkParams { bandwidth_bps: 1e9, utilisation: 0.10, extra_ms: 0.0 });
+        ue.insert(cell, id);
+    }
+
+    // --- Fixed peers: residential nodes in the sector, BRAS in Vienna -----
+    names.register_org(
+        ASCUS_AS,
+        OrgProfile {
+            domain: "ascus.at".into(),
+            cc: "at".into(),
+            style: NameStyle::ReverseOctets,
+            prefix: [195, 16],
+        },
+    );
+    let peer_cells = ["B2", "D2", "A3", "F3", "B5", "D5", "E4", "C6"];
+    let mut peers = Vec::with_capacity(peer_cells.len());
+    for (i, label) in peer_cells.iter().enumerate() {
+        let cell = CellId::parse(label).expect("static label");
+        // Offset peers slightly from centroids so they are not co-located
+        // with the mobile UE of the same cell.
+        let pos = grid.centroid(cell).destination(45.0, 0.25);
+        let id = t.add_node(NodeKind::Server, format!("peer-{}", i + 1), pos, ASCUS_AS);
+        // Residential access aggregates at the Vienna BRAS (hub-and-spoke,
+        // the classic Austrian access-network layout the paper's wired
+        // 1-11 ms band reflects).
+        t.add_link(
+            id,
+            ascus_vie,
+            LinkParams { bandwidth_bps: 1e9, utilisation: 0.25, extra_ms: 0.8 },
+        );
+        peers.push(id);
+    }
+
+    (t, names, ScenarioNodes { ue, anchor, gw, peers, cloud })
+}
+
+fn build_as_graph() -> AsGraph {
+    let mut g = AsGraph::new();
+    g.add_transit(DATAPACKET_AS, OP_AS); // operator buys transit from DataPacket
+    g.add_peering(DATAPACKET_AS, ZET_AS); // settlement-free at the Prague fabric
+    g.add_transit(ZET_AS, IX_AS);
+    g.add_transit(IX_AS, ASCUS_AS);
+    g.add_transit(ASCUS_AS, CAMPUS_AS);
+    g.add_peering(ASCUS_AS, CLOUD_AS); // VIX peering
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_netsim::radio::AccessModel;
+
+    fn scenario() -> KlagenfurtScenario {
+        KlagenfurtScenario::paper(0x6B6C_7531)
+    }
+
+    #[test]
+    fn thirty_three_cells_traversed() {
+        let s = scenario();
+        assert_eq!(s.included.len(), 33);
+        assert_eq!(s.grid.len(), 42);
+        assert_eq!(s.ue.len(), 33);
+    }
+
+    #[test]
+    fn target_field_anchors_match_paper() {
+        let t = TargetField::paper();
+        assert_eq!(t.mean_of(CellId::parse("C1").unwrap()), 61.0);
+        assert_eq!(t.mean_of(CellId::parse("C3").unwrap()), 110.0);
+        assert_eq!(t.mean_of(CellId::parse("C2").unwrap()), 65.0);
+        assert_eq!(t.std_of(CellId::parse("B3").unwrap()), 1.8);
+        assert_eq!(t.std_of(CellId::parse("E5").unwrap()), 46.4);
+        // Grand mean ⇒ ≈270% above the 20 ms requirement.
+        let gm = t.grand_mean();
+        assert!((gm - 74.1).abs() < 0.5, "grand mean {gm}");
+    }
+
+    #[test]
+    fn skipped_cells_are_sparse_and_on_border() {
+        let s = scenario();
+        for cell in s.grid.cells() {
+            if !s.targets.traversed(cell) {
+                assert!(s.density.is_sparse(cell), "skipped cell {cell} should be sparse");
+                assert!(s.grid.is_border(cell), "skipped cell {cell} should be on the border");
+            } else {
+                assert!(!s.density.is_sparse(cell), "traversed cell {cell} should be dense");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_path_has_ten_hops_with_pinned_names() {
+        let s = scenario();
+        let (ue, anchor) = s.table1_endpoints();
+        let pc = PathComputer::new(&s.topo, &s.as_graph);
+        let path = pc.route(ue, anchor).unwrap();
+        assert_eq!(path.hop_count(), 10, "Table I counts 10 hops");
+        let names: Vec<String> =
+            path.hops.iter().map(|(n, _)| s.names.rdns(&s.topo, *n, "vie")).collect();
+        assert_eq!(names[0], "10.12.128.1");
+        assert_eq!(names[1], "unn-37-19-223-61.datapacket.com");
+        assert_eq!(names[2], "vl204.vie-itx1-core-2.cdn77.com");
+        assert_eq!(names[3], "zetservers.peering.cz");
+        assert_eq!(names[4], "vie-dr2-cr1.zet.net");
+        assert_eq!(names[5], "amanet-cust.zet.net");
+        assert_eq!(names[6], "ae2-97.mx204-1.ix.vie.at.as39912.net");
+        assert_eq!(names[7], "003-228-016-195.ascus.at");
+        assert_eq!(names[8], "180-246-016-195.ascus.at");
+        assert_eq!(names[9], "195.140.139.133");
+    }
+
+    #[test]
+    fn anchor_sits_in_e3_less_than_5km_from_c2() {
+        let s = scenario();
+        assert_eq!(s.anchor_cell().label(), "E3");
+        let (ue, anchor) = s.table1_endpoints();
+        let d = s.topo.node(ue).pos.distance_km(s.topo.node(anchor).pos);
+        assert!(d < 5.0, "paper: endpoints separated by less than 5 km, got {d}");
+    }
+
+    #[test]
+    fn wire_rtt_near_41ms_for_anchor_path() {
+        let s = scenario();
+        let c2 = CellId::parse("C2").unwrap();
+        let (mean, var) = s.wire_rtt_stats(c2, 2000);
+        assert!((38.0..46.0).contains(&mean), "wire RTT mean {mean}");
+        assert!(var.sqrt() < 2.0, "wire RTT σ {}", var.sqrt());
+    }
+
+    #[test]
+    fn calibration_hits_anchor_cells() {
+        let s = scenario();
+        // For each anchor cell the calibrated access model plus the wire
+        // path must reproduce the target mean/σ analytically.
+        for (label, want_mean, want_std) in
+            [("C1", 61.0, 4.1), ("C3", 110.0, 38.0), ("B3", 63.0, 1.8), ("E5", 95.0, 46.4)]
+        {
+            let cell = CellId::parse(label).unwrap();
+            let (wire_mean, wire_var) = s.wire_rtt_stats(cell, 3000);
+            let access = s.access_for(cell);
+            let total_mean = wire_mean + access.mean_rtt_ms();
+            let total_std = (wire_var + access.var_rtt_ms2()).sqrt();
+            assert!(
+                (total_mean - want_mean).abs() < 1.5,
+                "{label}: mean {total_mean} want {want_mean}"
+            );
+            assert!(
+                (total_std - want_std).abs() < 2.0,
+                "{label}: std {total_std} want {want_std}"
+            );
+        }
+    }
+
+    #[test]
+    fn routes_cached_for_all_cell_target_pairs() {
+        let s = scenario();
+        assert_eq!(s.routes.len(), 33 * 9);
+        for ((cell, ti), path) in &s.routes {
+            assert!(path.hop_count() >= 2, "route {cell}→{ti} too short");
+            // Every mobile route must climb through the transit chain.
+            assert!(path.as_path.crossings() >= 4, "route {cell}→{ti} skipped transit");
+        }
+    }
+
+    #[test]
+    fn cloud_reachable_from_peers_not_via_detour() {
+        let s = scenario();
+        let pc = PathComputer::new(&s.topo, &s.as_graph);
+        let p = pc.route(s.peers[0], s.cloud).unwrap();
+        assert!(p.hop_count() <= 3, "peer→cloud hops {}", p.hop_count());
+    }
+
+    #[test]
+    fn density_override_is_deterministic() {
+        let a = scenario();
+        let b = scenario();
+        for cell in a.grid.cells() {
+            assert_eq!(a.density.density(cell), b.density.density(cell));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # sixg-measure — RIPE-Atlas-style measurement campaigns
+//!
+//! This crate reproduces Section IV of the paper: a mobile 5G node
+//! traverses a 1 km grid over Klagenfurt, measuring round-trip latency to
+//! a university anchor and eight fixed peer nodes, aggregated per cell.
+//!
+//! * [`klagenfurt`] — the full measured infrastructure as a scenario:
+//!   topology (operator, transit chain via Vienna/Prague/Bucharest, local
+//!   ISP, campus), AS business relationships, pinned Table-I naming, the
+//!   grid, the density raster, and the per-cell radio calibration;
+//! * [`campaign`] — the mobile measurement campaign (Figures 2–3) and the
+//!   Table-I traceroute;
+//! * [`aggregate`] — per-cell statistics with the paper's "< 10 samples ⇒
+//!   0.0" marker rule;
+//! * [`wired`] — the wired/static baseline (the "factor of seven"
+//!   comparison and the Exoscale 7–12 ms reference);
+//! * [`report`] — ASCII heatmaps (Figures 2–3 as tables), CSV and JSON
+//!   export;
+//! * [`parallel`] — rayon-parallel execution across cells and seeds,
+//!   bitwise-identical to sequential runs;
+//! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
+//!   extrema rank agreement) between a campaign and its targets;
+//! * [`skopje`] — a second, *projected* scenario at the partner site
+//!   (the paper's future-work promise to expand the geographic scope),
+//!   demonstrating framework generality.
+
+pub mod aggregate;
+pub mod campaign;
+pub mod klagenfurt;
+pub mod parallel;
+pub mod report;
+pub mod skopje;
+pub mod validate;
+pub mod wired;
+
+pub use aggregate::{CellField, CellStats};
+pub use campaign::{CampaignConfig, MobileCampaign};
+pub use klagenfurt::KlagenfurtScenario;
+pub use wired::WiredCampaign;

@@ -1,0 +1,124 @@
+//! Rayon-parallel campaign execution.
+//!
+//! Campaigns are embarrassingly parallel across (pass, cell) work items
+//! because every item draws from its own derived random stream (see
+//! [`sixg_netsim::rng`]). The parallel runner therefore produces results
+//! **bitwise identical** to the sequential one — verified by tests — while
+//! scaling across cores for the multi-seed sweeps the benchmark harness
+//! runs.
+
+use crate::aggregate::CellField;
+use crate::campaign::{CampaignConfig, MobileCampaign};
+use crate::klagenfurt::KlagenfurtScenario;
+use rayon::prelude::*;
+use sixg_geo::CellId;
+
+/// Runs the campaign with rayon, sharding at (pass, cell) granularity.
+pub fn run_parallel(scenario: &KlagenfurtScenario, config: CampaignConfig) -> CellField {
+    let campaign = MobileCampaign::new(scenario, config);
+    // Materialise the work list first (traversals are cheap and
+    // deterministic).
+    let work: Vec<(u32, CellId, f64)> = (0..config.passes)
+        .flat_map(|pass| {
+            campaign
+                .traversal(pass)
+                .visits
+                .into_iter()
+                .map(move |v| (pass, v.cell, v.dwell_s))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Sample in parallel (each item has its own random stream), then
+    // accumulate in work order so the floating-point operation sequence —
+    // and hence every bit of the result — matches the sequential runner.
+    let batches: Vec<(CellId, Vec<f64>)> = work
+        .par_iter()
+        .map(|&(pass, cell, dwell)| (cell, campaign.collect_cell(pass, cell, dwell)))
+        .collect();
+
+    let mut field = CellField::new(scenario.grid.clone());
+    for (cell, samples) in batches {
+        for v in samples {
+            field.push(cell, v);
+        }
+    }
+    field
+}
+
+/// Result of one seed of a multi-seed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Grand mean over reported cells, ms.
+    pub grand_mean_ms: f64,
+    /// Reported mean range (min, max), ms.
+    pub mean_range: (f64, f64),
+}
+
+/// Runs the campaign for many seeds in parallel (scenario shared).
+pub fn seed_sweep(
+    scenario: &KlagenfurtScenario,
+    base: CampaignConfig,
+    seeds: &[u64],
+) -> Vec<SweepPoint> {
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let field =
+                MobileCampaign::new(scenario, CampaignConfig { seed, ..base }).run();
+            let (min, max) = field.mean_extrema().expect("non-empty campaign");
+            SweepPoint {
+                seed,
+                grand_mean_ms: field.grand_mean_ms(),
+                mean_range: (min.mean_ms, max.mean_ms),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> KlagenfurtScenario {
+        KlagenfurtScenario::paper(0x6B6C_7531)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bitwise() {
+        let s = scenario();
+        let config = CampaignConfig { passes: 2, ..Default::default() };
+        let seq = MobileCampaign::new(&s, config).run();
+        let par = run_parallel(&s, config);
+        for cell in s.grid.cells() {
+            let a = seq.stats(cell);
+            let b = par.stats(cell);
+            assert_eq!(a.count, b.count, "cell {cell}");
+            assert_eq!(a.mean_ms.to_bits(), b.mean_ms.to_bits(), "cell {cell} mean");
+            assert_eq!(a.std_ms.to_bits(), b.std_ms.to_bits(), "cell {cell} std");
+        }
+    }
+
+    #[test]
+    fn sweep_produces_stable_grand_means() {
+        let s = scenario();
+        let points = seed_sweep(&s, CampaignConfig::default(), &[1, 2, 3, 4]);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!((p.grand_mean_ms - 74.1).abs() < 3.0, "seed {}: {}", p.seed, p.grand_mean_ms);
+            assert!(p.mean_range.0 < p.mean_range.1);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let s = scenario();
+        let a = seed_sweep(&s, CampaignConfig::default(), &[5, 6]);
+        let b = seed_sweep(&s, CampaignConfig::default(), &[5, 6]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.grand_mean_ms.to_bits(), y.grand_mean_ms.to_bits());
+        }
+    }
+}

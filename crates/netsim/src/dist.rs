@@ -1,0 +1,450 @@
+//! Probability distributions for delay modelling.
+//!
+//! Implemented in-crate (rather than pulling `rand_distr`) because the
+//! simulator needs a small, auditable set with exact, documented
+//! parameterisations — these distributions *are* part of the model.
+//!
+//! All samplers draw from [`SimRng`] so campaigns stay deterministic.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A sampleable distribution over non-negative reals (delays, sizes).
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Analytic mean where available (used by tests and queueing checks).
+    fn mean(&self) -> f64;
+}
+
+/// Degenerate distribution: always `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution; panics if `hi < lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(hi >= lo, "uniform: hi < lo");
+        Self { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter λ > 0.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// From the rate λ.
+    pub fn with_rate(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "exponential: lambda must be positive");
+        Self { lambda }
+    }
+    /// From the mean `m = 1/λ`.
+    pub fn with_mean(m: f64) -> Self {
+        Self::with_rate(1.0 / m)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; 1-u avoids ln(0).
+        -(1.0 - rng.unit()).ln() / self.lambda
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Normal(mu, sigma) via Box–Muller (one value per draw; simple and exact).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation, σ ≥ 0.
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; panics when σ < 0.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "normal: sigma must be non-negative");
+        Self { mu, sigma }
+    }
+
+    /// Standard normal draw.
+    pub fn standard_draw(rng: &mut SimRng) -> f64 {
+        let u1 = (1.0 - rng.unit()).max(f64::MIN_POSITIVE);
+        let u2 = rng.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mu + self.sigma * Self::standard_draw(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// LogNormal: `exp(Normal(mu, sigma))`.
+///
+/// The canonical heavy-ish-tailed model for Internet RTT components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Location of the underlying normal.
+    pub mu: f64,
+    /// Scale of the underlying normal, σ ≥ 0.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// From underlying-normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "lognormal: sigma must be non-negative");
+        Self { mu, sigma }
+    }
+
+    /// Parameterised by the *distribution's* mean and coefficient of
+    /// variation (cv = σ/μ of the lognormal itself) — the natural way to
+    /// specify delay components ("mean 8 ms, cv 0.5").
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv >= 0.0, "lognormal: invalid mean/cv");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self { mu, sigma: sigma2.sqrt() }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Normal::standard_draw(rng)).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto(x_min, alpha) — heavy-tailed spikes (congestion bursts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Minimum value (scale), > 0.
+    pub x_min: f64,
+    /// Tail index α > 0 (mean finite iff α > 1).
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto: invalid parameters");
+        Self { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / (1.0 - rng.unit()).powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        }
+    }
+}
+
+/// Weibull(scale, shape) — wireless fading / retransmission clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    /// Scale λ > 0.
+    pub scale: f64,
+    /// Shape k > 0.
+    pub shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0 && shape > 0.0, "weibull: invalid parameters");
+        Self { scale, shape }
+    }
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.scale * (-(1.0 - rng.unit()).ln()).powf(1.0 / self.shape)
+    }
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// A weighted mixture of delay distributions.
+///
+/// Used for the mmWave PHY latency model, which Fezeu et al. report as a
+/// multi-modal distribution (a fast-path mass under 1 ms, a mid mass under
+/// 3 ms, and a bulk).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mixture {
+    components: Vec<(f64, Component)>,
+    total_weight: f64,
+}
+
+/// A component usable inside [`Mixture`] (closed enum so it serialises).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Component {
+    /// Constant value.
+    Constant(Constant),
+    /// Uniform range.
+    Uniform(Uniform),
+    /// Exponential.
+    Exponential(Exponential),
+    /// Normal.
+    Normal(Normal),
+    /// LogNormal.
+    LogNormal(LogNormal),
+    /// Pareto.
+    Pareto(Pareto),
+    /// Weibull.
+    Weibull(Weibull),
+}
+
+impl Sample for Component {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Component::Constant(d) => d.sample(rng),
+            Component::Uniform(d) => d.sample(rng),
+            Component::Exponential(d) => d.sample(rng),
+            Component::Normal(d) => d.sample(rng),
+            Component::LogNormal(d) => d.sample(rng),
+            Component::Pareto(d) => d.sample(rng),
+            Component::Weibull(d) => d.sample(rng),
+        }
+    }
+    fn mean(&self) -> f64 {
+        match self {
+            Component::Constant(d) => d.mean(),
+            Component::Uniform(d) => d.mean(),
+            Component::Exponential(d) => d.mean(),
+            Component::Normal(d) => d.mean(),
+            Component::LogNormal(d) => d.mean(),
+            Component::Pareto(d) => d.mean(),
+            Component::Weibull(d) => d.mean(),
+        }
+    }
+}
+
+impl Mixture {
+    /// Builds a mixture from `(weight, component)` pairs.
+    pub fn new(components: Vec<(f64, Component)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(components.iter().all(|(w, _)| *w > 0.0), "weights must be positive");
+        let total_weight = components.iter().map(|(w, _)| w).sum();
+        Self { components, total_weight }
+    }
+
+    /// The component weights, normalised.
+    pub fn weights(&self) -> Vec<f64> {
+        self.components.iter().map(|(w, _)| w / self.total_weight).collect()
+    }
+}
+
+impl Sample for Mixture {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let mut pick = rng.unit() * self.total_weight;
+        for (w, c) in &self.components {
+            if pick < *w {
+                return c.sample(rng);
+            }
+            pick -= w;
+        }
+        self.components.last().unwrap().1.sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.mean()).sum::<f64>() / self.total_weight
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9), |error| <
+/// 1e-13 over the domain used here (arguments in `(0, 20]`).
+pub fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_81,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(4.0);
+        let m = empirical_mean(&d, 100_000, 1);
+        assert!((m - 4.0).abs() < 0.08, "got {m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(10.0, 2.0);
+        let mut rng = SimRng::from_seed(2);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_from_mean_cv() {
+        let d = LogNormal::from_mean_cv(8.0, 0.5);
+        assert!((d.mean() - 8.0).abs() < 1e-9);
+        let m = empirical_mean(&d, 200_000, 3);
+        assert!((m - 8.0).abs() < 0.15, "got {m}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::from_mean_cv(1.0, 2.0);
+        let mut rng = SimRng::from_seed(4);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn pareto_mean() {
+        let d = Pareto::new(1.0, 3.0);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        let m = empirical_mean(&d, 200_000, 5);
+        assert!((m - 1.5).abs() < 0.05, "got {m}");
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+    }
+
+    #[test]
+    fn weibull_mean() {
+        let d = Weibull::new(2.0, 1.5);
+        let analytic = d.mean();
+        let m = empirical_mean(&d, 200_000, 6);
+        assert!((m - analytic).abs() < 0.05, "got {m} want {analytic}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(3.0, 1.0);
+        assert!((w.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted() {
+        let m = Mixture::new(vec![
+            (0.25, Component::Constant(Constant(1.0))),
+            (0.75, Component::Constant(Constant(5.0))),
+        ]);
+        assert!((m.mean() - 4.0).abs() < 1e-12);
+        let e = empirical_mean(&m, 100_000, 7);
+        assert!((e - 4.0).abs() < 0.03, "got {e}");
+    }
+
+    #[test]
+    fn mixture_component_fractions() {
+        // 30% should land below 2, the rest at 10.
+        let m = Mixture::new(vec![
+            (0.3, Component::Uniform(Uniform::new(0.0, 2.0))),
+            (0.7, Component::Constant(Constant(10.0))),
+        ]);
+        let mut rng = SimRng::from_seed(8);
+        let n = 100_000;
+        let low = (0..n).filter(|_| m.sample(&mut rng) < 2.0).count();
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = LogNormal::from_mean_cv(5.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = SimRng::from_seed(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SimRng::from_seed(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn mixture_rejects_zero_weights() {
+        let _ = Mixture::new(vec![(0.0, Component::Constant(Constant(1.0)))]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-hop latency decomposition and end-to-end path sampling.
+//!
+//! Every hop contributes four delay components, mirroring the textbook
+//! decomposition the paper's analysis uses:
+//!
+//! 1. **Propagation** — geodesic link length × fibre-route factor at
+//!    ~5 µs/km (deterministic);
+//! 2. **Transmission** — packet size / link bandwidth (deterministic);
+//! 3. **Queueing** — sampled exponential with the M/G/1 mean wait for the
+//!    link's background utilisation (stochastic);
+//! 4. **Processing** — lognormal around the node-class base figure
+//!    (stochastic).
+//!
+//! The *expected* values of the same components provide the routing metric
+//! ([`expected_link_ms`]) so that paths are chosen by the delays packets
+//! will actually experience.
+
+use crate::dist::{LogNormal, Sample};
+use crate::packet::MEAN_PACKET_BYTES;
+use crate::queueing::{mg1_wait, Load};
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use crate::topology::{LinkId, NodeId, Topology};
+use sixg_geo::coord::C_FIBRE_KM_S;
+use sixg_geo::route::FIBRE_ROUTE_FACTOR;
+
+/// Squared coefficient of variation of per-packet service time used for
+/// the M/G/1 queueing model (mixed packet sizes ⇒ slightly sub-exponential).
+pub const SERVICE_CS2: f64 = 0.8;
+
+/// Coefficient of variation of node processing time.
+pub const PROCESSING_CV: f64 = 0.35;
+
+/// Deterministic propagation delay of a link, milliseconds.
+pub fn propagation_ms(topo: &Topology, link: LinkId) -> f64 {
+    topo.link_km(link) * FIBRE_ROUTE_FACTOR / C_FIBRE_KM_S * 1e3
+}
+
+/// Deterministic transmission delay for `size_bytes` on a link, ms.
+pub fn transmission_ms(topo: &Topology, link: LinkId, size_bytes: u32) -> f64 {
+    size_bytes as f64 * 8.0 / topo.link(link).params.bandwidth_bps * 1e3
+}
+
+/// The link's M/G/1 queueing [`Load`] given its background utilisation.
+fn link_load(topo: &Topology, link: LinkId) -> Load {
+    let p = topo.link(link).params;
+    // Service rate in packets/s for MTU-sized cross traffic.
+    let mu = p.bandwidth_bps / (MEAN_PACKET_BYTES * 8.0);
+    Load::new(p.utilisation * mu, mu)
+}
+
+/// Mean queueing wait on a link, milliseconds.
+pub fn mean_queue_ms(topo: &Topology, link: LinkId) -> f64 {
+    mg1_wait(link_load(topo, link), SERVICE_CS2) * 1e3
+}
+
+/// Expected one-way latency of traversing `link` and being processed by
+/// the node entered (`into`), milliseconds. This is the IGP metric.
+pub fn expected_link_ms(topo: &Topology, link: LinkId, into: NodeId) -> f64 {
+    let p = topo.link(link).params;
+    propagation_ms(topo, link)
+        + transmission_ms(topo, link, MEAN_PACKET_BYTES as u32)
+        + mean_queue_ms(topo, link)
+        + p.extra_ms
+        + topo.node(into).kind.base_processing_ms()
+}
+
+/// Stochastic sampler for path delays.
+#[derive(Debug, Clone)]
+pub struct DelaySampler<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> DelaySampler<'a> {
+    /// Creates a sampler over a topology.
+    pub fn new(topo: &'a Topology) -> Self {
+        Self { topo }
+    }
+
+    /// Samples the one-way delay of a single hop (traverse `link`, be
+    /// processed by `into`), milliseconds.
+    pub fn hop_ms(&self, link: LinkId, into: NodeId, size_bytes: u32, rng: &mut SimRng) -> f64 {
+        let p = self.topo.link(link).params;
+        let fixed = propagation_ms(self.topo, link)
+            + transmission_ms(self.topo, link, size_bytes)
+            + p.extra_ms;
+        let qmean = mean_queue_ms(self.topo, link);
+        // Waiting time in M/G/1 is approximately exponential at moderate
+        // load; sampling it exponential with the P-K mean is the standard
+        // fast abstraction.
+        let queue = if qmean > 0.0 {
+            -(1.0 - rng.unit()).ln() * qmean
+        } else {
+            0.0
+        };
+        let proc_mean = self.topo.node(into).kind.base_processing_ms();
+        let proc = LogNormal::from_mean_cv(proc_mean, PROCESSING_CV).sample(rng);
+        fixed + queue + proc
+    }
+
+    /// Samples the one-way delay along a path (list of `(node_entered,
+    /// via_link)` hops), milliseconds.
+    pub fn one_way_ms(&self, hops: &[(NodeId, LinkId)], size_bytes: u32, rng: &mut SimRng) -> f64 {
+        hops.iter().map(|&(into, link)| self.hop_ms(link, into, size_bytes, rng)).sum()
+    }
+
+    /// Samples a full round trip (forward and reverse sampled
+    /// independently over the same hops), milliseconds.
+    pub fn rtt_ms(&self, hops: &[(NodeId, LinkId)], size_bytes: u32, rng: &mut SimRng) -> f64 {
+        self.one_way_ms(hops, size_bytes, rng) + self.one_way_ms(hops, size_bytes, rng)
+    }
+
+    /// Samples the one-way delay as a [`SimDuration`].
+    pub fn one_way(
+        &self,
+        hops: &[(NodeId, LinkId)],
+        size_bytes: u32,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        SimDuration::from_millis_f64(self.one_way_ms(hops, size_bytes, rng))
+    }
+
+    /// Expected (mean) one-way latency along a path, milliseconds.
+    pub fn expected_one_way_ms(&self, hops: &[(NodeId, LinkId)]) -> f64 {
+        hops.iter().map(|&(into, link)| expected_link_ms(self.topo, link, into)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Welford;
+    use crate::topology::{Asn, LinkParams, NodeKind};
+    use sixg_geo::GeoPoint;
+
+    fn two_node() -> (Topology, NodeId, NodeId, LinkId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a", GeoPoint::new(46.6, 14.3), Asn(1));
+        let b = t.add_node(NodeKind::Server, "b", GeoPoint::new(48.2, 16.4), Asn(1));
+        let l = t.add_link(a, b, LinkParams::backbone());
+        (t, a, b, l)
+    }
+
+    #[test]
+    fn propagation_matches_distance() {
+        let (t, _, _, l) = two_node();
+        let km = t.link_km(l);
+        let ms = propagation_ms(&t, l);
+        // ~5 µs/km with the route factor.
+        let expect = km * 1.05 / C_FIBRE_KM_S * 1e3;
+        assert!((ms - expect).abs() < 1e-9);
+        assert!(ms > 1.0 && ms < 2.0, "Klagenfurt-Vienna leg ≈1.2ms, got {ms}");
+    }
+
+    #[test]
+    fn transmission_scales_with_size() {
+        let (t, _, _, l) = two_node();
+        let t1 = transmission_ms(&t, l, 1250);
+        let t2 = transmission_ms(&t, l, 2500);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_mean_tracks_expected() {
+        let (t, b, _, l) = two_node();
+        let sampler = DelaySampler::new(&t);
+        let mut rng = SimRng::from_seed(3);
+        let mut w = Welford::new();
+        for _ in 0..50_000 {
+            w.push(sampler.hop_ms(l, b, 1250, &mut rng));
+        }
+        let expect = expected_link_ms(&t, l, b);
+        assert!(
+            (w.mean() - expect).abs() / expect < 0.03,
+            "sampled {} vs expected {expect}",
+            w.mean()
+        );
+    }
+
+    #[test]
+    fn rtt_is_about_twice_one_way() {
+        let (t, b, _a, l) = two_node();
+        let sampler = DelaySampler::new(&t);
+        let hops = vec![(b, l)];
+        let mut rng = SimRng::from_seed(4);
+        let mut ow = Welford::new();
+        let mut rt = Welford::new();
+        for _ in 0..20_000 {
+            ow.push(sampler.one_way_ms(&hops, 100, &mut rng));
+            rt.push(sampler.rtt_ms(&hops, 100, &mut rng));
+        }
+        assert!((rt.mean() - 2.0 * ow.mean()).abs() / rt.mean() < 0.03);
+    }
+
+    #[test]
+    fn higher_utilisation_means_higher_delay() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a", GeoPoint::new(46.6, 14.3), Asn(1));
+        let b = t.add_node(NodeKind::Server, "b", GeoPoint::new(46.7, 14.4), Asn(1));
+        let quiet = t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 0.1, extra_ms: 0.0 });
+        let busy = t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 0.9, extra_ms: 0.0 });
+        assert!(mean_queue_ms(&t, busy) > 10.0 * mean_queue_ms(&t, quiet));
+        assert!(expected_link_ms(&t, busy, b) > expected_link_ms(&t, quiet, b));
+    }
+
+    #[test]
+    fn empty_path_has_zero_delay() {
+        let (t, _, _, _) = two_node();
+        let sampler = DelaySampler::new(&t);
+        let mut rng = SimRng::from_seed(5);
+        assert_eq!(sampler.one_way_ms(&[], 100, &mut rng), 0.0);
+        assert_eq!(sampler.expected_one_way_ms(&[]), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Synthetic IPv4 addressing and reverse-DNS naming.
+//!
+//! Table I of the paper is a traceroute whose rows are rDNS names like
+//! `vl204.vie-itx1-core-2.cdn77.com` and `zetservers.peering.cz`. To render
+//! our simulated traceroutes the same way, every AS gets an *organisation
+//! profile* (domain + naming style) and every node gets a deterministic
+//! IPv4 address derived from its AS prefix and node id. Scenario builders
+//! may also pin exact names/IPs per node (used for the Table I
+//! reproduction).
+
+use crate::topology::{Asn, NodeId, NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Naming style of an organisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NameStyle {
+    /// `unn-<ip-dashed>.<domain>` (CDN/transit style, e.g. DataPacket).
+    IpEmbedded,
+    /// `vl<n>.<city>-itx1-core-<i>.<domain>` (core-router style).
+    CoreRouter,
+    /// `ae<k>-<m>.mx204-<i>.ix.<city>.<cc>.as<asn>.net` (IX router style).
+    IxRouter,
+    /// `<label>.<domain>` with a stable label (peering fabric style).
+    PlainHost,
+    /// Reverse-octet style `003-228-016-195.<domain>` (access ISP style).
+    ReverseOctets,
+    /// No PTR record: traceroute shows the bare IP.
+    Unresolved,
+}
+
+/// Per-AS organisation profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgProfile {
+    /// Registered domain (`cdn77.com`).
+    pub domain: String,
+    /// Country code used by some styles (`at`).
+    pub cc: String,
+    /// Naming style.
+    pub style: NameStyle,
+    /// First octet /8-ish of the org's address space.
+    pub prefix: [u8; 2],
+}
+
+/// Registry resolving nodes to IPs and rDNS names.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NameRegistry {
+    orgs: BTreeMap<u32, OrgProfile>,
+    pinned_ip: BTreeMap<u32, [u8; 4]>,
+    pinned_name: BTreeMap<u32, String>,
+}
+
+impl NameRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an organisation profile for an AS.
+    pub fn register_org(&mut self, asn: Asn, profile: OrgProfile) {
+        self.orgs.insert(asn.0, profile);
+    }
+
+    /// Pins an exact IP for a node (overrides derivation).
+    pub fn pin_ip(&mut self, node: NodeId, ip: [u8; 4]) {
+        self.pinned_ip.insert(node.0, ip);
+    }
+
+    /// Pins an exact rDNS name for a node (overrides the style engine).
+    pub fn pin_name(&mut self, node: NodeId, name: impl Into<String>) {
+        self.pinned_name.insert(node.0, name.into());
+    }
+
+    /// IPv4 address of a node.
+    ///
+    /// UEs live in RFC1918 space (`10.x`); everything else derives from
+    /// the org prefix and the node id.
+    pub fn ip(&self, topo: &Topology, node: NodeId) -> [u8; 4] {
+        if let Some(ip) = self.pinned_ip.get(&node.0) {
+            return *ip;
+        }
+        let n = topo.node(node);
+        if n.kind == NodeKind::UserEquipment {
+            return [10, (node.0 >> 8) as u8 | 12, 128 | (node.0 as u8 & 0x7f), 1];
+        }
+        let prefix = self
+            .orgs
+            .get(&n.asn.0)
+            .map(|o| o.prefix)
+            .unwrap_or([(193 + (n.asn.0 % 5)) as u8, (n.asn.0 >> 3) as u8]);
+        [prefix[0], prefix[1], (137 + node.0 * 7 % 100) as u8, (1 + node.0 * 13 % 250) as u8]
+    }
+
+    /// Dotted-quad string.
+    pub fn ip_string(&self, topo: &Topology, node: NodeId) -> String {
+        let [a, b, c, d] = self.ip(topo, node);
+        format!("{a}.{b}.{c}.{d}")
+    }
+
+    /// Reverse-DNS name, or the bare IP when unresolved.
+    pub fn rdns(&self, topo: &Topology, node: NodeId, city_code: &str) -> String {
+        if let Some(name) = self.pinned_name.get(&node.0) {
+            return name.clone();
+        }
+        let n = topo.node(node);
+        let ip = self.ip(topo, node);
+        if n.kind == NodeKind::UserEquipment {
+            return format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]);
+        }
+        let Some(org) = self.orgs.get(&n.asn.0) else {
+            return format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]);
+        };
+        match org.style {
+            NameStyle::IpEmbedded => {
+                format!("unn-{}-{}-{}-{}.{}", ip[0], ip[1], ip[2], ip[3], org.domain)
+            }
+            NameStyle::CoreRouter => format!(
+                "vl{}.{}-itx1-core-{}.{}",
+                200 + node.0 % 16,
+                city_code,
+                1 + node.0 % 4,
+                org.domain
+            ),
+            NameStyle::IxRouter => format!(
+                "ae{}-{}.mx204-{}.ix.{}.{}.as{}.net",
+                node.0 % 4,
+                90 + node.0 % 10,
+                1 + node.0 % 2,
+                city_code,
+                org.cc,
+                n.asn.0
+            ),
+            NameStyle::PlainHost => {
+                let label = n.name.split('-').next().unwrap_or("host");
+                format!("{label}.{}", org.domain)
+            }
+            NameStyle::ReverseOctets => format!(
+                "{:03}-{:03}-{:03}-{:03}.{}",
+                ip[3], ip[2], ip[1], ip[0], org.domain
+            ),
+            NameStyle::Unresolved => format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkParams, NodeKind};
+    use sixg_geo::GeoPoint;
+
+    fn setup() -> (Topology, NameRegistry, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let ue = t.add_node(NodeKind::UserEquipment, "ue", GeoPoint::new(46.6, 14.3), Asn(200));
+        let core =
+            t.add_node(NodeKind::CoreRouter, "vie-core", GeoPoint::new(48.2, 16.4), Asn(60068));
+        let ix = t.add_node(NodeKind::BorderRouter, "ix", GeoPoint::new(48.2, 16.4), Asn(39912));
+        t.add_link(ue, core, LinkParams::metro());
+        t.add_link(core, ix, LinkParams::metro());
+
+        let mut reg = NameRegistry::new();
+        reg.register_org(
+            Asn(60068),
+            OrgProfile {
+                domain: "cdn77.com".into(),
+                cc: "at".into(),
+                style: NameStyle::CoreRouter,
+                prefix: [185, 156],
+            },
+        );
+        reg.register_org(
+            Asn(39912),
+            OrgProfile {
+                domain: "as39912.net".into(),
+                cc: "at".into(),
+                style: NameStyle::IxRouter,
+                prefix: [185, 211],
+            },
+        );
+        (t, reg, ue, core, ix)
+    }
+
+    #[test]
+    fn ue_gets_private_ip() {
+        let (t, reg, ue, _, _) = setup();
+        let ip = reg.ip(&t, ue);
+        assert_eq!(ip[0], 10);
+        assert!(reg.rdns(&t, ue, "klu").starts_with("10."));
+    }
+
+    #[test]
+    fn core_router_style_like_table1() {
+        let (t, reg, _, core, _) = setup();
+        let name = reg.rdns(&t, core, "vie");
+        assert!(name.starts_with("vl"), "{name}");
+        assert!(name.contains("vie-itx1-core-"), "{name}");
+        assert!(name.ends_with(".cdn77.com"), "{name}");
+    }
+
+    #[test]
+    fn ix_style_like_table1() {
+        let (t, reg, _, _, ix) = setup();
+        let name = reg.rdns(&t, ix, "vie");
+        assert!(name.contains(".ix.vie.at.as39912.net"), "{name}");
+        assert!(name.starts_with("ae"), "{name}");
+    }
+
+    #[test]
+    fn pinned_values_win() {
+        let (t, mut reg, _, core, _) = setup();
+        reg.pin_ip(core, [185, 156, 45, 138]);
+        reg.pin_name(core, "vl204.vie-itx1-core-2.cdn77.com");
+        assert_eq!(reg.ip_string(&t, core), "185.156.45.138");
+        assert_eq!(reg.rdns(&t, core, "vie"), "vl204.vie-itx1-core-2.cdn77.com");
+    }
+
+    #[test]
+    fn unknown_as_falls_back_to_bare_ip() {
+        let mut t = Topology::new();
+        let n = t.add_node(NodeKind::CoreRouter, "x", GeoPoint::new(0.0, 0.0), Asn(9));
+        let reg = NameRegistry::new();
+        let name = reg.rdns(&t, n, "xxx");
+        assert_eq!(name, reg.ip_string(&t, n));
+    }
+
+    #[test]
+    fn ips_are_deterministic_and_distinct() {
+        let (t, reg, ue, core, ix) = setup();
+        assert_eq!(reg.ip(&t, core), reg.ip(&t, core));
+        assert_ne!(reg.ip(&t, ue), reg.ip(&t, core));
+        assert_ne!(reg.ip(&t, core), reg.ip(&t, ix));
+    }
+
+    #[test]
+    fn reverse_octets_style() {
+        let mut t = Topology::new();
+        let n = t.add_node(NodeKind::CoreRouter, "acc", GeoPoint::new(46.6, 14.3), Asn(8559));
+        let mut reg = NameRegistry::new();
+        reg.register_org(
+            Asn(8559),
+            OrgProfile {
+                domain: "ascus.at".into(),
+                cc: "at".into(),
+                style: NameStyle::ReverseOctets,
+                prefix: [195, 16],
+            },
+        );
+        reg.pin_ip(n, [195, 16, 228, 3]);
+        assert_eq!(reg.rdns(&t, n, "klu"), "003-228-016-195.ascus.at");
+    }
+}

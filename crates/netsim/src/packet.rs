@@ -1,0 +1,128 @@
+//! Packets and flows.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Default MTU-sized packet used for queueing-service-rate conversion.
+pub const MEAN_PACKET_BYTES: f64 = 1250.0;
+
+/// Identifier of an application flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// Kind of payload a packet carries (used for slicing/QoS decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Latency-critical control (AR pose updates, V2X safety, haptics).
+    Critical,
+    /// Interactive media (video frames with deadlines).
+    Interactive,
+    /// Bulk transfer (model downloads, sensor batch upload).
+    Bulk,
+    /// Network management / measurement probes.
+    Management,
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Sequence number within the flow.
+    pub seq: u64,
+    /// Origin node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Wire size in bytes (headers included).
+    pub size_bytes: u32,
+    /// Remaining hop budget; hop processing decrements it.
+    pub ttl: u8,
+    /// QoS class.
+    pub class: TrafficClass,
+    /// Creation timestamp.
+    pub created: SimTime,
+    /// Opaque payload (zero-copy shared).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet with the default TTL of 64.
+    pub fn new(
+        flow: FlowId,
+        seq: u64,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u32,
+        class: TrafficClass,
+        created: SimTime,
+    ) -> Self {
+        Self { flow, seq, src, dst, size_bytes, ttl: 64, class, created, payload: Bytes::new() }
+    }
+
+    /// Attaches a payload, adjusting the wire size to `headers + payload`.
+    #[must_use]
+    pub fn with_payload(mut self, payload: Bytes, header_bytes: u32) -> Self {
+        self.size_bytes = header_bytes + payload.len() as u32;
+        self.payload = payload;
+        self
+    }
+
+    /// Serialisation time on a link of `bandwidth_bps`, seconds.
+    pub fn transmission_s(&self, bandwidth_bps: f64) -> f64 {
+        (self.size_bytes as f64 * 8.0) / bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_time() {
+        let p = Packet::new(
+            FlowId(1),
+            0,
+            NodeId(0),
+            NodeId(1),
+            1250,
+            TrafficClass::Bulk,
+            SimTime::ZERO,
+        );
+        // 1250 B = 10 kbit on a 10 Mbit/s link => 1 ms.
+        let t = p.transmission_s(10e6);
+        assert!((t - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payload_adjusts_size() {
+        let p = Packet::new(
+            FlowId(1),
+            0,
+            NodeId(0),
+            NodeId(1),
+            0,
+            TrafficClass::Interactive,
+            SimTime::ZERO,
+        )
+        .with_payload(Bytes::from(vec![0u8; 1000]), 40);
+        assert_eq!(p.size_bytes, 1040);
+        assert_eq!(p.payload.len(), 1000);
+    }
+
+    #[test]
+    fn default_ttl() {
+        let p = Packet::new(
+            FlowId(9),
+            3,
+            NodeId(0),
+            NodeId(1),
+            100,
+            TrafficClass::Critical,
+            SimTime::ZERO,
+        );
+        assert_eq!(p.ttl, 64);
+    }
+}

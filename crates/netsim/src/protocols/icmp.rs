@@ -1,0 +1,179 @@
+//! Ping and traceroute.
+//!
+//! [`Pinger`] reproduces the semantics of the RIPE Atlas built-in
+//! measurements the paper uses: pure network RTT (no application
+//! processing), policy-routed, with the radio access contribution added at
+//! the UE side when the source is a mobile node.
+
+use crate::latency::DelaySampler;
+use crate::names::NameRegistry;
+use crate::radio::AccessModel;
+use crate::rng::SimRng;
+use crate::routing::PathComputer;
+use crate::trace::{FlowTrace, HopRecord};
+
+/// ICMP echo payload size used by RIPE Atlas probes, bytes on the wire.
+pub const PING_BYTES: u32 = 64;
+
+/// Ping/traceroute instrument over a routed topology.
+pub struct Pinger<'a> {
+    pc: &'a PathComputer<'a>,
+    names: &'a NameRegistry,
+    city_code: &'a str,
+}
+
+impl<'a> Pinger<'a> {
+    /// Creates an instrument. `city_code` seasons generated rDNS names.
+    pub fn new(pc: &'a PathComputer<'a>, names: &'a NameRegistry, city_code: &'a str) -> Self {
+        Self { pc, names, city_code }
+    }
+
+    /// One echo RTT in milliseconds, or `None` when policy yields no
+    /// route. `access` contributes the air-interface RTT when the source
+    /// is behind a radio access network.
+    pub fn ping(
+        &self,
+        src: crate::topology::NodeId,
+        dst: crate::topology::NodeId,
+        access: Option<&dyn AccessModel>,
+        rng: &mut SimRng,
+    ) -> Option<f64> {
+        let path = self.pc.route(src, dst)?;
+        let sampler = DelaySampler::new(self.pc.topology());
+        let wire = sampler.rtt_ms(&path.hops, PING_BYTES, rng);
+        let air = access.map(|a| a.sample_rtt_ms(rng)).unwrap_or(0.0);
+        Some(wire + air)
+    }
+
+    /// A full traceroute: one row per hop with cumulative RTT, like the
+    /// real tool (each TTL probed independently, so later rows can show
+    /// slightly smaller values on a lucky draw — we probe each TTL once
+    /// and keep rows monotone by construction of cumulative sampling).
+    pub fn traceroute(
+        &self,
+        src: crate::topology::NodeId,
+        dst: crate::topology::NodeId,
+        access: Option<&dyn AccessModel>,
+        rng: &mut SimRng,
+    ) -> Option<FlowTrace> {
+        let path = self.pc.route(src, dst)?;
+        let topo = self.pc.topology();
+        let sampler = DelaySampler::new(topo);
+        let air = access.map(|a| a.sample_rtt_ms(rng)).unwrap_or(0.0);
+
+        let mut cumulative = air;
+        let mut hops = Vec::with_capacity(path.hops.len());
+        for (i, &(node, link)) in path.hops.iter().enumerate() {
+            // Forward and reverse legs of this hop sampled independently.
+            cumulative += sampler.hop_ms(link, node, PING_BYTES, rng)
+                + sampler.hop_ms(link, node, PING_BYTES, rng);
+            hops.push(HopRecord {
+                hop: (i + 1) as u8,
+                node,
+                name: self.names.rdns(topo, node, self.city_code),
+                ip: self.names.ip_string(topo, node),
+                rtt_ms: cumulative,
+                pos: topo.node(node).pos,
+            });
+        }
+        Some(FlowTrace { src_pos: topo.node(src).pos, hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::{FiveGAccess, WiredAccess};
+    use crate::routing::AsGraph;
+    use crate::stats::Welford;
+    use crate::topology::{Asn, LinkParams, NodeId, NodeKind, Topology};
+    use sixg_geo::GeoPoint;
+
+    fn world() -> (Topology, AsGraph, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let ue = t.add_node(NodeKind::UserEquipment, "ue", GeoPoint::new(46.61, 14.28), Asn(1));
+        let gw = t.add_node(NodeKind::CoreRouter, "gw", GeoPoint::new(46.62, 14.29), Asn(1));
+        let br = t.add_node(NodeKind::BorderRouter, "br", GeoPoint::new(48.2, 16.37), Asn(1));
+        let peer = t.add_node(NodeKind::BorderRouter, "peer", GeoPoint::new(48.21, 16.38), Asn(2));
+        let anchor = t.add_node(NodeKind::Anchor, "anchor", GeoPoint::new(46.62, 14.31), Asn(2));
+        t.add_link(ue, gw, LinkParams::metro());
+        t.add_link(gw, br, LinkParams::backbone());
+        t.add_link(br, peer, LinkParams::transit_loaded());
+        t.add_link(peer, anchor, LinkParams::backbone());
+        let mut g = AsGraph::new();
+        g.add_transit(Asn(2), Asn(1));
+        (t, g, ue, anchor)
+    }
+
+    #[test]
+    fn ping_produces_plausible_rtts() {
+        let (t, g, ue, anchor) = world();
+        let pc = PathComputer::new(&t, &g);
+        let names = NameRegistry::new();
+        let pinger = Pinger::new(&pc, &names, "klu");
+        let mut rng = SimRng::from_seed(1);
+        let mut w = Welford::new();
+        for _ in 0..2000 {
+            w.push(pinger.ping(ue, anchor, None, &mut rng).unwrap());
+        }
+        // Two Klagenfurt–Vienna legs out + back ≈ 4×1.2ms propagation plus
+        // processing: mean must land in single-digit ms.
+        assert!(w.mean() > 4.0 && w.mean() < 15.0, "mean {}", w.mean());
+    }
+
+    #[test]
+    fn access_model_adds_latency() {
+        let (t, g, ue, anchor) = world();
+        let pc = PathComputer::new(&t, &g);
+        let names = NameRegistry::new();
+        let pinger = Pinger::new(&pc, &names, "klu");
+        let fiveg = FiveGAccess::fit(40.0, 10.0);
+        let mut rng = SimRng::from_seed(2);
+        let mut wired = Welford::new();
+        let mut mobile = Welford::new();
+        for _ in 0..4000 {
+            wired.push(pinger.ping(ue, anchor, Some(&WiredAccess::default()), &mut rng).unwrap());
+            mobile.push(pinger.ping(ue, anchor, Some(&fiveg), &mut rng).unwrap());
+        }
+        assert!(mobile.mean() - wired.mean() > 30.0, "Δ {}", mobile.mean() - wired.mean());
+    }
+
+    #[test]
+    fn traceroute_rows_are_monotone_and_complete() {
+        let (t, g, ue, anchor) = world();
+        let pc = PathComputer::new(&t, &g);
+        let names = NameRegistry::new();
+        let pinger = Pinger::new(&pc, &names, "klu");
+        let mut rng = SimRng::from_seed(3);
+        let trace = pinger.traceroute(ue, anchor, None, &mut rng).unwrap();
+        assert_eq!(trace.hop_count(), 4);
+        for w in trace.hops.windows(2) {
+            assert!(w[1].rtt_ms > w[0].rtt_ms);
+            assert_eq!(w[1].hop, w[0].hop + 1);
+        }
+        assert!(trace.total_rtt_ms() > 0.0);
+    }
+
+    #[test]
+    fn unroutable_is_none() {
+        let (t, _, ue, anchor) = world();
+        let empty = AsGraph::new();
+        let pc = PathComputer::new(&t, &empty);
+        let names = NameRegistry::new();
+        let pinger = Pinger::new(&pc, &names, "klu");
+        let mut rng = SimRng::from_seed(4);
+        assert!(pinger.ping(ue, anchor, None, &mut rng).is_none());
+        assert!(pinger.traceroute(ue, anchor, None, &mut rng).is_none());
+    }
+
+    #[test]
+    fn traceroute_deterministic_per_seed() {
+        let (t, g, ue, anchor) = world();
+        let pc = PathComputer::new(&t, &g);
+        let names = NameRegistry::new();
+        let pinger = Pinger::new(&pc, &names, "klu");
+        let a = pinger.traceroute(ue, anchor, None, &mut SimRng::from_seed(5)).unwrap();
+        let b = pinger.traceroute(ue, anchor, None, &mut SimRng::from_seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

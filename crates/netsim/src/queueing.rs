@@ -1,0 +1,183 @@
+//! Analytic queueing results.
+//!
+//! Link queues in the simulator are sampled stochastically; this module
+//! provides the closed-form M/M/1, M/D/1 and M/G/1 results used both to
+//! parameterise those samples and to *verify* them in tests (sampled mean
+//! waits must match Pollaczek–Khinchine).
+
+use serde::{Deserialize, Serialize};
+
+/// Offered load of a single-server queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Load {
+    /// Arrival rate λ (jobs per second).
+    pub lambda: f64,
+    /// Service rate μ (jobs per second).
+    pub mu: f64,
+}
+
+impl Load {
+    /// Creates a load descriptor. Panics unless both rates are positive.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda >= 0.0 && mu > 0.0, "invalid rates λ={lambda} μ={mu}");
+        Self { lambda, mu }
+    }
+
+    /// Utilisation ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// True when the queue is stable (ρ < 1).
+    pub fn stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+}
+
+/// Mean waiting time **in queue** (excluding service) for M/M/1, seconds.
+///
+/// `Wq = ρ / (μ − λ)`. Returns `f64::INFINITY` for ρ ≥ 1.
+pub fn mm1_wait(load: Load) -> f64 {
+    if !load.stable() {
+        return f64::INFINITY;
+    }
+    load.rho() / (load.mu - load.lambda)
+}
+
+/// Mean sojourn time (queue + service) for M/M/1, seconds.
+pub fn mm1_sojourn(load: Load) -> f64 {
+    if !load.stable() {
+        return f64::INFINITY;
+    }
+    1.0 / (load.mu - load.lambda)
+}
+
+/// Mean number in system for M/M/1 (Little's law check: `L = λ·W`).
+pub fn mm1_number_in_system(load: Load) -> f64 {
+    if !load.stable() {
+        return f64::INFINITY;
+    }
+    load.rho() / (1.0 - load.rho())
+}
+
+/// Mean waiting time in queue for M/D/1 (deterministic service), seconds.
+///
+/// `Wq = ρ / (2μ(1−ρ))` — exactly half the M/M/1 wait.
+pub fn md1_wait(load: Load) -> f64 {
+    if !load.stable() {
+        return f64::INFINITY;
+    }
+    load.rho() / (2.0 * load.mu * (1.0 - load.rho()))
+}
+
+/// Mean waiting time in queue for M/G/1 via Pollaczek–Khinchine, seconds.
+///
+/// `cs2` is the squared coefficient of variation of service time
+/// (0 → M/D/1, 1 → M/M/1).
+pub fn mg1_wait(load: Load, cs2: f64) -> f64 {
+    assert!(cs2 >= 0.0, "cs2 must be non-negative");
+    if !load.stable() {
+        return f64::INFINITY;
+    }
+    (1.0 + cs2) / 2.0 * load.rho() / (load.mu * (1.0 - load.rho()))
+}
+
+/// Probability an M/M/1 queue has more than `n` jobs: `ρ^(n+1)`.
+pub fn mm1_tail(load: Load, n: u32) -> f64 {
+    if !load.stable() {
+        return 1.0;
+    }
+    load.rho().powi(n as i32 + 1)
+}
+
+/// Erlang-B blocking probability for `c` servers and offered load `a`
+/// (erlangs), computed with the stable recurrence.
+pub fn erlang_b(c: u32, a: f64) -> f64 {
+    assert!(a >= 0.0, "offered load must be non-negative");
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Sample};
+    use crate::rng::SimRng;
+
+    #[test]
+    fn mm1_formulas_consistent() {
+        let load = Load::new(8.0, 10.0);
+        assert!((load.rho() - 0.8).abs() < 1e-12);
+        // Sojourn = wait + service.
+        assert!((mm1_sojourn(load) - (mm1_wait(load) + 0.1)).abs() < 1e-12);
+        // Little's law: L = λ W.
+        let l = mm1_number_in_system(load);
+        assert!((l - load.lambda * mm1_sojourn(load)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn md1_is_half_mm1() {
+        let load = Load::new(5.0, 10.0);
+        assert!((md1_wait(load) - mm1_wait(load) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_interpolates() {
+        let load = Load::new(5.0, 10.0);
+        assert!((mg1_wait(load, 1.0) - mm1_wait(load)).abs() < 1e-12);
+        assert!((mg1_wait(load, 0.0) - md1_wait(load)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queue_diverges() {
+        let load = Load::new(11.0, 10.0);
+        assert!(mm1_wait(load).is_infinite());
+        assert!(md1_wait(load).is_infinite());
+        assert!(mm1_tail(load, 100) == 1.0);
+    }
+
+    #[test]
+    fn tail_probability_decays() {
+        let load = Load::new(5.0, 10.0);
+        // P(N > 0) is the probability the system is busy: exactly ρ.
+        assert!((mm1_tail(load, 0) - 0.5).abs() < 1e-12);
+        assert!(mm1_tail(load, 5) < mm1_tail(load, 1));
+    }
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic: 10 erlangs on 10 servers → ~21.5% blocking.
+        let b = erlang_b(10, 10.0);
+        assert!((b - 0.215).abs() < 0.005, "got {b}");
+        // No load → no blocking.
+        assert_eq!(erlang_b(5, 0.0), 0.0);
+        // Zero servers → certain blocking.
+        assert_eq!(erlang_b(0, 3.0), 1.0);
+    }
+
+    /// Event-free validation of the M/M/1 formula by direct Lindley
+    /// recursion simulation with our own distributions.
+    #[test]
+    fn lindley_simulation_matches_mm1() {
+        let load = Load::new(6.0, 10.0);
+        let arr = Exponential::with_rate(load.lambda);
+        let srv = Exponential::with_rate(load.mu);
+        let mut rng = SimRng::from_seed(42);
+        let mut wait = 0.0f64;
+        let mut total_wait = 0.0;
+        let n = 400_000;
+        for _ in 0..n {
+            let a = arr.sample(&mut rng);
+            let s = srv.sample(&mut rng);
+            // Lindley: W_{k+1} = max(0, W_k + S_k − A_{k+1})
+            wait = (wait + s - a).max(0.0);
+            total_wait += wait;
+        }
+        let w_sim = total_wait / n as f64;
+        let w_th = mm1_wait(load);
+        assert!((w_sim - w_th).abs() / w_th < 0.05, "sim {w_sim} vs theory {w_th}");
+    }
+}

@@ -1,0 +1,114 @@
+//! 5G mmWave PHY-layer latency distribution.
+//!
+//! Section IV-C of the paper cites Fezeu et al. (PAM 2023), who measured
+//! ISO/OSI layer-1 latency on a commercial 5G mmWave deployment: **4.4 %**
+//! of packets complete in under 1 ms and **22.36 %** in under 3 ms, with
+//! the application layer adding ≈35 ms on average.
+//!
+//! [`MmWavePhy`] is a three-component mixture calibrated to those CDF
+//! anchors: a fast-path mass (beam aligned, first HARQ attempt), a mid
+//! mass (short scheduling waits), and a lognormal bulk.
+
+use crate::dist::{Component, LogNormal, Mixture, Sample, Uniform};
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of packets under 1 ms reported by Fezeu et al.
+pub const FRAC_UNDER_1MS: f64 = 0.044;
+/// Fraction of packets under 3 ms reported by Fezeu et al.
+pub const FRAC_UNDER_3MS: f64 = 0.2236;
+/// Mean application-layer addition reported by Fezeu et al., ms.
+pub const APP_LAYER_MEAN_MS: f64 = 35.0;
+
+/// One-way mmWave PHY latency model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MmWavePhy {
+    mixture: Mixture,
+}
+
+impl Default for MmWavePhy {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+impl MmWavePhy {
+    /// The mixture calibrated to the published CDF anchors.
+    ///
+    /// * weight 0.0440 — fast path, `U(0.3, 1.0)` ms;
+    /// * weight 0.1766 — mid path, `U(1, 3)` ms (chosen so that together
+    ///   with the bulk's ~0.3 % mass below 3 ms the CDF hits 22.36 %);
+    /// * weight 0.7794 — bulk, `LogNormal(mean 9 ms, cv 0.4)`.
+    pub fn calibrated() -> Self {
+        let mixture = Mixture::new(vec![
+            (0.0440, Component::Uniform(Uniform::new(0.3, 1.0))),
+            (0.1766, Component::Uniform(Uniform::new(1.0, 3.0))),
+            (0.7794, Component::LogNormal(LogNormal::from_mean_cv(9.0, 0.4))),
+        ]);
+        Self { mixture }
+    }
+
+    /// One PHY latency sample, ms.
+    pub fn sample_ms(&self, rng: &mut SimRng) -> f64 {
+        self.mixture.sample(rng)
+    }
+
+    /// Analytic mean, ms.
+    pub fn mean_ms(&self) -> f64 {
+        self.mixture.mean()
+    }
+
+    /// Application-layer overhead sample (Fezeu: ≈35 ms mean), ms.
+    pub fn app_layer_sample_ms(rng: &mut SimRng) -> f64 {
+        LogNormal::from_mean_cv(APP_LAYER_MEAN_MS, 0.35).sample(rng)
+    }
+
+    /// Empirical CDF at `x` over `n` samples (deterministic in `seed`).
+    pub fn empirical_fraction_below(&self, x: f64, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::from_seed(seed);
+        let hits = (0..n).filter(|_| self.sample_ms(&mut rng) < x).count();
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_anchor_under_1ms() {
+        let phy = MmWavePhy::calibrated();
+        let f = phy.empirical_fraction_below(1.0, 400_000, 3);
+        assert!((f - FRAC_UNDER_1MS).abs() < 0.004, "got {f}, want {FRAC_UNDER_1MS}");
+    }
+
+    #[test]
+    fn cdf_anchor_under_3ms() {
+        let phy = MmWavePhy::calibrated();
+        let f = phy.empirical_fraction_below(3.0, 400_000, 4);
+        assert!((f - FRAC_UNDER_3MS).abs() < 0.01, "got {f}, want {FRAC_UNDER_3MS}");
+    }
+
+    #[test]
+    fn bulk_dominates_mean() {
+        let phy = MmWavePhy::calibrated();
+        // Mean ≈ 0.044·0.65 + 0.1766·2 + 0.7794·9 ≈ 7.4 ms.
+        assert!((phy.mean_ms() - 7.4).abs() < 0.3, "got {}", phy.mean_ms());
+    }
+
+    #[test]
+    fn samples_positive() {
+        let phy = MmWavePhy::calibrated();
+        let mut rng = SimRng::from_seed(5);
+        assert!((0..10_000).all(|_| phy.sample_ms(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn app_layer_adds_about_35ms() {
+        let mut rng = SimRng::from_seed(6);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| MmWavePhy::app_layer_sample_ms(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - APP_LAYER_MEAN_MS).abs() < 0.5, "got {mean}");
+    }
+}

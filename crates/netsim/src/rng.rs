@@ -1,0 +1,205 @@
+//! Deterministic, splittable randomness.
+//!
+//! Every stochastic quantity in the workspace is drawn from a [`SimRng`]
+//! derived from a scenario seed plus a *stream key* describing what the
+//! numbers are for (cell, peer, repetition, …). This gives two properties
+//! the reproduction depends on:
+//!
+//! * **Reproducibility** — the same scenario seed always produces the same
+//!   campaign, bit for bit.
+//! * **Order independence** — each (cell × peer × repetition) gets its own
+//!   stream, so running cells in parallel with rayon yields *identical*
+//!   numbers to running them sequentially.
+//!
+//! The generator is `rand`'s SplitMix-seeded xoshiro-class `SmallRng`; the
+//! key derivation is SplitMix64 over the hashed stream key.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 mixing step — a high-quality 64→64 bit finalizer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A hierarchical stream key: fold in components one by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamKey(u64);
+
+impl StreamKey {
+    /// Root key from a scenario seed.
+    pub fn root(seed: u64) -> Self {
+        StreamKey(splitmix64(seed ^ 0x5158_6367_6B65_7953)) // "SyKecgXQ"-ish tag
+    }
+
+    /// Derives a child key from an integer component.
+    #[must_use]
+    pub fn with(self, component: u64) -> Self {
+        StreamKey(splitmix64(self.0.rotate_left(17) ^ component))
+    }
+
+    /// Derives a child key from a string label (campaign phase names etc.).
+    #[must_use]
+    pub fn with_label(self, label: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.with(h)
+    }
+
+    /// Raw key value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// The simulator RNG: a seedable small PRNG plus convenience draws.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// RNG for a given stream key.
+    pub fn for_stream(key: StreamKey) -> Self {
+        Self { inner: SmallRng::seed_from_u64(key.value()) }
+    }
+
+    /// RNG directly from a seed (tests, quick scripts).
+    pub fn from_seed(seed: u64) -> Self {
+        Self::for_stream(StreamKey::root(seed))
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi >= lo, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics when `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.unit() < p
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn bits(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Chooses one element uniformly. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_stream_same_numbers() {
+        let key = StreamKey::root(99).with(3).with_label("ping");
+        let mut a = SimRng::for_stream(key);
+        let mut b = SimRng::for_stream(key);
+        for _ in 0..100 {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn different_components_different_streams() {
+        let root = StreamKey::root(99);
+        let mut a = SimRng::for_stream(root.with(1));
+        let mut b = SimRng::for_stream(root.with(2));
+        let same = (0..64).filter(|_| a.bits() == b.bits()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn label_and_int_components_are_independent() {
+        let root = StreamKey::root(7);
+        assert_ne!(root.with_label("a").value(), root.with_label("b").value());
+        assert_ne!(root.with(0).value(), root.with_label("0").value());
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let mut r = SimRng::from_seed(5);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = SimRng::from_seed(8);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = SimRng::from_seed(13);
+        let hits = (0..50_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::from_seed(21);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn key_order_matters() {
+        let root = StreamKey::root(1);
+        assert_ne!(root.with(1).with(2).value(), root.with(2).with(1).value());
+    }
+}

@@ -1,0 +1,450 @@
+//! AS-level BGP with Gao–Rexford business relationships.
+//!
+//! Inter-domain routing on the real Internet is driven by *economics*, not
+//! geography: an AS exports routes learned from customers to everyone, but
+//! routes learned from peers/providers only to customers ("valley-free"),
+//! and prefers customer routes over peer routes over provider routes.
+//!
+//! This is precisely the mechanism behind the paper's headline observation
+//! (Section IV-C): a Klagenfurt-to-Klagenfurt request travelled
+//! Vienna→Prague→Bucharest→Vienna because the mobile operator and the
+//! university's ISP shared no local peering, so packets climbed the transit
+//! hierarchy. Modelling the policy — rather than hard-coding the detour —
+//! lets the local-peering recommendation of Section V-A *fix* the route the
+//! same way it would in the real network.
+
+use crate::topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Business relationship between two ASes, from `a`'s point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` pays `b` for transit: `b` is `a`'s provider.
+    CustomerOf,
+    /// `a` is paid by `b`: `b` is `a`'s customer.
+    ProviderOf,
+    /// Settlement-free peering.
+    PeerOf,
+}
+
+/// Direction class of one AS-level edge in a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EdgeClass {
+    /// Towards a customer (downhill).
+    Down,
+    /// Across a peering edge (flat).
+    Flat,
+    /// Towards a provider (uphill).
+    Up,
+}
+
+/// Route preference classes, Gao–Rexford order (lower = preferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RoutePref {
+    /// Learned from a customer — revenue-bearing, most preferred.
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider — costs money, least preferred.
+    Provider,
+    /// Destination inside the local AS.
+    Local,
+}
+
+/// The AS-relationship graph.
+///
+/// ```
+/// use sixg_netsim::routing::AsGraph;
+/// use sixg_netsim::topology::Asn;
+///
+/// // Two stubs under separate transits under one tier-1: traffic must
+/// // climb the hierarchy...
+/// let mut g = AsGraph::new();
+/// g.add_transit(Asn(10), Asn(1));
+/// g.add_transit(Asn(20), Asn(2));
+/// g.add_transit(Asn(100), Asn(10));
+/// g.add_transit(Asn(100), Asn(20));
+/// assert_eq!(g.as_path(Asn(1), Asn(2)).unwrap().crossings(), 4);
+///
+/// // ...until the stubs peer locally.
+/// g.add_peering(Asn(1), Asn(2));
+/// assert_eq!(g.as_path(Asn(1), Asn(2)).unwrap().crossings(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    /// `(provider, customer)` pairs.
+    transit: BTreeSet<(u32, u32)>,
+    /// Unordered peering pairs stored as `(min, max)`.
+    peers: BTreeSet<(u32, u32)>,
+    /// All ASes ever mentioned.
+    asns: BTreeSet<u32>,
+}
+
+impl AsGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `provider` as transit provider of `customer`.
+    pub fn add_transit(&mut self, provider: Asn, customer: Asn) {
+        assert_ne!(provider, customer, "AS cannot provide transit to itself");
+        self.transit.insert((provider.0, customer.0));
+        self.asns.insert(provider.0);
+        self.asns.insert(customer.0);
+    }
+
+    /// Declares a settlement-free peering between `a` and `b`.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        assert_ne!(a, b, "AS cannot peer with itself");
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.peers.insert(key);
+        self.asns.insert(a.0);
+        self.asns.insert(b.0);
+    }
+
+    /// Removes a peering if present (used by ablations).
+    pub fn remove_peering(&mut self, a: Asn, b: Asn) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.peers.remove(&key);
+    }
+
+    /// Relationship from `a` towards `b`, if adjacent.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        if self.transit.contains(&(b.0, a.0)) {
+            return Some(Relationship::CustomerOf); // b provides for a
+        }
+        if self.transit.contains(&(a.0, b.0)) {
+            return Some(Relationship::ProviderOf);
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if self.peers.contains(&key) {
+            return Some(Relationship::PeerOf);
+        }
+        None
+    }
+
+    /// All neighbours of `a` with their relationship.
+    pub fn neighbours(&self, a: Asn) -> Vec<(Asn, Relationship)> {
+        let mut out = Vec::new();
+        for &asn in &self.asns {
+            if asn == a.0 {
+                continue;
+            }
+            if let Some(rel) = self.relationship(a, Asn(asn)) {
+                out.push((Asn(asn), rel));
+            }
+        }
+        out
+    }
+
+    /// All known ASes, ascending.
+    pub fn asns(&self) -> Vec<Asn> {
+        self.asns.iter().map(|&a| Asn(a)).collect()
+    }
+
+    fn edge_class(&self, from: Asn, to: Asn) -> Option<EdgeClass> {
+        match self.relationship(from, to)? {
+            Relationship::CustomerOf => Some(EdgeClass::Up), // towards provider
+            Relationship::ProviderOf => Some(EdgeClass::Down),
+            Relationship::PeerOf => Some(EdgeClass::Flat),
+        }
+    }
+
+    /// Best valley-free AS path from `src` to `dst` under Gao–Rexford
+    /// preferences, or `None` when policy permits no path.
+    ///
+    /// Selection order: route-preference class of the *first* hop
+    /// (customer > peer > provider), then AS-path length, then
+    /// lowest-neighbour tiebreak — a faithful single-prefix abstraction of
+    /// BGP best-path selection.
+    pub fn as_path(&self, src: Asn, dst: Asn) -> Option<AsPath> {
+        self.as_path_where(src, dst, |_, _| true)
+    }
+
+    /// [`Self::as_path`] restricted to AS adjacencies for which
+    /// `permitted` holds. The router-level path computer passes the
+    /// *physical* adjacency here: an eBGP session cannot exist without a
+    /// link, so a relationship configured without one is inert.
+    pub fn as_path_where(
+        &self,
+        src: Asn,
+        dst: Asn,
+        permitted: impl Fn(Asn, Asn) -> bool,
+    ) -> Option<AsPath> {
+        if src == dst {
+            return Some(AsPath { asns: vec![src], pref: RoutePref::Local });
+        }
+        // State space: (asn, phase). Phase 0: still climbing (only Up taken
+        // so far). Phase 1: descended/peered (only Down allowed now).
+        // Valley-free = Up* (Flat)? Down*.
+        // Cost = (pref_class, hops, tiebreak-lexicographic path).
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+        struct Cost(u8, u32, Vec<u32>);
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut best: BTreeMap<(u32, u8), Cost> = BTreeMap::new();
+        let mut heap: BinaryHeap<Reverse<(Cost, u32, u8)>> = BinaryHeap::new();
+
+        for (nb, rel) in self.neighbours(src) {
+            if !permitted(src, nb) {
+                continue;
+            }
+            let class = self.edge_class(src, nb).expect("adjacent");
+            let pref = match rel {
+                Relationship::ProviderOf => 0u8, // via our customer
+                Relationship::PeerOf => 1,
+                Relationship::CustomerOf => 2, // via our provider
+            };
+            let phase = match class {
+                EdgeClass::Up => 0u8,
+                EdgeClass::Flat | EdgeClass::Down => 1,
+            };
+            let cost = Cost(pref, 1, vec![nb.0]);
+            let key = (nb.0, phase);
+            if best.get(&key).is_none_or(|c| cost < *c) {
+                best.insert(key, cost.clone());
+                heap.push(Reverse((cost, nb.0, phase)));
+            }
+        }
+
+        let mut found: Option<Cost> = None;
+        while let Some(Reverse((cost, asn, phase))) = heap.pop() {
+            if best.get(&(asn, phase)).is_some_and(|c| *c < cost) {
+                continue;
+            }
+            if asn == dst.0 {
+                found = Some(cost);
+                break;
+            }
+            for (nb, _) in self.neighbours(Asn(asn)) {
+                if cost.2.contains(&nb.0) || nb == src {
+                    continue; // loop avoidance
+                }
+                if !permitted(Asn(asn), nb) {
+                    continue;
+                }
+                let class = self.edge_class(Asn(asn), nb).expect("adjacent");
+                let next_phase = match (phase, class) {
+                    (0, EdgeClass::Up) => 0,
+                    (0, EdgeClass::Flat) | (0, EdgeClass::Down) => 1,
+                    (1, EdgeClass::Down) => 1,
+                    _ => continue, // valley or second peering edge
+                };
+                let mut path = cost.2.clone();
+                path.push(nb.0);
+                let ncost = Cost(cost.0, cost.1 + 1, path);
+                let key = (nb.0, next_phase);
+                if best.get(&key).is_none_or(|c| ncost < *c) {
+                    best.insert(key, ncost.clone());
+                    heap.push(Reverse((ncost, nb.0, next_phase)));
+                }
+            }
+        }
+
+        let cost = found?;
+        let mut asns = vec![src];
+        asns.extend(cost.2.iter().map(|&a| Asn(a)));
+        let pref = match cost.0 {
+            0 => RoutePref::Customer,
+            1 => RoutePref::Peer,
+            _ => RoutePref::Provider,
+        };
+        Some(AsPath { asns, pref })
+    }
+
+    /// Verifies that an AS path is valley-free under this graph.
+    pub fn is_valley_free(&self, path: &[Asn]) -> bool {
+        let mut descended = false;
+        for w in path.windows(2) {
+            match self.edge_class(w[0], w[1]) {
+                None => return false, // not adjacent at all
+                Some(EdgeClass::Up) => {
+                    if descended {
+                        return false;
+                    }
+                }
+                Some(EdgeClass::Flat) | Some(EdgeClass::Down) => descended = true,
+            }
+        }
+        true
+    }
+}
+
+/// A selected AS-level route.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsPath {
+    /// The AS sequence, source first, destination last.
+    pub asns: Vec<Asn>,
+    /// Gao–Rexford preference class of the selected route.
+    pub pref: RoutePref,
+}
+
+impl AsPath {
+    /// Number of inter-AS crossings.
+    pub fn crossings(&self) -> usize {
+        self.asns.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Asn = Asn(1); // stub (e.g. university ISP)
+    const B: Asn = Asn(2); // stub (e.g. mobile operator)
+    const T1: Asn = Asn(10); // regional transit
+    const T2: Asn = Asn(20); // regional transit
+    const TIER1: Asn = Asn(100);
+
+    /// Two stubs under different regional transits under one tier-1.
+    fn hierarchy() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_transit(T1, A);
+        g.add_transit(T2, B);
+        g.add_transit(TIER1, T1);
+        g.add_transit(TIER1, T2);
+        g
+    }
+
+    #[test]
+    fn transit_hierarchy_routes_over_the_top() {
+        let g = hierarchy();
+        let p = g.as_path(A, B).unwrap();
+        assert_eq!(p.asns, vec![A, T1, TIER1, T2, B]);
+        assert_eq!(p.pref, RoutePref::Provider);
+        assert!(g.is_valley_free(&p.asns));
+    }
+
+    #[test]
+    fn peering_shortcuts_the_hierarchy() {
+        let mut g = hierarchy();
+        g.add_peering(A, B);
+        let p = g.as_path(A, B).unwrap();
+        assert_eq!(p.asns, vec![A, B]);
+        assert_eq!(p.pref, RoutePref::Peer);
+    }
+
+    #[test]
+    fn removing_peering_restores_detour() {
+        let mut g = hierarchy();
+        g.add_peering(A, B);
+        g.remove_peering(A, B);
+        let p = g.as_path(A, B).unwrap();
+        assert_eq!(p.crossings(), 4);
+    }
+
+    #[test]
+    fn customer_routes_preferred_over_peer() {
+        // T1 can reach X either via its customer A (A provides X... no —
+        // make X a customer of A) or via a peering with T2 that also
+        // reaches X. Customer route must win even if same length.
+        let mut g = AsGraph::new();
+        let x = Asn(7);
+        g.add_transit(T1, A);
+        g.add_transit(A, x); // T1 -> A -> X is a customer route
+        g.add_peering(T1, T2);
+        g.add_transit(T2, x); // T1 -> T2 -> X is a peer route
+        let p = g.as_path(T1, x).unwrap();
+        assert_eq!(p.pref, RoutePref::Customer);
+        assert_eq!(p.asns, vec![T1, A, x]);
+    }
+
+    #[test]
+    fn valley_paths_rejected() {
+        // A and B are both customers of T1; A--B have no direct link. The
+        // only physical path A-T1-B is up-down: allowed. But a path that
+        // goes down then up (T1 -> A -> ??? ) must not exist.
+        let mut g = AsGraph::new();
+        g.add_transit(T1, A);
+        g.add_transit(T1, B);
+        let p = g.as_path(A, B).unwrap();
+        assert_eq!(p.asns, vec![A, T1, B]);
+        // Fabricated valley: up then down then up again.
+        let mut g2 = hierarchy();
+        g2.add_peering(T1, T2);
+        assert!(!g2.is_valley_free(&[A, T1, T2, TIER1]));
+    }
+
+    #[test]
+    fn no_path_without_relationships() {
+        let mut g = AsGraph::new();
+        g.add_transit(T1, A);
+        g.add_transit(T2, B); // two disconnected islands
+        assert!(g.as_path(A, B).is_none());
+    }
+
+    #[test]
+    fn peer_route_not_exported_to_peer() {
+        // Valley-free also bans peer-peer-peer: A peers T1, T1 peers T2,
+        // T2 provides B. A->T1->T2->B uses two consecutive flat/down
+        // moves: flat then down is legal; but A->T1 flat, T1->T2 flat is
+        // NOT (a peer does not export peer routes to another peer).
+        let mut g = AsGraph::new();
+        g.add_peering(A, T1);
+        g.add_peering(T1, T2);
+        g.add_transit(T2, B);
+        assert!(g.as_path(A, B).is_none());
+    }
+
+    #[test]
+    fn self_path_is_local() {
+        let g = hierarchy();
+        let p = g.as_path(A, A).unwrap();
+        assert_eq!(p.asns, vec![A]);
+        assert_eq!(p.pref, RoutePref::Local);
+        assert_eq!(p.crossings(), 0);
+    }
+
+    #[test]
+    fn shorter_of_equal_class_wins() {
+        // Two provider routes of different lengths.
+        let mut g = AsGraph::new();
+        let mid = Asn(55);
+        g.add_transit(T1, A);
+        g.add_transit(T2, A); // A multihomes
+        g.add_transit(T1, B);
+        g.add_transit(mid, T2);
+        g.add_transit(mid, Asn(56));
+        g.add_transit(Asn(56), B); // longer: A-T2-mid-56-B (and 56 provides B)
+        let p = g.as_path(A, B).unwrap();
+        assert_eq!(p.asns, vec![A, T1, B]);
+    }
+
+    #[test]
+    fn adjacency_filter_suppresses_linkless_relationships() {
+        let mut g = hierarchy();
+        g.add_peering(A, B);
+        // Policy alone would pick the direct peer route…
+        assert_eq!(g.as_path(A, B).unwrap().crossings(), 1);
+        // …but if the A-B adjacency has no physical link, BGP falls back
+        // to the transit hierarchy.
+        let p = g
+            .as_path_where(A, B, |x, y| !(x == A && y == B || x == B && y == A))
+            .unwrap();
+        assert_eq!(p.asns, vec![A, T1, TIER1, T2, B]);
+        assert_eq!(p.pref, RoutePref::Provider);
+    }
+
+    #[test]
+    fn adjacency_filter_can_partition() {
+        let g = hierarchy();
+        assert!(g.as_path_where(A, B, |_, _| false).is_none());
+        // Self-route always exists.
+        assert!(g.as_path_where(A, A, |_, _| false).is_some());
+    }
+
+    #[test]
+    fn relationship_symmetry() {
+        let g = hierarchy();
+        assert_eq!(g.relationship(A, T1), Some(Relationship::CustomerOf));
+        assert_eq!(g.relationship(T1, A), Some(Relationship::ProviderOf));
+        assert_eq!(g.relationship(A, B), None);
+        let mut g2 = g.clone();
+        g2.add_peering(T1, T2);
+        assert_eq!(g2.relationship(T1, T2), Some(Relationship::PeerOf));
+        assert_eq!(g2.relationship(T2, T1), Some(Relationship::PeerOf));
+    }
+}

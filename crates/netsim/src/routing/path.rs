@@ -1,0 +1,300 @@
+//! Router-level end-to-end path computation.
+//!
+//! Combines the AS-level BGP decision ([`super::bgp`]) with intra-AS SPF
+//! ([`super::spf`]): the AS path fixes the sequence of domains, border
+//! links are selected per crossing (hot-potato: cheapest egress from the
+//! current position), and Dijkstra stitches the intra-domain segments.
+
+use super::bgp::{AsGraph, AsPath};
+use super::spf;
+use crate::latency::expected_link_ms;
+use crate::topology::{Asn, LinkId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Egress hops to the border, the crossing link, and the ingress node.
+type Crossing = (Vec<(NodeId, LinkId)>, LinkId, NodeId);
+
+/// A fully resolved router-level route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedPath {
+    /// Source node (not part of `hops`).
+    pub src: NodeId,
+    /// Hops as `(node_entered, via_link)` pairs, destination last.
+    pub hops: Vec<(NodeId, LinkId)>,
+    /// The AS-level route this path realises.
+    pub as_path: AsPath,
+}
+
+impl RoutedPath {
+    /// Number of router-level hops (Table I counts these).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        self.hops.last().map(|(n, _)| *n).unwrap_or(self.src)
+    }
+
+    /// Full node sequence including the source.
+    pub fn node_sequence(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.hops.len() + 1);
+        v.push(self.src);
+        v.extend(self.hops.iter().map(|(n, _)| *n));
+        v
+    }
+
+    /// Total geodesic route length over the hop links, km.
+    pub fn route_km(&self, topo: &Topology) -> f64 {
+        self.hops.iter().map(|&(_, l)| topo.link_km(l)).sum()
+    }
+}
+
+/// Computes policy-compliant router-level paths.
+#[derive(Debug, Clone)]
+pub struct PathComputer<'a> {
+    topo: &'a Topology,
+    as_graph: &'a AsGraph,
+}
+
+impl<'a> PathComputer<'a> {
+    /// Creates a path computer over a topology and its AS relationships.
+    pub fn new(topo: &'a Topology, as_graph: &'a AsGraph) -> Self {
+        Self { topo, as_graph }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Routes `src → dst`, or `None` when unreachable under policy.
+    ///
+    /// The BGP decision is restricted to AS pairs that share a live
+    /// physical link: an eBGP session cannot run over a relationship with
+    /// no interconnect.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<RoutedPath> {
+        let src_as = self.topo.node(src).asn;
+        let dst_as = self.topo.node(dst).asn;
+        let phys: std::collections::BTreeSet<(u32, u32)> = self
+            .topo
+            .inter_as_links()
+            .into_iter()
+            .map(|l| {
+                let link = self.topo.link(l);
+                let (a, b) = (self.topo.node(link.a).asn.0, self.topo.node(link.b).asn.0);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        let as_path = self.as_graph.as_path_where(src_as, dst_as, |a, b| {
+            phys.contains(&(a.0.min(b.0), a.0.max(b.0)))
+        })?;
+
+        let mut hops: Vec<(NodeId, LinkId)> = Vec::new();
+        let mut current = src;
+
+        for w in as_path.asns.windows(2) {
+            let (here, next) = (w[0], w[1]);
+            let (egress_hops, cross_link, ingress) =
+                self.best_crossing(current, here, next)?;
+            hops.extend(egress_hops);
+            hops.push((ingress, cross_link));
+            current = ingress;
+        }
+
+        // Final intra-AS segment to the destination.
+        let admit = |n: NodeId| self.topo.node(n).asn == dst_as;
+        let (tail, _) = spf::shortest_path(self.topo, current, dst, admit)?;
+        hops.extend(tail);
+
+        Some(RoutedPath { src, hops, as_path })
+    }
+
+    /// Expected one-way latency of the routed path, ms (`None` if no route).
+    pub fn expected_one_way_ms(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let path = self.route(src, dst)?;
+        Some(
+            path.hops
+                .iter()
+                .map(|&(into, link)| expected_link_ms(self.topo, link, into))
+                .sum(),
+        )
+    }
+
+    /// Picks the cheapest egress crossing from `current` (inside `here`)
+    /// into AS `next`: returns `(intra hops to the egress border router,
+    /// crossing link, ingress node in next)`.
+    fn best_crossing(
+        &self,
+        current: NodeId,
+        here: Asn,
+        next: Asn,
+    ) -> Option<Crossing> {
+        let admit = |n: NodeId| self.topo.node(n).asn == here;
+        let (dist, prev) = spf::dijkstra(self.topo, current, admit);
+
+        let mut best: Option<(f64, NodeId, LinkId, NodeId)> = None;
+        for link in self.topo.inter_as_links() {
+            let l = self.topo.link(link);
+            let (near, far) = {
+                let (a_as, b_as) = (self.topo.node(l.a).asn, self.topo.node(l.b).asn);
+                if a_as == here && b_as == next {
+                    (l.a, l.b)
+                } else if b_as == here && a_as == next {
+                    (l.b, l.a)
+                } else {
+                    continue;
+                }
+            };
+            let to_near = dist[near.0 as usize];
+            if !to_near.is_finite() {
+                continue;
+            }
+            let cost = to_near + expected_link_ms(self.topo, link, far);
+            let better = match &best {
+                None => true,
+                Some((c, ..)) => {
+                    cost < *c - 1e-12 || ((cost - *c).abs() <= 1e-12 && link < best.unwrap().2)
+                }
+            };
+            if better {
+                best = Some((cost, near, link, far));
+            }
+        }
+        let (_, near, link, far) = best?;
+
+        // Reconstruct intra-AS hops current → near.
+        let mut egress = Vec::new();
+        let mut cur = near;
+        while cur != current {
+            let (p, l) = prev[cur.0 as usize]?;
+            egress.push((cur, l));
+            cur = p;
+        }
+        egress.reverse();
+        Some((egress, link, far))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkParams, NodeKind, Topology};
+    use sixg_geo::GeoPoint;
+
+    /// Two stub ASes (100: campus, 200: mobile op) joined only through a
+    /// transit chain 300 → 400 → 300-style hierarchy:
+    ///   AS100 ← AS300 (provider), AS200 ← AS400 (provider),
+    ///   AS300 ← AS500, AS400 ← AS500 (tier-1).
+    fn internet() -> (Topology, AsGraph, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let g = |lat: f64, lon: f64| GeoPoint::new(lat, lon);
+
+        let campus_srv = t.add_node(NodeKind::Anchor, "anchor", g(46.62, 14.31), Asn(100));
+        let campus_br = t.add_node(NodeKind::BorderRouter, "campus-br", g(46.63, 14.30), Asn(100));
+        let ue = t.add_node(NodeKind::UserEquipment, "ue", g(46.61, 14.28), Asn(200));
+        let op_core = t.add_node(NodeKind::CoreRouter, "op-core", g(48.20, 16.37), Asn(200));
+        let op_br = t.add_node(NodeKind::BorderRouter, "op-br", g(48.21, 16.38), Asn(200));
+        let t1 = t.add_node(NodeKind::CoreRouter, "transit1", g(50.07, 14.43), Asn(300));
+        let t2 = t.add_node(NodeKind::CoreRouter, "transit2", g(44.42, 26.10), Asn(400));
+        let tier1 = t.add_node(NodeKind::CoreRouter, "tier1", g(50.11, 8.68), Asn(500));
+
+        t.add_link(campus_srv, campus_br, LinkParams::access_wired());
+        t.add_link(ue, op_core, LinkParams::metro());
+        t.add_link(op_core, op_br, LinkParams::metro());
+        t.add_link(op_br, t2, LinkParams::transit_loaded());
+        t.add_link(campus_br, t1, LinkParams::transit_loaded());
+        t.add_link(t1, tier1, LinkParams::backbone());
+        t.add_link(t2, tier1, LinkParams::backbone());
+
+        let mut asg = AsGraph::new();
+        asg.add_transit(Asn(300), Asn(100));
+        asg.add_transit(Asn(400), Asn(200));
+        asg.add_transit(Asn(500), Asn(300));
+        asg.add_transit(Asn(500), Asn(400));
+
+        (t, asg, ue, campus_srv)
+    }
+
+    #[test]
+    fn detour_path_spans_all_transit_ases() {
+        let (t, asg, ue, anchor) = internet();
+        let pc = PathComputer::new(&t, &asg);
+        let p = pc.route(ue, anchor).unwrap();
+        assert_eq!(p.as_path.asns.len(), 5); // 200,400,500,300,100
+        assert_eq!(p.dst(), anchor);
+        // ue→op-core→op-br→t2→tier1→t1→campus-br→anchor = 7 hops
+        assert_eq!(p.hop_count(), 7);
+        // Route is massively longer than the 3-4 km direct distance.
+        let direct = t.node(ue).pos.distance_km(t.node(anchor).pos);
+        assert!(direct < 5.0);
+        assert!(p.route_km(&t) > 1000.0, "route {} km", p.route_km(&t));
+    }
+
+    #[test]
+    fn peering_collapses_path() {
+        let (mut t, mut asg, ue, anchor) = internet();
+        // Local IXP link between operator border and campus border, plus
+        // the business agreement to use it.
+        let campus_br = t.find_by_name("campus-br").unwrap();
+        // Operator deploys a border router in Klagenfurt for local peering.
+        let op_local =
+            t.add_node(NodeKind::BorderRouter, "op-local", GeoPoint::new(46.62, 14.29), Asn(200));
+        let op_core = t.find_by_name("op-core").unwrap();
+        t.add_link(op_core, op_local, LinkParams::metro());
+        t.add_link(op_local, campus_br, LinkParams::access_wired());
+        asg.add_peering(Asn(200), Asn(100));
+
+        let pc = PathComputer::new(&t, &asg);
+        let p = pc.route(ue, anchor).unwrap();
+        assert_eq!(p.as_path.asns.len(), 2);
+        assert!(p.hop_count() <= 5, "got {}", p.hop_count());
+        assert!(p.route_km(&t) < 600.0, "route {} km", p.route_km(&t));
+    }
+
+    #[test]
+    fn same_as_uses_spf_only(){
+        let (t, asg, ue, _) = internet();
+        let op_br = t.find_by_name("op-br").unwrap();
+        let pc = PathComputer::new(&t, &asg);
+        let p = pc.route(ue, op_br).unwrap();
+        assert_eq!(p.as_path.crossings(), 0);
+        assert_eq!(p.hop_count(), 2);
+    }
+
+    #[test]
+    fn no_policy_no_path() {
+        let (t, _asg, ue, anchor) = internet();
+        let empty = AsGraph::new();
+        let pc = PathComputer::new(&t, &empty);
+        assert!(pc.route(ue, anchor).is_none());
+    }
+
+    #[test]
+    fn expected_latency_drops_with_peering() {
+        let (mut t, mut asg, ue, anchor) = internet();
+        let pc = PathComputer::new(&t, &asg);
+        let before = pc.expected_one_way_ms(ue, anchor).unwrap();
+        let _ = pc;
+
+        let campus_br = t.find_by_name("campus-br").unwrap();
+        let op_core = t.find_by_name("op-core").unwrap();
+        let op_local =
+            t.add_node(NodeKind::BorderRouter, "op-local", GeoPoint::new(46.62, 14.29), Asn(200));
+        t.add_link(op_core, op_local, LinkParams::metro());
+        t.add_link(op_local, campus_br, LinkParams::access_wired());
+        asg.add_peering(Asn(200), Asn(100));
+        let pc = PathComputer::new(&t, &asg);
+        let after = pc.expected_one_way_ms(ue, anchor).unwrap();
+        assert!(after < before / 2.0, "before {before} after {after}");
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (t, asg, ue, _) = internet();
+        let pc = PathComputer::new(&t, &asg);
+        let p = pc.route(ue, ue).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.node_sequence(), vec![ue]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Intra-AS shortest-path-first (Dijkstra).
+//!
+//! Link weight is the *expected* one-way latency of the link in
+//! milliseconds (propagation + mean queueing + far-node processing), the
+//! metric an IGP with delay-based weights would use.
+
+use crate::latency::expected_link_ms;
+use crate::topology::{LinkId, NodeId, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A priority-queue entry ordered by (cost, node) for determinism.
+#[derive(Debug, PartialEq)]
+struct QueueEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed compare; break ties on node id so runs are
+        // reproducible regardless of insertion order.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("NaN cost")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `src`, optionally restricted to nodes satisfying
+/// `admit` (used to keep intra-AS searches inside one AS).
+///
+/// Returns `(dist_ms, predecessor)` arrays indexed by node id;
+/// unreachable nodes have `f64::INFINITY` distance.
+pub fn dijkstra(
+    topo: &Topology,
+    src: NodeId,
+    admit: impl Fn(NodeId) -> bool,
+) -> (Vec<f64>, Vec<Option<(NodeId, LinkId)>>) {
+    let n = topo.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    if !admit(src) {
+        return (dist, prev);
+    }
+    dist[src.0 as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueEntry { cost: 0.0, node: src });
+    while let Some(QueueEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.0 as usize] {
+            continue;
+        }
+        for (next, link) in topo.neighbours(node) {
+            if !admit(next) {
+                continue;
+            }
+            let w = expected_link_ms(topo, link, next);
+            let nd = cost + w;
+            if nd < dist[next.0 as usize] {
+                dist[next.0 as usize] = nd;
+                prev[next.0 as usize] = Some((node, link));
+                heap.push(QueueEntry { cost: nd, node: next });
+            }
+        }
+    }
+    (dist, prev)
+}
+
+/// Shortest path `src → dst` as `(hops, total_ms)`, where each hop is
+/// `(node_entered, via_link)`; the source node is implicit. `None` when
+/// unreachable.
+pub fn shortest_path(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    admit: impl Fn(NodeId) -> bool,
+) -> Option<(Vec<(NodeId, LinkId)>, f64)> {
+    let (dist, prev) = dijkstra(topo, src, admit);
+    let total = dist[dst.0 as usize];
+    if !total.is_finite() {
+        return None;
+    }
+    let mut hops = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, l) = prev[cur.0 as usize]?;
+        hops.push((cur, l));
+        cur = p;
+    }
+    hops.reverse();
+    Some((hops, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Asn, LinkParams, NodeKind};
+    use sixg_geo::GeoPoint;
+
+    /// Line topology a-b-c-d plus a long shortcut a-d.
+    fn line() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let pts = [(46.6, 14.3), (46.7, 14.4), (46.8, 14.5), (46.9, 14.6)];
+        let ids: Vec<NodeId> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (la, lo))| {
+                t.add_node(NodeKind::CoreRouter, format!("r{i}"), GeoPoint::new(*la, *lo), Asn(1))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            t.add_link(w[0], w[1], LinkParams::backbone());
+        }
+        (t, ids)
+    }
+
+    #[test]
+    fn straight_line_path() {
+        let (t, ids) = line();
+        let (hops, ms) = shortest_path(&t, ids[0], ids[3], |_| true).unwrap();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops.last().unwrap().0, ids[3]);
+        assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn shortcut_preferred_when_cheaper() {
+        let (mut t, ids) = line();
+        // Direct a-d link: same distance class but a single hop, so fewer
+        // processing penalties => cheaper.
+        t.add_link(ids[0], ids[3], LinkParams::backbone());
+        let (hops, _) = shortest_path(&t, ids[0], ids[3], |_| true).unwrap();
+        assert_eq!(hops.len(), 1);
+    }
+
+    #[test]
+    fn congested_shortcut_avoided() {
+        let (mut t, ids) = line();
+        t.add_link(
+            ids[0],
+            ids[3],
+            LinkParams { bandwidth_bps: 10e6, utilisation: 0.98, extra_ms: 30.0 },
+        );
+        let (hops, _) = shortest_path(&t, ids[0], ids[3], |_| true).unwrap();
+        assert_eq!(hops.len(), 3, "should route around the congested shortcut");
+    }
+
+    #[test]
+    fn admit_filter_blocks() {
+        let (t, ids) = line();
+        let blocked = ids[1];
+        let r = shortest_path(&t, ids[0], ids[3], |n| n != blocked);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a", GeoPoint::new(0.0, 0.0), Asn(1));
+        let b = t.add_node(NodeKind::Server, "b", GeoPoint::new(1.0, 1.0), Asn(1));
+        assert!(shortest_path(&t, a, b, |_| true).is_none());
+    }
+
+    #[test]
+    fn src_equals_dst_is_empty_path() {
+        let (t, ids) = line();
+        let (hops, ms) = shortest_path(&t, ids[0], ids[0], |_| true).unwrap();
+        assert!(hops.is_empty());
+        assert_eq!(ms, 0.0);
+    }
+
+    #[test]
+    fn removed_link_breaks_path() {
+        let (mut t, ids) = line();
+        let l = t.neighbours(ids[1]).find(|(n, _)| *n == ids[2]).unwrap().1;
+        t.remove_link(l);
+        assert!(shortest_path(&t, ids[0], ids[3], |_| true).is_none());
+    }
+}

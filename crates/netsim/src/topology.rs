@@ -1,0 +1,382 @@
+//! Network topology: nodes, links, autonomous systems.
+//!
+//! The topology is a flat undirected multigraph of typed nodes. Each node
+//! belongs to an autonomous system ([`Asn`]); inter-AS edges are the only
+//! places where BGP policy (see [`crate::routing::bgp`]) applies.
+
+use serde::{Deserialize, Serialize};
+use sixg_geo::GeoPoint;
+use std::fmt;
+
+/// Node identifier (index into [`Topology::nodes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Link identifier (index into [`Topology::links`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Autonomous-system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// The role a node plays in the infrastructure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// User equipment: phone, AR headset, vehicle OBU.
+    UserEquipment,
+    /// 5G/6G base station (gNB) with its distributed unit.
+    GnB,
+    /// User Plane Function — the 3GPP data-plane anchor. Where these sit
+    /// relative to the edge is the subject of the paper's Section V-B.
+    Upf,
+    /// Edge compute host (MEC server).
+    EdgeServer,
+    /// Operator-core or transit router.
+    CoreRouter,
+    /// AS border router (eBGP speaker).
+    BorderRouter,
+    /// Internet exchange point switch fabric.
+    Ixp,
+    /// Public-cloud data centre.
+    CloudDc,
+    /// Measurement anchor (the RIPE-Atlas probe at the university).
+    Anchor,
+    /// Application/broker server (MQTT broker, game service host…).
+    Server,
+}
+
+impl NodeKind {
+    /// Mean per-packet forwarding delay for this node class, milliseconds.
+    ///
+    /// These are the baseline processing figures the latency decomposition
+    /// uses; links add queueing on top.
+    pub fn base_processing_ms(self) -> f64 {
+        match self {
+            NodeKind::UserEquipment => 0.3,
+            NodeKind::GnB => 0.5,
+            NodeKind::Upf => 0.25,
+            NodeKind::EdgeServer => 0.2,
+            NodeKind::CoreRouter => 0.4,
+            NodeKind::BorderRouter => 0.6,
+            NodeKind::Ixp => 0.1,
+            NodeKind::CloudDc => 0.3,
+            NodeKind::Anchor => 0.2,
+            NodeKind::Server => 0.2,
+        }
+    }
+}
+
+/// A network node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier.
+    pub id: NodeId,
+    /// Role.
+    pub kind: NodeKind,
+    /// Human-readable name (`"upf-klu-1"`).
+    pub name: String,
+    /// Geographic position (drives propagation delay).
+    pub pos: GeoPoint,
+    /// Owning autonomous system.
+    pub asn: Asn,
+}
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// Background utilisation ρ ∈ [0, 1) from cross traffic; drives the
+    /// sampled M/M/1 queueing wait.
+    pub utilisation: f64,
+    /// Extra fixed latency (tunnelling, middleboxes), milliseconds.
+    pub extra_ms: f64,
+}
+
+impl LinkParams {
+    /// 10 Gbit/s lightly loaded backbone fibre.
+    pub fn backbone() -> Self {
+        Self { bandwidth_bps: 10e9, utilisation: 0.30, extra_ms: 0.0 }
+    }
+
+    /// 1 Gbit/s metro/aggregation link.
+    pub fn metro() -> Self {
+        Self { bandwidth_bps: 1e9, utilisation: 0.40, extra_ms: 0.0 }
+    }
+
+    /// Access-side wired link (FTTH / campus ethernet).
+    pub fn access_wired() -> Self {
+        Self { bandwidth_bps: 1e9, utilisation: 0.20, extra_ms: 0.0 }
+    }
+
+    /// Loaded public-internet transit link — the paper's RTL analysis
+    /// attributes most delay to these.
+    pub fn transit_loaded() -> Self {
+        Self { bandwidth_bps: 10e9, utilisation: 0.65, extra_ms: 0.5 }
+    }
+}
+
+/// An undirected link between two nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Parameters.
+    pub params: LinkParams,
+}
+
+impl Link {
+    /// The endpoint opposite to `n`. Panics when `n` is not an endpoint.
+    pub fn opposite(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {n:?} not on link {:?}", self.id)
+        }
+    }
+}
+
+/// The network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        name: impl Into<String>,
+        pos: GeoPoint,
+        asn: Asn,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, kind, name: name.into(), pos, asn });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link and returns its id. Panics on self-loops or
+    /// out-of-range endpoints.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> LinkId {
+        assert!(a != b, "self-loop on {a:?}");
+        assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
+        assert!(
+            (0.0..1.0).contains(&params.utilisation),
+            "utilisation must be in [0,1): {}",
+            params.utilisation
+        );
+        assert!(params.bandwidth_bps > 0.0, "bandwidth must be positive");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { id, a, b, params });
+        self.adjacency[a.0 as usize].push((b, id));
+        self.adjacency[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Removes a link (used by recommendation engines exploring topology
+    /// changes). O(degree).
+    pub fn remove_link(&mut self, id: LinkId) {
+        let link = self.links[id.0 as usize].clone();
+        self.adjacency[link.a.0 as usize].retain(|(_, l)| *l != id);
+        self.adjacency[link.b.0 as usize].retain(|(_, l)| *l != id);
+        // Keep the vec slot (ids are stable) but mark by zero-capacity is
+        // ugly; instead we tombstone by pointing the link at itself via a
+        // sentinel flag in params.
+        self.links[id.0 as usize].params.bandwidth_bps = f64::NAN;
+    }
+
+    /// True when a link has been removed.
+    pub fn link_removed(&self, id: LinkId) -> bool {
+        self.links[id.0 as usize].params.bandwidth_bps.is_nan()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutable link accessor (load adjustments, slicing reservations).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links (including tombstones; filter with [`Self::link_removed`]).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Neighbours of `n` as `(neighbour, via-link)` pairs, skipping
+    /// removed links.
+    pub fn neighbours(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        self.adjacency[n.0 as usize].iter().copied().filter(|(_, l)| !self.link_removed(*l))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live links.
+    pub fn link_count(&self) -> usize {
+        self.links.iter().filter(|l| !l.params.bandwidth_bps.is_nan()).count()
+    }
+
+    /// Great-circle length of a link, km.
+    pub fn link_km(&self, id: LinkId) -> f64 {
+        let l = self.link(id);
+        self.node(l.a).pos.distance_km(self.node(l.b).pos)
+    }
+
+    /// All nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.kind == kind).map(|n| n.id).collect()
+    }
+
+    /// All nodes in an AS.
+    pub fn nodes_in_as(&self, asn: Asn) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.asn == asn).map(|n| n.id).collect()
+    }
+
+    /// First node with the given name, if any.
+    pub fn find_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+
+    /// Distinct ASNs present, sorted.
+    pub fn asns(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.nodes.iter().map(|n| n.asn).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Links whose endpoints are in different ASes.
+    pub fn inter_as_links(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| !l.params.bandwidth_bps.is_nan())
+            .filter(|l| self.node(l.a).asn != self.node(l.b).asn)
+            .map(|l| l.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    fn tiny() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::UserEquipment, "ue", p(46.6, 14.3), Asn(100));
+        let b = t.add_node(NodeKind::GnB, "gnb", p(46.61, 14.31), Asn(100));
+        let c = t.add_node(NodeKind::CoreRouter, "core", p(48.2, 16.4), Asn(200));
+        t.add_link(a, b, LinkParams::access_wired());
+        t.add_link(b, c, LinkParams::backbone());
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (t, a, b, c) = tiny();
+        assert_eq!(t.neighbours(a).count(), 1);
+        assert_eq!(t.neighbours(b).count(), 2);
+        assert_eq!(t.neighbours(c).count(), 1);
+        let (nb, _) = t.neighbours(a).next().unwrap();
+        assert_eq!(nb, b);
+    }
+
+    #[test]
+    fn inter_as_links_detected() {
+        let (t, _, _, _) = tiny();
+        assert_eq!(t.inter_as_links().len(), 1);
+        assert_eq!(t.asns(), vec![Asn(100), Asn(200)]);
+    }
+
+    #[test]
+    fn remove_link_tombstones() {
+        let (mut t, _, b, c) = tiny();
+        let id = t.neighbours(b).find(|(n, _)| *n == c).unwrap().1;
+        t.remove_link(id);
+        assert!(t.link_removed(id));
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.neighbours(b).count(), 1);
+    }
+
+    #[test]
+    fn link_km_positive() {
+        let (t, _, _, _) = tiny();
+        let backbone = t.inter_as_links()[0];
+        let km = t.link_km(backbone);
+        assert!(km > 200.0 && km < 300.0, "got {km}");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "s", p(0.0, 0.0), Asn(1));
+        t.add_link(a, a, LinkParams::metro());
+    }
+
+    #[test]
+    #[should_panic(expected = "utilisation")]
+    fn full_utilisation_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "s", p(0.0, 0.0), Asn(1));
+        let b = t.add_node(NodeKind::Server, "t", p(1.0, 1.0), Asn(1));
+        t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 1.0, extra_ms: 0.0 });
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let (t, a, _, _) = tiny();
+        assert_eq!(t.find_by_name("ue"), Some(a));
+        assert_eq!(t.find_by_name("nope"), None);
+        assert_eq!(t.nodes_of_kind(NodeKind::GnB).len(), 1);
+        assert_eq!(t.nodes_in_as(Asn(100)).len(), 2);
+    }
+
+    #[test]
+    fn opposite_endpoint() {
+        let (t, a, b, _) = tiny();
+        let (_, l) = t.neighbours(a).next().unwrap();
+        assert_eq!(t.link(l).opposite(a), b);
+        assert_eq!(t.link(l).opposite(b), a);
+    }
+}

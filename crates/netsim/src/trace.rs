@@ -1,0 +1,145 @@
+//! Hop-by-hop flow traces and their geographic projection.
+//!
+//! A [`FlowTrace`] is what a traceroute produces: one [`HopRecord`] per
+//! router crossed, each carrying the cumulative RTT measured to that hop,
+//! the resolved name, and the hop's geographic position. Rendering one
+//! gives the paper's Table I; projecting the positions gives Figure 4.
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use sixg_geo::{GeoPoint, Polyline};
+use std::fmt;
+
+/// One traceroute row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopRecord {
+    /// 1-based hop number.
+    pub hop: u8,
+    /// The node reached.
+    pub node: NodeId,
+    /// Resolved rDNS name (or bare IP).
+    pub name: String,
+    /// IP address string.
+    pub ip: String,
+    /// Cumulative RTT to this hop, milliseconds.
+    pub rtt_ms: f64,
+    /// Geographic position of the hop.
+    pub pos: GeoPoint,
+}
+
+/// A complete trace from source to destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Source position (the mobile node).
+    pub src_pos: GeoPoint,
+    /// Hop rows, destination last.
+    pub hops: Vec<HopRecord>,
+}
+
+impl FlowTrace {
+    /// Number of hops (the paper's Table I counts 10).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// End-to-end RTT: the last hop's cumulative RTT, ms.
+    pub fn total_rtt_ms(&self) -> f64 {
+        self.hops.last().map(|h| h.rtt_ms).unwrap_or(0.0)
+    }
+
+    /// Geographic polyline of the forward path (source + each hop).
+    pub fn to_polyline(&self) -> Polyline {
+        let mut pts = Vec::with_capacity(self.hops.len() + 1);
+        pts.push(self.src_pos);
+        pts.extend(self.hops.iter().map(|h| h.pos));
+        Polyline::new(pts)
+    }
+
+    /// Total geographic distance travelled one-way, km (Figure 4's
+    /// 2 544 km).
+    pub fn route_km(&self) -> f64 {
+        self.to_polyline().fibre_km()
+    }
+
+    /// Renders the trace as the paper's Table I ("Hop | Node").
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("Hop  Node\n");
+        for h in &self.hops {
+            let display = if h.name == h.ip {
+                h.ip.clone()
+            } else {
+                format!("{} [{}]", h.name, h.ip)
+            };
+            out.push_str(&format!("{:>3}  {display}\n", h.hop));
+        }
+        out
+    }
+}
+
+impl fmt::Display for FlowTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> FlowTrace {
+        let klu = GeoPoint::new(46.62, 14.30);
+        let vie = GeoPoint::new(48.21, 16.37);
+        FlowTrace {
+            src_pos: klu,
+            hops: vec![
+                HopRecord {
+                    hop: 1,
+                    node: NodeId(1),
+                    name: "10.12.128.1".into(),
+                    ip: "10.12.128.1".into(),
+                    rtt_ms: 18.0,
+                    pos: klu,
+                },
+                HopRecord {
+                    hop: 2,
+                    node: NodeId(2),
+                    name: "unn-37-19-223-61.datapacket.com".into(),
+                    ip: "37.19.223.61".into(),
+                    rtt_ms: 25.0,
+                    pos: vie,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let t = trace();
+        assert_eq!(t.hop_count(), 2);
+        assert_eq!(t.total_rtt_ms(), 25.0);
+    }
+
+    #[test]
+    fn polyline_covers_route() {
+        let t = trace();
+        let km = t.route_km();
+        assert!(km > 230.0 && km < 260.0, "got {km}");
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = trace();
+        let s = t.render_table();
+        assert!(s.contains("Hop  Node"));
+        assert!(s.contains("  1  10.12.128.1\n"), "{s}");
+        assert!(s.contains("unn-37-19-223-61.datapacket.com [37.19.223.61]"), "{s}");
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = FlowTrace { src_pos: GeoPoint::new(0.0, 0.0), hops: vec![] };
+        assert_eq!(t.total_rtt_ms(), 0.0);
+        assert_eq!(t.hop_count(), 0);
+        assert_eq!(t.to_polyline().legs(), 0);
+    }
+}

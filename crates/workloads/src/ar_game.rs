@@ -1,0 +1,261 @@
+//! The AR dodgeball use case (Section IV-A).
+//!
+//! Two players wearing AR headsets throw *virtual* balls at each other.
+//! Three services interact:
+//!
+//! 1. **Video Streaming** connects the players' views;
+//! 2. **Remote Controller** lets a player aim and trigger a throw;
+//! 3. **Trajectory** applies the event to the stream and renders the
+//!    ball's flight.
+//!
+//! The paper's QoE criterion: with a round-trip budget of 20 ms [15], a
+//! player must never be "struck by a ball even though their physical
+//! location no longer aligns with the virtual ball's position". We model
+//! exactly that failure: if the victim's pose, as known to the Trajectory
+//! service at impact time, is older than the budget, the hit decision uses
+//! stale data and may be *unfair*.
+
+use crate::services::{Service, ServiceChain};
+use serde::{Deserialize, Serialize};
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::routing::PathComputer;
+use sixg_netsim::topology::NodeId;
+
+/// The paper's maximum acceptable round-trip latency for the game, ms.
+pub const RTL_BUDGET_MS: f64 = 20.0;
+
+/// Game configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArGameConfig {
+    /// Number of throws simulated.
+    pub throws: u32,
+    /// Ball flight-time range, ms (distance / throw speed).
+    pub flight_ms: (f64, f64),
+    /// Probability the victim physically evades within the flight time
+    /// when their displayed world is current.
+    pub evade_skill: f64,
+    /// Round-trip pose budget, ms.
+    pub rtl_budget_ms: f64,
+}
+
+impl Default for ArGameConfig {
+    fn default() -> Self {
+        Self {
+            throws: 1000,
+            flight_ms: (400.0, 800.0),
+            evade_skill: 0.6,
+            rtl_budget_ms: RTL_BUDGET_MS,
+        }
+    }
+}
+
+/// A deployed game session.
+pub struct ArGame {
+    /// Thrower's headset node.
+    pub thrower: NodeId,
+    /// Victim's headset node.
+    pub victim: NodeId,
+    /// Video Streaming service.
+    pub video: Service,
+    /// Remote Controller service.
+    pub controller: Service,
+    /// Trajectory service.
+    pub trajectory: Service,
+    /// Configuration.
+    pub config: ArGameConfig,
+}
+
+/// Session outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArGameResult {
+    /// Throws simulated.
+    pub throws: u32,
+    /// Hits that were fair (victim's world was current).
+    pub fair_hits: u32,
+    /// Hits registered on stale pose data — the paper's failure mode.
+    pub unfair_hits: u32,
+    /// Successful evasions.
+    pub dodges: u32,
+    /// Mean pose age at impact, ms.
+    pub mean_pose_age_ms: f64,
+    /// Mean end-to-end event latency (controller → trajectory → victim
+    /// display), ms.
+    pub mean_event_latency_ms: f64,
+}
+
+impl ArGameResult {
+    /// Fraction of throws resolved on stale data.
+    pub fn unfair_ratio(&self) -> f64 {
+        self.unfair_hits as f64 / self.throws.max(1) as f64
+    }
+}
+
+impl ArGame {
+    /// Plays a session. `thrower_access` / `victim_access` contribute the
+    /// radio RTT of each headset (None ⇒ wired/ideal).
+    pub fn play(
+        &self,
+        pc: &PathComputer<'_>,
+        thrower_access: Option<&dyn AccessModel>,
+        victim_access: Option<&dyn AccessModel>,
+        rng: &mut SimRng,
+    ) -> Option<ArGameResult> {
+        // Event chain: thrower → controller → trajectory.
+        let event_chain = ServiceChain::new(
+            self.thrower,
+            vec![self.controller.clone(), self.trajectory.clone()],
+        );
+        // Display chain: trajectory → video → victim (modelled as a chain
+        // from the trajectory host).
+        let display_chain = ServiceChain::new(
+            self.trajectory.host,
+            vec![self.video.clone(), Service::new("victim-display", self.victim, 1.0)],
+        );
+
+        let mut fair_hits = 0u32;
+        let mut unfair_hits = 0u32;
+        let mut dodges = 0u32;
+        let mut pose_age = 0.0f64;
+        let mut event_lat = 0.0f64;
+
+        for _ in 0..self.config.throws {
+            let up = event_chain.sample_ms(pc, 200, rng)?;
+            let down = display_chain.sample_ms(pc, 1200, rng)?;
+            let thrower_air =
+                thrower_access.map(|a| a.sample_rtt_ms(rng) / 2.0).unwrap_or(0.0);
+            let victim_air = victim_access.map(|a| a.sample_rtt_ms(rng) / 2.0).unwrap_or(0.0);
+            let event_latency = up.total_ms + thrower_air + down.total_ms + victim_air;
+
+            // The victim's pose known at the Trajectory service is one
+            // upstream trip old: victim → video → trajectory (sampled via
+            // the symmetric display chain) plus the victim's air leg.
+            let pose_up = display_chain.sample_ms(pc, 200, rng)?;
+            let age = pose_up.total_ms + victim_air;
+
+            let flight = rng.uniform(self.config.flight_ms.0, self.config.flight_ms.1);
+            // Victim sees the throw `event_latency` after it happened and
+            // has the remaining flight time to react.
+            let reaction_window = flight - event_latency;
+            let evades = reaction_window > 0.0 && rng.chance(self.config.evade_skill);
+
+            if evades {
+                if age > self.config.rtl_budget_ms {
+                    // Stale pose at impact: the trajectory service still
+                    // believes the victim is at the old position — the hit
+                    // lands although the player moved.
+                    unfair_hits += 1;
+                } else {
+                    dodges += 1;
+                }
+            } else {
+                fair_hits += 1;
+            }
+            pose_age += age;
+            event_lat += event_latency;
+        }
+
+        Some(ArGameResult {
+            throws: self.config.throws,
+            fair_hits,
+            unfair_hits,
+            dodges,
+            mean_pose_age_ms: pose_age / self.config.throws.max(1) as f64,
+            mean_event_latency_ms: event_lat / self.config.throws.max(1) as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_geo::GeoPoint;
+    use sixg_netsim::radio::{CellEnv, FiveGAccess, SixGAccess};
+    use sixg_netsim::routing::AsGraph;
+    use sixg_netsim::topology::{Asn, LinkParams, NodeKind, Topology};
+
+    /// Two headsets in Klagenfurt, services either on a local edge node or
+    /// in a Vienna cloud.
+    fn world() -> (Topology, AsGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::UserEquipment, "hmd-a", GeoPoint::new(46.61, 14.28), Asn(1));
+        let b = t.add_node(NodeKind::UserEquipment, "hmd-b", GeoPoint::new(46.63, 14.31), Asn(1));
+        let edge = t.add_node(NodeKind::EdgeServer, "edge", GeoPoint::new(46.62, 14.30), Asn(1));
+        let cloud = t.add_node(NodeKind::CloudDc, "cloud", GeoPoint::new(48.21, 16.37), Asn(1));
+        t.add_link(a, edge, LinkParams::access_wired());
+        t.add_link(b, edge, LinkParams::access_wired());
+        t.add_link(edge, cloud, LinkParams { bandwidth_bps: 10e9, utilisation: 0.5, extra_ms: 1.0 });
+        (t, AsGraph::new(), a, b, edge, cloud)
+    }
+
+    fn game_on(host: NodeId, a: NodeId, b: NodeId) -> ArGame {
+        ArGame {
+            thrower: a,
+            victim: b,
+            video: Service::new("video", host, 2.0),
+            controller: Service::new("controller", host, 0.5),
+            trajectory: Service::new("trajectory", host, 1.5),
+            config: ArGameConfig::default(),
+        }
+    }
+
+    #[test]
+    fn edge_hosting_with_6g_is_fair() {
+        let (t, g, a, b, edge, _) = world();
+        let pc = PathComputer::new(&t, &g);
+        let game = game_on(edge, a, b);
+        let access = SixGAccess::default();
+        let mut rng = SimRng::from_seed(1);
+        let r = game.play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
+        assert!(r.unfair_ratio() < 0.02, "unfair {}", r.unfair_ratio());
+        assert!(r.dodges > 0);
+        assert!(r.mean_pose_age_ms < RTL_BUDGET_MS);
+    }
+
+    #[test]
+    fn loaded_5g_produces_unfair_hits() {
+        let (t, g, a, b, edge, _) = world();
+        let pc = PathComputer::new(&t, &g);
+        let game = game_on(edge, a, b);
+        // A cell like the campaign's loaded ones: ~60 ms access RTT.
+        let access = FiveGAccess::new(CellEnv::new(0.9, 0.5));
+        let mut rng = SimRng::from_seed(2);
+        let r = game.play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
+        assert!(r.unfair_ratio() > 0.3, "unfair {}", r.unfair_ratio());
+        assert!(r.mean_pose_age_ms > RTL_BUDGET_MS);
+    }
+
+    #[test]
+    fn cloud_hosting_worse_than_edge() {
+        let (t, g, a, b, edge, cloud) = world();
+        let pc = PathComputer::new(&t, &g);
+        let access = SixGAccess::default();
+        let mut rng = SimRng::from_seed(3);
+        let edge_r =
+            game_on(edge, a, b).play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
+        let cloud_r =
+            game_on(cloud, a, b).play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
+        assert!(cloud_r.mean_event_latency_ms > edge_r.mean_event_latency_ms);
+        assert!(cloud_r.mean_pose_age_ms > edge_r.mean_pose_age_ms);
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let (t, g, a, b, edge, _) = world();
+        let pc = PathComputer::new(&t, &g);
+        let game = game_on(edge, a, b);
+        let mut rng = SimRng::from_seed(4);
+        let r = game.play(&pc, None, None, &mut rng).unwrap();
+        assert_eq!(r.fair_hits + r.unfair_hits + r.dodges, r.throws);
+    }
+
+    #[test]
+    fn deterministic_sessions() {
+        let (t, g, a, b, edge, _) = world();
+        let pc = PathComputer::new(&t, &g);
+        let game = game_on(edge, a, b);
+        let r1 = game.play(&pc, None, None, &mut SimRng::from_seed(5)).unwrap();
+        let r2 = game.play(&pc, None, None, &mut SimRng::from_seed(5)).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

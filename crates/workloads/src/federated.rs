@@ -1,0 +1,225 @@
+//! Federated learning at the edge (the paper's future-work direction).
+//!
+//! Section VI: "we plan to explore emerging technologies, such as …
+//! federated learning at the edge". This module models synchronous
+//! FedAvg over the radio access network: each round, participating
+//! clients download the global model, train locally, and upload their
+//! update; the round completes when the slowest participant finishes
+//! (the straggler effect that makes round time latency- *and*
+//! bandwidth-sensitive).
+
+use crate::services::Service;
+use serde::{Deserialize, Serialize};
+use sixg_netsim::dist::{LogNormal, Sample};
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::stats::Welford;
+
+/// One FL client's link and compute characteristics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlClient {
+    /// Uplink throughput, bits per second.
+    pub uplink_bps: f64,
+    /// Downlink throughput, bits per second.
+    pub downlink_bps: f64,
+    /// Mean local training time per round, seconds.
+    pub compute_s: f64,
+}
+
+/// Federated training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Model size, bytes.
+    pub model_bytes: u64,
+    /// Clients available.
+    pub clients: Vec<FlClient>,
+    /// Clients sampled per round.
+    pub participants_per_round: usize,
+    /// Aggregation service (runs FedAvg at the edge or cloud).
+    pub aggregator: Service,
+    /// Rounds to simulate.
+    pub rounds: u32,
+}
+
+impl FlConfig {
+    /// A keyword-spotting-scale workload: 5 MB model, 20 heterogeneous
+    /// phone clients, 10 sampled per round.
+    pub fn reference(aggregator: Service, uplink_bps: f64, downlink_bps: f64) -> Self {
+        let clients = (0..20)
+            .map(|i| FlClient {
+                uplink_bps,
+                downlink_bps,
+                // Device heterogeneity: 2-8 s local epochs.
+                compute_s: 2.0 + 6.0 * (i as f64 / 19.0),
+            })
+            .collect();
+        Self {
+            model_bytes: 5_000_000,
+            clients,
+            participants_per_round: 10,
+            aggregator,
+            rounds: 50,
+        }
+    }
+}
+
+/// Result of a federated training simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlStats {
+    /// Rounds completed.
+    pub rounds: u32,
+    /// Mean synchronous round time, seconds.
+    pub mean_round_s: f64,
+    /// Mean communication share of the round, seconds.
+    pub mean_comm_s: f64,
+    /// Fraction of round time spent waiting for the straggler beyond the
+    /// median participant.
+    pub straggler_overhead: f64,
+    /// Total wall-clock, seconds.
+    pub total_s: f64,
+}
+
+/// Simulates synchronous FedAvg. `access_rtt_ms` samples the per-message
+/// radio RTT contribution (handshakes per transfer leg).
+pub fn run_federated(
+    config: &FlConfig,
+    access: &dyn AccessModel,
+    rng: &mut SimRng,
+) -> FlStats {
+    assert!(config.participants_per_round >= 1);
+    assert!(config.participants_per_round <= config.clients.len());
+    let bits = config.model_bytes as f64 * 8.0;
+
+    let mut round_w = Welford::new();
+    let mut comm_w = Welford::new();
+    let mut straggler_w = Welford::new();
+
+    for _ in 0..config.rounds {
+        // Sample participants without replacement.
+        let mut idx: Vec<usize> = (0..config.clients.len()).collect();
+        rng.shuffle(&mut idx);
+        idx.truncate(config.participants_per_round);
+
+        let mut completion: Vec<f64> = idx
+            .iter()
+            .map(|&i| {
+                let c = config.clients[i];
+                // Download + upload, each paying connection setup + TLS +
+                // request (three access round trips) plus serialisation at
+                // the link rate.
+                let handshakes = |rng: &mut SimRng| -> f64 {
+                    (0..3).map(|_| access.sample_rtt_ms(rng)).sum::<f64>() / 1e3
+                };
+                let down = bits / c.downlink_bps + handshakes(rng);
+                let up = bits / c.uplink_bps + handshakes(rng);
+                let compute =
+                    LogNormal::from_mean_cv(c.compute_s, 0.25).sample(rng);
+                down + compute + up
+            })
+            .collect();
+        completion.sort_by(f64::total_cmp);
+        let slowest = *completion.last().expect("participants");
+        let median = completion[completion.len() / 2];
+        let agg = LogNormal::from_mean_cv(config.aggregator.proc_ms / 1e3 + 0.05, 0.2)
+            .sample(rng);
+
+        let round = slowest + agg;
+        round_w.push(round);
+        comm_w.push(2.0 * bits / config.clients[idx[0]].uplink_bps);
+        straggler_w.push((slowest - median) / slowest);
+    }
+
+    FlStats {
+        rounds: config.rounds,
+        mean_round_s: round_w.mean(),
+        mean_comm_s: comm_w.mean(),
+        straggler_overhead: straggler_w.mean(),
+        total_s: round_w.mean() * config.rounds as f64,
+    }
+}
+
+/// Simple convergence model: rounds needed so the loss-decay term drops
+/// below `epsilon` with `k` participants per round (1/√(k·r) decay, the
+/// standard FedAvg bound shape).
+pub fn rounds_to_converge(epsilon: f64, k: usize) -> u32 {
+    assert!(epsilon > 0.0 && k > 0);
+    (1.0 / (epsilon * epsilon * k as f64)).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_netsim::radio::{CellEnv, FiveGAccess, SixGAccess};
+    use sixg_netsim::topology::NodeId;
+
+    fn aggregator() -> Service {
+        Service::new("fedavg", NodeId(0), 50.0)
+    }
+
+    fn config(up: f64, down: f64) -> FlConfig {
+        FlConfig::reference(aggregator(), up, down)
+    }
+
+    #[test]
+    fn round_time_dominated_by_straggler_compute() {
+        let mut rng = SimRng::from_seed(1);
+        let stats = run_federated(&config(50e6, 200e6), &SixGAccess::default(), &mut rng);
+        // Slowest client computes ~8 s; transfers are sub-second.
+        assert!(stats.mean_round_s > 6.0, "round {}", stats.mean_round_s);
+        assert!(stats.mean_round_s < 12.0, "round {}", stats.mean_round_s);
+        assert!(stats.straggler_overhead > 0.05);
+    }
+
+    #[test]
+    fn slow_uplink_inflates_rounds() {
+        let mut rng = SimRng::from_seed(2);
+        let fast = run_federated(&config(50e6, 200e6), &SixGAccess::default(), &mut rng);
+        let slow = run_federated(&config(2e6, 20e6), &SixGAccess::default(), &mut rng);
+        // 5 MB over 2 Mbit/s = 20 s upload alone.
+        assert!(slow.mean_round_s > fast.mean_round_s + 15.0);
+    }
+
+    #[test]
+    fn loaded_5g_access_adds_handshake_latency() {
+        // Same random stream for both runs: the only difference is the
+        // access model, so the comparison is exact, not statistical.
+        let sixg = run_federated(
+            &config(50e6, 200e6),
+            &SixGAccess::default(),
+            &mut SimRng::from_seed(3),
+        );
+        let fiveg = run_federated(
+            &config(50e6, 200e6),
+            &FiveGAccess::new(CellEnv::new(0.9, 0.8)),
+            &mut SimRng::from_seed(3),
+        );
+        // Two RTT handshakes per participant per round; loaded 5G adds
+        // ~100+ ms vs sub-ms on 6G — visible but not dominant.
+        assert!(fiveg.mean_round_s > sixg.mean_round_s);
+    }
+
+    #[test]
+    fn convergence_rounds_shrink_with_participation() {
+        assert!(rounds_to_converge(0.05, 10) < rounds_to_converge(0.05, 5));
+        assert_eq!(rounds_to_converge(0.1, 1), 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SimRng::from_seed(4);
+        let mut b = SimRng::from_seed(4);
+        let cfg = config(50e6, 200e6);
+        let ra = run_federated(&cfg, &SixGAccess::default(), &mut a);
+        let rb = run_federated(&cfg, &SixGAccess::default(), &mut b);
+        assert_eq!(ra.mean_round_s, rb.mean_round_s);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_participants_rejected() {
+        let mut cfg = config(50e6, 200e6);
+        cfg.participants_per_round = 100;
+        let mut rng = SimRng::from_seed(5);
+        let _ = run_federated(&cfg, &SixGAccess::default(), &mut rng);
+    }
+}

@@ -1,0 +1,188 @@
+//! Industrial-automation workloads (Section III-C).
+//!
+//! "A fully automated manufacturing line can generate over 5 terabytes of
+//! data per day, requiring 6G networks to allocate resources to ensure
+//! real-time adjustments dynamically." We model a line as a device
+//! inventory with per-class rates and control loops, and check both the
+//! data-volume claim and the closed-loop deadline feasibility.
+
+use serde::{Deserialize, Serialize};
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::SimRng;
+
+/// A class of devices on the line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceClass {
+    /// Class name.
+    pub name: String,
+    /// Number of devices.
+    pub count: u32,
+    /// Message rate per device, Hz.
+    pub rate_hz: f64,
+    /// Bytes per message.
+    pub bytes: u32,
+    /// Closed-loop deadline for this class, ms (None = telemetry only).
+    pub loop_deadline_ms: Option<f64>,
+}
+
+/// A manufacturing line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FactoryLine {
+    /// Device classes.
+    pub classes: Vec<DeviceClass>,
+    /// Operating hours per day.
+    pub hours_per_day: f64,
+}
+
+impl FactoryLine {
+    /// A reference fully-automated line: vision QA, motion controllers,
+    /// PLC cells, vibration/condition monitoring, AGVs.
+    pub fn reference() -> Self {
+        Self {
+            classes: vec![
+                DeviceClass {
+                    name: "vision-qa".into(),
+                    count: 40,
+                    rate_hz: 30.0,
+                    bytes: 50_000,
+                    loop_deadline_ms: Some(50.0),
+                },
+                DeviceClass {
+                    name: "motion-control".into(),
+                    count: 400,
+                    rate_hz: 500.0,
+                    bytes: 64,
+                    loop_deadline_ms: Some(2.0),
+                },
+                DeviceClass {
+                    name: "plc-cells".into(),
+                    count: 200,
+                    rate_hz: 100.0,
+                    bytes: 256,
+                    loop_deadline_ms: Some(10.0),
+                },
+                DeviceClass {
+                    name: "condition-monitoring".into(),
+                    count: 10_000,
+                    rate_hz: 1.0,
+                    bytes: 1_000,
+                    loop_deadline_ms: None,
+                },
+                DeviceClass {
+                    name: "agv".into(),
+                    count: 60,
+                    rate_hz: 20.0,
+                    bytes: 2_000,
+                    loop_deadline_ms: Some(20.0),
+                },
+            ],
+            hours_per_day: 24.0,
+        }
+    }
+
+    /// Total devices.
+    pub fn device_count(&self) -> u32 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Aggregate offered load, bits per second.
+    pub fn offered_bps(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.count as f64 * c.rate_hz * c.bytes as f64 * 8.0)
+            .sum()
+    }
+
+    /// Data generated per day, terabytes.
+    pub fn tb_per_day(&self) -> f64 {
+        self.offered_bps() / 8.0 * 3600.0 * self.hours_per_day / 1e12
+    }
+
+    /// Checks every control-loop class against an access model: fraction
+    /// of `samples` loop iterations (one access RTT each, the controller
+    /// being at the local edge) meeting the class deadline.
+    pub fn loop_feasibility(
+        &self,
+        access: &dyn AccessModel,
+        samples: u32,
+        rng: &mut SimRng,
+    ) -> Vec<(String, f64)> {
+        self.classes
+            .iter()
+            .filter_map(|c| {
+                let deadline = c.loop_deadline_ms?;
+                let ok = (0..samples)
+                    .filter(|_| access.sample_rtt_ms(rng) <= deadline)
+                    .count();
+                Some((c.name.clone(), ok as f64 / samples.max(1) as f64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_netsim::radio::{CellEnv, FiveGAccess, SixGAccess};
+
+    #[test]
+    fn reference_line_exceeds_5tb_per_day() {
+        let line = FactoryLine::reference();
+        let tb = line.tb_per_day();
+        assert!(tb > 5.0, "got {tb} TB/day");
+        assert!(tb < 10.0, "implausibly high: {tb} TB/day");
+    }
+
+    #[test]
+    fn device_count_in_tens_of_thousands() {
+        let line = FactoryLine::reference();
+        assert!(line.device_count() >= 10_000);
+    }
+
+    #[test]
+    fn offered_load_needs_hundreds_of_mbps() {
+        let line = FactoryLine::reference();
+        let bps = line.offered_bps();
+        assert!(bps > 400e6 && bps < 2e9, "got {bps}");
+    }
+
+    #[test]
+    fn motion_control_infeasible_even_on_ideal_5g() {
+        // 2 ms loops cannot ride a ~5.5 ms access RTT — the classic case
+        // for wired fieldbus or 6G.
+        let line = FactoryLine::reference();
+        let mut rng = SimRng::from_seed(1);
+        let res = line.loop_feasibility(&FiveGAccess::ideal(), 2000, &mut rng);
+        let motion = res.iter().find(|(n, _)| n == "motion-control").unwrap();
+        assert!(motion.1 < 0.05, "motion on-time {}", motion.1);
+    }
+
+    #[test]
+    fn sixg_makes_all_loops() {
+        let line = FactoryLine::reference();
+        let mut rng = SimRng::from_seed(2);
+        let res = line.loop_feasibility(&SixGAccess::default(), 2000, &mut rng);
+        for (name, ratio) in res {
+            assert!(ratio > 0.99, "{name}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn loaded_5g_degrades_plc_loops() {
+        let line = FactoryLine::reference();
+        let mut rng = SimRng::from_seed(3);
+        let loaded = FiveGAccess::new(CellEnv::new(0.8, 0.5));
+        let res = line.loop_feasibility(&loaded, 2000, &mut rng);
+        let plc = res.iter().find(|(n, _)| n == "plc-cells").unwrap();
+        assert!(plc.1 < 0.2, "plc on-time {}", plc.1);
+    }
+
+    #[test]
+    fn telemetry_classes_excluded_from_loop_check() {
+        let line = FactoryLine::reference();
+        let mut rng = SimRng::from_seed(4);
+        let res = line.loop_feasibility(&SixGAccess::default(), 100, &mut rng);
+        assert!(res.iter().all(|(n, _)| n != "condition-monitoring"));
+        assert_eq!(res.len(), 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Service graphs and request-chain latency.
+//!
+//! The paper's AR application "comprises three core interacting services";
+//! more generally every edge-AI workload here is a chain of services
+//! hosted on topology nodes. A [`ServiceChain`] evaluates end-to-end
+//! request latency: network delay between consecutive hosts plus each
+//! service's processing time.
+
+use serde::{Deserialize, Serialize};
+use sixg_netsim::dist::{LogNormal, Sample};
+use sixg_netsim::latency::DelaySampler;
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::routing::PathComputer;
+use sixg_netsim::topology::NodeId;
+
+/// A deployed service instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Service {
+    /// Human-readable name (`"trajectory"`).
+    pub name: String,
+    /// Node hosting the service.
+    pub host: NodeId,
+    /// Mean processing time per request, ms.
+    pub proc_ms: f64,
+    /// Processing-time coefficient of variation.
+    pub proc_cv: f64,
+}
+
+impl Service {
+    /// Creates a service.
+    pub fn new(name: impl Into<String>, host: NodeId, proc_ms: f64) -> Self {
+        Self { name: name.into(), host, proc_ms, proc_cv: 0.3 }
+    }
+
+    /// One processing-time sample, ms.
+    pub fn sample_proc_ms(&self, rng: &mut SimRng) -> f64 {
+        if self.proc_ms <= 0.0 {
+            return 0.0;
+        }
+        LogNormal::from_mean_cv(self.proc_ms, self.proc_cv).sample(rng)
+    }
+}
+
+/// An ordered request chain: client → service₁ → service₂ → … .
+#[derive(Debug, Clone)]
+pub struct ServiceChain {
+    /// The client's node (origin of the request).
+    pub client: NodeId,
+    /// Services in invocation order.
+    pub stages: Vec<Service>,
+}
+
+/// Outcome of a chain evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainLatency {
+    /// Total one-way latency through the chain, ms.
+    pub total_ms: f64,
+    /// Network share, ms.
+    pub network_ms: f64,
+    /// Processing share, ms.
+    pub processing_ms: f64,
+}
+
+impl ServiceChain {
+    /// Creates a chain.
+    pub fn new(client: NodeId, stages: Vec<Service>) -> Self {
+        assert!(!stages.is_empty(), "chain needs at least one service");
+        Self { client, stages }
+    }
+
+    /// Samples one request's end-to-end latency, ms. `request_bytes` is
+    /// the message size on every leg. Returns `None` if any leg is
+    /// unroutable.
+    pub fn sample_ms(
+        &self,
+        pc: &PathComputer<'_>,
+        request_bytes: u32,
+        rng: &mut SimRng,
+    ) -> Option<ChainLatency> {
+        let sampler = DelaySampler::new(pc.topology());
+        let mut network = 0.0;
+        let mut processing = 0.0;
+        let mut at = self.client;
+        for stage in &self.stages {
+            if at != stage.host {
+                let path = pc.route(at, stage.host)?;
+                network += sampler.one_way_ms(&path.hops, request_bytes, rng);
+            }
+            processing += stage.sample_proc_ms(rng);
+            at = stage.host;
+        }
+        Some(ChainLatency {
+            total_ms: network + processing,
+            network_ms: network,
+            processing_ms: processing,
+        })
+    }
+
+    /// Expected (mean) chain latency, ms; `None` when unroutable.
+    pub fn expected_ms(&self, pc: &PathComputer<'_>) -> Option<f64> {
+        let mut total = 0.0;
+        let mut at = self.client;
+        for stage in &self.stages {
+            if at != stage.host {
+                total += pc.expected_one_way_ms(at, stage.host)?;
+            }
+            total += stage.proc_ms;
+            at = stage.host;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_netsim::routing::AsGraph;
+    use sixg_netsim::stats::Welford;
+    use sixg_netsim::topology::{Asn, LinkParams, NodeKind, Topology};
+    use sixg_geo::GeoPoint;
+
+    fn world() -> (Topology, AsGraph, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let client = t.add_node(NodeKind::UserEquipment, "c", GeoPoint::new(46.6, 14.3), Asn(1));
+        let edge = t.add_node(NodeKind::EdgeServer, "edge", GeoPoint::new(46.61, 14.31), Asn(1));
+        let cloud = t.add_node(NodeKind::CloudDc, "cloud", GeoPoint::new(48.2, 16.4), Asn(1));
+        t.add_link(client, edge, LinkParams::access_wired());
+        t.add_link(edge, cloud, LinkParams::backbone());
+        (t, AsGraph::new(), client, edge, cloud)
+    }
+
+    #[test]
+    fn chain_accumulates_network_and_processing() {
+        let (t, g, client, edge, cloud) = world();
+        let pc = PathComputer::new(&t, &g);
+        let chain = ServiceChain::new(
+            client,
+            vec![Service::new("ingest", edge, 2.0), Service::new("infer", cloud, 5.0)],
+        );
+        let mut rng = SimRng::from_seed(1);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            let l = chain.sample_ms(&pc, 500, &mut rng).unwrap();
+            assert!(l.total_ms > 0.0);
+            assert!((l.total_ms - l.network_ms - l.processing_ms).abs() < 1e-9);
+            w.push(l.total_ms);
+        }
+        let expect = chain.expected_ms(&pc).unwrap();
+        assert!((w.mean() - expect).abs() / expect < 0.03, "{} vs {expect}", w.mean());
+    }
+
+    #[test]
+    fn colocated_stage_skips_network() {
+        let (t, g, client, edge, _) = world();
+        let pc = PathComputer::new(&t, &g);
+        let chain = ServiceChain::new(
+            client,
+            vec![Service::new("a", edge, 1.0), Service::new("b", edge, 1.0)],
+        );
+        let mut rng = SimRng::from_seed(2);
+        let one_leg = pc.expected_one_way_ms(client, edge).unwrap();
+        let l = chain.sample_ms(&pc, 100, &mut rng).unwrap();
+        // Only one network leg despite two stages.
+        assert!(l.network_ms < 3.0 * one_leg);
+        assert!((chain.expected_ms(&pc).unwrap() - (one_leg + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_chain_faster_than_cloud_chain() {
+        let (t, g, client, edge, cloud) = world();
+        let pc = PathComputer::new(&t, &g);
+        let edge_chain = ServiceChain::new(client, vec![Service::new("s", edge, 2.0)]);
+        let cloud_chain = ServiceChain::new(client, vec![Service::new("s", cloud, 2.0)]);
+        assert!(edge_chain.expected_ms(&pc).unwrap() < cloud_chain.expected_ms(&pc).unwrap());
+    }
+
+    #[test]
+    fn unroutable_chain_is_none() {
+        let (mut t, g, client, _, _) = world();
+        let island = t.add_node(NodeKind::Server, "island", GeoPoint::new(0.0, 0.0), Asn(1));
+        let pc = PathComputer::new(&t, &g);
+        let chain = ServiceChain::new(client, vec![Service::new("s", island, 1.0)]);
+        let mut rng = SimRng::from_seed(3);
+        assert!(chain.sample_ms(&pc, 100, &mut rng).is_none());
+        assert!(chain.expected_ms(&pc).is_none());
+    }
+
+    #[test]
+    fn zero_processing_service() {
+        let (t, g, client, edge, _) = world();
+        let pc = PathComputer::new(&t, &g);
+        let chain = ServiceChain::new(client, vec![Service::new("relay", edge, 0.0)]);
+        let mut rng = SimRng::from_seed(4);
+        let l = chain.sample_ms(&pc, 100, &mut rng).unwrap();
+        assert_eq!(l.processing_ms, 0.0);
+    }
+}

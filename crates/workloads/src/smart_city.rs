@@ -1,0 +1,187 @@
+//! Smart-city workloads (Section III-C).
+//!
+//! The paper's scalability requirement: "adaptive traffic management
+//! systems in large cities like Tokyo could simultaneously analyze data
+//! from up to 50,000 intersections", on networks supporting "hundreds of
+//! thousands of devices per square kilometer". This module models an
+//! intersection fleet pushing periodic telemetry into an analytics
+//! service and answers: how many intersections can a deployment class
+//! sustain within its control-loop deadline and capacity?
+
+use serde::{Deserialize, Serialize};
+
+/// One intersection's telemetry profile.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IntersectionProfile {
+    /// Update rate, Hz.
+    pub update_hz: f64,
+    /// Bytes per update (multi-camera aggregate features, not raw video).
+    pub bytes_per_update: u32,
+    /// Control-loop deadline: sensor → decision → actuation, ms.
+    pub loop_deadline_ms: f64,
+    /// Sensors (devices) per intersection.
+    pub devices: u32,
+}
+
+impl Default for IntersectionProfile {
+    fn default() -> Self {
+        Self { update_hz: 10.0, bytes_per_update: 2_000, loop_deadline_ms: 100.0, devices: 24 }
+    }
+}
+
+/// A deployment class against which the fleet is checked.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkClass {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Aggregate uplink capacity available to the service, bits/s.
+    pub capacity_bps: f64,
+    /// Typical network RTT to the analytics service, ms.
+    pub rtt_ms: f64,
+    /// Device-density ceiling, devices per km².
+    pub device_density_per_km2: f64,
+}
+
+impl NetworkClass {
+    /// 5G as measured by the paper's campaign (urban mean ≈74 ms RTL).
+    pub fn measured_5g() -> Self {
+        Self {
+            name: "5G (measured)",
+            capacity_bps: 1e9,
+            rtt_ms: 74.0,
+            device_density_per_km2: 100_000.0,
+        }
+    }
+
+    /// 5G at its specification targets.
+    pub fn spec_5g() -> Self {
+        Self { name: "5G (spec)", capacity_bps: 10e9, rtt_ms: 5.0, device_density_per_km2: 1e6 }
+    }
+
+    /// 6G targets (Section II: Tbit/s, sub-ms, 10⁷ devices/km²).
+    pub fn target_6g() -> Self {
+        Self { name: "6G (target)", capacity_bps: 1e12, rtt_ms: 0.4, device_density_per_km2: 1e7 }
+    }
+}
+
+/// Result of a fleet feasibility analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetAnalysis {
+    /// Network class analysed.
+    pub class_name: String,
+    /// Intersections requested.
+    pub requested: u64,
+    /// Intersections sustainable by uplink capacity.
+    pub capacity_limit: u64,
+    /// Whether the control-loop deadline holds (RTT + processing fits).
+    pub deadline_met: bool,
+    /// Whether the device density fits the class ceiling over `area_km2`.
+    pub density_ok: bool,
+    /// Aggregate offered load, bits/s.
+    pub offered_bps: f64,
+    /// Sustainable intersections considering all constraints.
+    pub sustainable: u64,
+}
+
+/// Analyses a fleet of `n` intersections spread over `area_km2` against a
+/// network class, with `processing_ms` of analytics per loop.
+pub fn analyse_fleet(
+    profile: IntersectionProfile,
+    n: u64,
+    area_km2: f64,
+    class: NetworkClass,
+    processing_ms: f64,
+) -> FleetAnalysis {
+    assert!(area_km2 > 0.0, "area must be positive");
+    let per_intersection_bps = profile.update_hz * profile.bytes_per_update as f64 * 8.0;
+    let offered = per_intersection_bps * n as f64;
+    let capacity_limit = (class.capacity_bps / per_intersection_bps) as u64;
+    let deadline_met = class.rtt_ms + processing_ms <= profile.loop_deadline_ms;
+    let density = profile.devices as f64 * n as f64 / area_km2;
+    let density_ok = density <= class.device_density_per_km2;
+    let sustainable = if !deadline_met {
+        0
+    } else {
+        let density_limit = (class.device_density_per_km2 * area_km2 / profile.devices as f64) as u64;
+        n.min(capacity_limit).min(density_limit)
+    };
+    FleetAnalysis {
+        class_name: class.name.to_string(),
+        requested: n,
+        capacity_limit,
+        deadline_met,
+        density_ok,
+        offered_bps: offered,
+        sustainable,
+    }
+}
+
+/// The paper's Tokyo scenario: 50 000 intersections over ~2 200 km².
+pub fn tokyo_scenario(class: NetworkClass) -> FleetAnalysis {
+    analyse_fleet(IntersectionProfile::default(), 50_000, 2_200.0, class, 15.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokyo_feasible_on_6g() {
+        let a = tokyo_scenario(NetworkClass::target_6g());
+        assert!(a.deadline_met);
+        assert!(a.density_ok);
+        assert_eq!(a.sustainable, 50_000);
+    }
+
+    #[test]
+    fn tokyo_capacity_limited_on_measured_5g() {
+        let a = tokyo_scenario(NetworkClass::measured_5g());
+        // 50k × 160 kbit/s = 8 Gbit/s offered against 1 Gbit/s.
+        assert!(a.offered_bps > a.capacity_limit as f64 * 160_000.0 * 0.99);
+        assert!(a.sustainable < 50_000, "sustainable {}", a.sustainable);
+        assert!(a.sustainable > 1_000);
+    }
+
+    #[test]
+    fn deadline_violation_zeroes_fleet() {
+        let profile = IntersectionProfile { loop_deadline_ms: 50.0, ..Default::default() };
+        let a = analyse_fleet(profile, 1000, 100.0, NetworkClass::measured_5g(), 15.0);
+        // 74 ms RTT + 15 ms processing > 50 ms.
+        assert!(!a.deadline_met);
+        assert_eq!(a.sustainable, 0);
+    }
+
+    #[test]
+    fn density_ceiling_binds_on_small_areas() {
+        // 50k intersections crammed into 10 km².
+        let a = analyse_fleet(
+            IntersectionProfile::default(),
+            50_000,
+            10.0,
+            NetworkClass::measured_5g(),
+            15.0,
+        );
+        assert!(!a.density_ok);
+        assert!(a.sustainable < 50_000);
+    }
+
+    #[test]
+    fn spec_5g_meets_deadline_but_not_density_at_extremes() {
+        // 50k dense intersections over 25 km² ⇒ 2M devices/km², above the
+        // 5G spec ceiling of 1M/km² — only 6G's 10M/km² absorbs it.
+        let profile = IntersectionProfile { devices: 1000, ..Default::default() };
+        let a = analyse_fleet(profile, 50_000, 25.0, NetworkClass::spec_5g(), 15.0);
+        assert!(a.deadline_met);
+        assert!(!a.density_ok);
+        let b = analyse_fleet(profile, 50_000, 25.0, NetworkClass::target_6g(), 15.0);
+        assert!(b.density_ok);
+    }
+
+    #[test]
+    fn offered_load_linear_in_fleet() {
+        let p = IntersectionProfile::default();
+        let a = analyse_fleet(p, 100, 10.0, NetworkClass::spec_5g(), 1.0);
+        let b = analyse_fleet(p, 200, 10.0, NetworkClass::spec_5g(), 1.0);
+        assert!((b.offered_bps / a.offered_bps - 2.0).abs() < 1e-9);
+    }
+}

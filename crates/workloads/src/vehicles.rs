@@ -1,0 +1,209 @@
+//! Autonomous-vehicle workloads (Sections II-A, III-B).
+//!
+//! Two facets the paper quantifies:
+//!
+//! * **Bandwidth**: "autonomous vehicles are expected to generate up to
+//!   4 terabytes of data daily" — modelled by a per-sensor inventory whose
+//!   daily volume lands in that band;
+//! * **Latency**: V2X safety beacons (10 Hz CAM-style messages) must make
+//!   their deadline for coordinated manoeuvres; we measure the on-time
+//!   fraction under different access technologies.
+
+use serde::{Deserialize, Serialize};
+use sixg_netsim::latency::DelaySampler;
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::topology::{LinkId, NodeId, Topology};
+
+/// One onboard sensor class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Sensor name.
+    pub name: String,
+    /// Raw output rate, megabytes per second.
+    pub mb_per_s: f64,
+    /// Duty cycle (fraction of drive time active).
+    pub duty: f64,
+}
+
+/// A vehicle's sensor suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorSuite {
+    /// Sensors onboard.
+    pub sensors: Vec<Sensor>,
+    /// Driving hours per day.
+    pub hours_per_day: f64,
+}
+
+impl SensorSuite {
+    /// A representative L4 autonomy suite (camera ring, lidar, radar,
+    /// ultrasonics, GNSS/IMU, CAN telemetry).
+    pub fn l4_reference() -> Self {
+        Self {
+            sensors: vec![
+                Sensor { name: "camera-ring".into(), mb_per_s: 96.0, duty: 1.0 },
+                Sensor { name: "lidar".into(), mb_per_s: 35.0, duty: 1.0 },
+                Sensor { name: "radar".into(), mb_per_s: 2.0, duty: 1.0 },
+                Sensor { name: "ultrasonic".into(), mb_per_s: 0.1, duty: 1.0 },
+                Sensor { name: "gnss-imu".into(), mb_per_s: 0.2, duty: 1.0 },
+                Sensor { name: "can-telemetry".into(), mb_per_s: 0.5, duty: 1.0 },
+            ],
+            hours_per_day: 8.0,
+        }
+    }
+
+    /// Total data generated per day, terabytes.
+    pub fn tb_per_day(&self) -> f64 {
+        let mb_s: f64 = self.sensors.iter().map(|s| s.mb_per_s * s.duty).sum();
+        mb_s * 3600.0 * self.hours_per_day / 1e6
+    }
+
+    /// Mean uplink bandwidth needed to offload a `fraction` of the raw
+    /// data in real time, bits per second.
+    pub fn offload_bps(&self, fraction: f64) -> f64 {
+        let mb_s: f64 = self.sensors.iter().map(|s| s.mb_per_s * s.duty).sum();
+        mb_s * 1e6 * 8.0 * fraction.clamp(0.0, 1.0)
+    }
+}
+
+/// V2X safety-beacon configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct V2xConfig {
+    /// Beacon rate, Hz (ETSI CAM: 1–10 Hz).
+    pub beacon_hz: f64,
+    /// Message size, bytes.
+    pub bytes: u32,
+    /// One-way delivery deadline, ms (coordinated manoeuvres).
+    pub deadline_ms: f64,
+    /// Beacons to simulate.
+    pub count: u32,
+}
+
+impl Default for V2xConfig {
+    fn default() -> Self {
+        Self { beacon_hz: 10.0, bytes: 300, deadline_ms: 20.0, count: 5000 }
+    }
+}
+
+/// Result of a V2X beacon run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct V2xStats {
+    /// Beacons sent.
+    pub sent: u32,
+    /// Fraction delivered within the deadline.
+    pub on_time_ratio: f64,
+    /// Mean one-way delivery latency, ms.
+    pub mean_ms: f64,
+}
+
+/// Runs a beacon stream from a vehicle over `hops` (vehicle → RSU/edge),
+/// with `access` contributing the air interface.
+pub fn run_v2x(
+    topo: &Topology,
+    hops: &[(NodeId, LinkId)],
+    access: &dyn AccessModel,
+    config: V2xConfig,
+    rng: &mut SimRng,
+) -> V2xStats {
+    let sampler = DelaySampler::new(topo);
+    let mut on_time = 0u32;
+    let mut total = 0.0;
+    for _ in 0..config.count {
+        // One-way: half the sampled access RTT plus the wire path.
+        let lat = access.sample_rtt_ms(rng) / 2.0 + sampler.one_way_ms(hops, config.bytes, rng);
+        if lat <= config.deadline_ms {
+            on_time += 1;
+        }
+        total += lat;
+    }
+    V2xStats {
+        sent: config.count,
+        on_time_ratio: on_time as f64 / config.count.max(1) as f64,
+        mean_ms: total / config.count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_geo::GeoPoint;
+    use sixg_netsim::radio::{CellEnv, FiveGAccess, SixGAccess};
+    use sixg_netsim::routing::{AsGraph, PathComputer};
+    use sixg_netsim::topology::{Asn, LinkParams, NodeKind};
+
+    #[test]
+    fn l4_suite_generates_about_4tb_per_day() {
+        let suite = SensorSuite::l4_reference();
+        let tb = suite.tb_per_day();
+        assert!((3.5..=4.5).contains(&tb), "got {tb} TB/day");
+    }
+
+    #[test]
+    fn offload_bandwidth_scales() {
+        let suite = SensorSuite::l4_reference();
+        let full = suite.offload_bps(1.0);
+        let tenth = suite.offload_bps(0.1);
+        assert!((full / tenth - 10.0).abs() < 1e-9);
+        // Full raw offload needs ~1 Gbit/s.
+        assert!(full > 0.9e9 && full < 1.3e9, "full {full}");
+    }
+
+    fn rsu_path() -> (Topology, Vec<(NodeId, LinkId)>) {
+        let mut t = Topology::new();
+        let v = t.add_node(NodeKind::UserEquipment, "obu", GeoPoint::new(46.6, 14.3), Asn(1));
+        let rsu = t.add_node(NodeKind::EdgeServer, "rsu", GeoPoint::new(46.605, 14.305), Asn(1));
+        t.add_link(v, rsu, LinkParams::access_wired());
+        let g = AsGraph::new();
+        let hops = PathComputer::new(&t, &g).route(v, rsu).unwrap().hops;
+        (t, hops)
+    }
+
+    #[test]
+    fn sixg_beacons_make_deadline() {
+        let (t, hops) = rsu_path();
+        let mut rng = SimRng::from_seed(1);
+        let stats =
+            run_v2x(&t, &hops, &SixGAccess::default(), V2xConfig::default(), &mut rng);
+        assert!(stats.on_time_ratio > 0.99, "on-time {}", stats.on_time_ratio);
+    }
+
+    #[test]
+    fn loaded_5g_beacons_miss_deadline() {
+        let (t, hops) = rsu_path();
+        let mut rng = SimRng::from_seed(2);
+        let access = FiveGAccess::new(CellEnv::new(0.9, 0.4));
+        let stats = run_v2x(&t, &hops, &access, V2xConfig::default(), &mut rng);
+        assert!(stats.on_time_ratio < 0.5, "on-time {}", stats.on_time_ratio);
+        assert!(stats.mean_ms > 20.0);
+    }
+
+    #[test]
+    fn ideal_5g_is_borderline() {
+        let (t, hops) = rsu_path();
+        let mut rng = SimRng::from_seed(3);
+        let stats =
+            run_v2x(&t, &hops, &FiveGAccess::ideal(), V2xConfig::default(), &mut rng);
+        // Best-case 5G mostly makes a 20 ms one-way deadline.
+        assert!(stats.on_time_ratio > 0.9, "on-time {}", stats.on_time_ratio);
+    }
+
+    #[test]
+    fn v2x_deterministic() {
+        let (t, hops) = rsu_path();
+        let a = run_v2x(
+            &t,
+            &hops,
+            &SixGAccess::default(),
+            V2xConfig::default(),
+            &mut SimRng::from_seed(4),
+        );
+        let b = run_v2x(
+            &t,
+            &hops,
+            &SixGAccess::default(),
+            V2xConfig::default(),
+            &mut SimRng::from_seed(4),
+        );
+        assert_eq!(a, b);
+    }
+}

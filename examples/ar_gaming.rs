@@ -1,0 +1,72 @@
+//! The paper's AR dodgeball use case end to end: two headsets, three
+//! services, and the 20 ms pose budget — compared across access
+//! technologies and service placements.
+//!
+//! ```text
+//! cargo run --release --example ar_gaming
+//! ```
+
+use sixg::geo::GeoPoint;
+use sixg::netsim::radio::{AccessModel, CellEnv, FiveGAccess, SixGAccess};
+use sixg::netsim::routing::{AsGraph, PathComputer};
+use sixg::netsim::rng::SimRng;
+use sixg::netsim::topology::{Asn, LinkParams, NodeKind, Topology};
+use sixg::workloads::ar_game::{ArGame, ArGameConfig};
+use sixg::workloads::services::Service;
+use sixg::workloads::video::{VideoConfig, VideoStream};
+
+fn main() {
+    // Two players in Klagenfurt; services on the local MEC host.
+    let mut topo = Topology::new();
+    let thrower =
+        topo.add_node(NodeKind::UserEquipment, "quest-a", GeoPoint::new(46.61, 14.28), Asn(1));
+    let victim =
+        topo.add_node(NodeKind::UserEquipment, "quest-b", GeoPoint::new(46.63, 14.31), Asn(1));
+    let edge = topo.add_node(NodeKind::EdgeServer, "mec", GeoPoint::new(46.62, 14.30), Asn(1));
+    topo.add_link(thrower, edge, LinkParams::access_wired());
+    topo.add_link(victim, edge, LinkParams::access_wired());
+    let as_graph = AsGraph::new();
+    let pc = PathComputer::new(&topo, &as_graph);
+
+    let game = ArGame {
+        thrower,
+        victim,
+        video: Service::new("video-streaming", edge, 2.0),
+        controller: Service::new("remote-controller", edge, 0.5),
+        trajectory: Service::new("trajectory", edge, 1.5),
+        config: ArGameConfig { throws: 3000, ..Default::default() },
+    };
+
+    println!("{:<22} {:>10} {:>12} {:>14}", "access", "unfair", "pose age", "event latency");
+    let accesses: [(&str, Box<dyn AccessModel>); 3] = [
+        ("5G loaded cell", Box::new(FiveGAccess::new(CellEnv::new(0.9, 0.5)))),
+        ("5G ideal cell", Box::new(FiveGAccess::ideal())),
+        ("6G target", Box::new(SixGAccess::default())),
+    ];
+    for (name, access) in &accesses {
+        let mut rng = SimRng::from_seed(7);
+        let r = game
+            .play(&pc, Some(access.as_ref()), Some(access.as_ref()), &mut rng)
+            .expect("routable");
+        println!(
+            "{:<22} {:>9.2}% {:>10.1} ms {:>12.1} ms",
+            name,
+            r.unfair_ratio() * 100.0,
+            r.mean_pose_age_ms,
+            r.mean_event_latency_ms
+        );
+    }
+
+    // The bidirectional video stream between the players' views.
+    let stream = VideoStream::new(VideoConfig::ar_headset());
+    let hops = pc.route(victim, edge).expect("routable").hops;
+    let mut rng = SimRng::from_seed(8);
+    let sixg = SixGAccess::default();
+    let stats = stream.deliver(&topo, &hops, 1800, |r| sixg.sample_rtt_ms(r) / 2.0, &mut rng);
+    println!(
+        "\nvideo over 6G: {} frames, mean {:.1} ms, late {:.2} % (20 ms budget)",
+        stats.frames,
+        stats.mean_latency_ms,
+        stats.late_ratio * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! Future-work demo: federated learning at the edge (Section VI).
+//!
+//! Compares FedAvg round time and total training wall-clock across access
+//! technologies and uplink provisioning — the communication budget 6G
+//! frees up.
+//!
+//! ```text
+//! cargo run --release --example federated_edge
+//! ```
+
+use sixg::netsim::radio::{AccessModel, CellEnv, FiveGAccess, SixGAccess};
+use sixg::netsim::rng::SimRng;
+use sixg::netsim::topology::NodeId;
+use sixg::workloads::federated::{rounds_to_converge, run_federated, FlConfig};
+use sixg::workloads::services::Service;
+
+fn main() {
+    let aggregator = Service::new("fedavg-edge", NodeId(0), 50.0);
+
+    println!(
+        "{:<30} {:>12} {:>14} {:>16}",
+        "configuration", "round (s)", "straggler", "1k-round wall"
+    );
+    let cases: [(&str, f64, f64, Box<dyn AccessModel>); 4] = [
+        ("6G / 50 Mbit/s uplink", 50e6, 200e6, Box::new(SixGAccess::default())),
+        ("6G / 5 Mbit/s uplink", 5e6, 50e6, Box::new(SixGAccess::default())),
+        ("5G ideal / 50 Mbit/s", 50e6, 200e6, Box::new(FiveGAccess::ideal())),
+        (
+            "5G loaded / 50 Mbit/s",
+            50e6,
+            200e6,
+            Box::new(FiveGAccess::new(CellEnv::new(0.9, 0.7))),
+        ),
+    ];
+    for (name, up, down, access) in cases {
+        let mut cfg = FlConfig::reference(aggregator.clone(), up, down);
+        cfg.rounds = 100;
+        let mut rng = SimRng::from_seed(17);
+        let stats = run_federated(&cfg, access.as_ref(), &mut rng);
+        println!(
+            "{:<30} {:>12.2} {:>13.1}% {:>14.1} h",
+            name,
+            stats.mean_round_s,
+            stats.straggler_overhead * 100.0,
+            stats.mean_round_s * 1000.0 / 3600.0
+        );
+    }
+
+    println!("\nconvergence budget (rounds for epsilon=0.03):");
+    for k in [2usize, 5, 10, 20] {
+        println!("  {k:>2} participants/round -> {} rounds", rounds_to_converge(0.03, k));
+    }
+}

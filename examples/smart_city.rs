@@ -1,0 +1,57 @@
+//! Section III-C's scalability scenario: how many Tokyo-scale
+//! intersections can each network generation sustain, and what a factory
+//! line / vehicle fleet asks of the network.
+//!
+//! ```text
+//! cargo run --release --example smart_city
+//! ```
+
+use sixg::workloads::industrial::FactoryLine;
+use sixg::workloads::smart_city::{tokyo_scenario, NetworkClass};
+use sixg::workloads::vehicles::SensorSuite;
+use sixg::netsim::radio::{FiveGAccess, SixGAccess};
+use sixg::netsim::rng::SimRng;
+
+fn main() {
+    println!("Tokyo adaptive traffic management (50,000 intersections):");
+    println!(
+        "{:<16} {:>12} {:>10} {:>10} {:>14}",
+        "network", "sustainable", "deadline", "density", "offered Gbit/s"
+    );
+    for class in [NetworkClass::measured_5g(), NetworkClass::spec_5g(), NetworkClass::target_6g()] {
+        let a = tokyo_scenario(class);
+        println!(
+            "{:<16} {:>12} {:>10} {:>10} {:>14.1}",
+            a.class_name,
+            a.sustainable,
+            if a.deadline_met { "ok" } else { "miss" },
+            if a.density_ok { "ok" } else { "over" },
+            a.offered_bps / 1e9
+        );
+    }
+
+    let suite = SensorSuite::l4_reference();
+    println!(
+        "\nautonomous vehicle: {:.1} TB/day raw sensors; full real-time offload \
+         needs {:.2} Gbit/s uplink",
+        suite.tb_per_day(),
+        suite.offload_bps(1.0) / 1e9
+    );
+
+    let line = FactoryLine::reference();
+    println!(
+        "factory line: {} devices, {:.1} TB/day, {:.0} Mbit/s sustained",
+        line.device_count(),
+        line.tb_per_day(),
+        line.offered_bps() / 1e6
+    );
+
+    println!("\nclosed-loop feasibility per device class (fraction of loops on time):");
+    let mut rng = SimRng::from_seed(1);
+    let fiveg = line.loop_feasibility(&FiveGAccess::ideal(), 3000, &mut rng);
+    let sixg = line.loop_feasibility(&SixGAccess::default(), 3000, &mut rng);
+    println!("{:<24} {:>12} {:>12}", "class", "5G ideal", "6G target");
+    for ((name, f5), (_, f6)) in fiveg.iter().zip(&sixg) {
+        println!("{:<24} {:>11.1}% {:>11.1}%", name, f5 * 100.0, f6 * 100.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Exploring Section V-B: deploy UPFs at three tiers, optimise placement
+//! for the campaign's 33 cells, and route traffic classes dynamically.
+//!
+//! ```text
+//! cargo run --release --example upf_placement
+//! ```
+
+use sixg::core::recommend::upf::{
+    deploy_upfs, place_upfs, select_upf, service_rtt_ms, Dataplane,
+};
+use sixg::measure::klagenfurt::KlagenfurtScenario;
+use sixg::netsim::packet::TrafficClass;
+use sixg::netsim::radio::FiveGAccess;
+use sixg::netsim::routing::PathComputer;
+use sixg::netsim::rng::SimRng;
+use sixg::netsim::topology::NodeId;
+
+fn main() {
+    let mut scenario = KlagenfurtScenario::paper(42);
+    let upfs = deploy_upfs(&mut scenario, Dataplane::SmartNic);
+    println!("deployed {} UPF tiers:", upfs.len());
+    for u in &upfs {
+        println!("  {:?} at {}", u.tier, scenario.topo.node(u.node).name);
+    }
+
+    // Placement optimisation over the mobile demand.
+    let pc = PathComputer::new(&scenario.topo, &scenario.as_graph);
+    let candidates: Vec<NodeId> = upfs.iter().map(|u| u.node).collect();
+    let clients: Vec<(NodeId, f64)> = scenario.ue.values().map(|&n| (n, 1.0)).collect();
+    for k in 1..=3 {
+        let sol = place_upfs(&pc, &candidates, &clients, k);
+        let names: Vec<&str> =
+            sol.chosen.iter().map(|&n| scenario.topo.node(n).name.as_str()).collect();
+        println!("k={k}: sites {:?} -> mean UE latency {:.2} ms", names, sol.mean_latency_ms);
+    }
+
+    // Dynamic selection per traffic class from the C2 cell.
+    let c2 = sixg::geo::CellId::parse("C2").unwrap();
+    let ue = scenario.ue[&c2];
+    let access = FiveGAccess::ideal();
+    let mut rng = SimRng::from_seed(3);
+    println!("\nper-class service RTT from C2 (ideal cell, SmartNIC UPFs):");
+    for class in [
+        TrafficClass::Critical,
+        TrafficClass::Interactive,
+        TrafficClass::Management,
+        TrafficClass::Bulk,
+    ] {
+        let upf = select_upf(class, &upfs);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                service_rtt_ms(&scenario.topo, &pc, ue, upf, &access, 0.5e6, &mut rng)
+                    .expect("routable")
+            })
+            .sum::<f64>()
+            / n as f64;
+        println!("  {class:?} -> {:?} UPF: {mean:.2} ms", upf.tier);
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+use sixg::geo::{CellId, GeoPoint, GridSpec, Polyline};
+use sixg::netsim::dist::{Exponential, LogNormal, Sample, Weibull};
+use sixg::netsim::engine::Engine;
+use sixg::netsim::queueing::{md1_wait, mg1_wait, mm1_wait, Load};
+use sixg::netsim::radio::{AccessModel, CellEnv, FiveGAccess};
+use sixg::netsim::rng::{SimRng, StreamKey};
+use sixg::netsim::stats::Welford;
+use sixg::netsim::time::SimDuration;
+use sixg::netsim::topology::{Asn, LinkParams, NodeKind, Topology};
+use sixg::netsim::routing::{shortest_path, AsGraph};
+
+proptest! {
+    // --- geometry -------------------------------------------------------
+
+    #[test]
+    fn haversine_is_a_metric(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+        lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        // Symmetry.
+        prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-6);
+        // Identity.
+        prop_assert!(a.distance_km(a) < 1e-6);
+        // Triangle inequality (with numeric slack).
+        prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-6);
+    }
+
+    #[test]
+    fn destination_distance_round_trip(
+        lat in -70.0f64..70.0, lon in -170.0f64..170.0,
+        bearing in 0.0f64..360.0, dist in 0.1f64..5000.0,
+    ) {
+        let start = GeoPoint::new(lat, lon);
+        let end = start.destination(bearing, dist);
+        prop_assert!((start.distance_km(end) - dist).abs() / dist < 0.01);
+    }
+
+    #[test]
+    fn grid_locate_centroid_round_trip(cols in 1u8..12, rows in 1u8..12, cell_km in 0.2f64..3.0) {
+        let grid = GridSpec::new(GeoPoint::new(46.6, 14.3), cols, rows, cell_km);
+        for cell in grid.cells() {
+            prop_assert_eq!(grid.locate(grid.centroid(cell)), Some(cell));
+        }
+    }
+
+    #[test]
+    fn polyline_never_shorter_than_direct(
+        pts in prop::collection::vec((-60.0f64..60.0, -150.0f64..150.0), 2..8)
+    ) {
+        let line = Polyline::new(pts.iter().map(|&(la, lo)| GeoPoint::new(la, lo)).collect());
+        prop_assert!(line.geodesic_km() + 1e-6 >= line.direct_km());
+    }
+
+    // --- randomness & distributions -------------------------------------
+
+    #[test]
+    fn stream_keys_are_reproducible(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let k1 = StreamKey::root(seed).with(a).with(b);
+        let k2 = StreamKey::root(seed).with(a).with(b);
+        prop_assert_eq!(k1.value(), k2.value());
+        let mut r1 = SimRng::for_stream(k1);
+        let mut r2 = SimRng::for_stream(k2);
+        for _ in 0..16 {
+            prop_assert_eq!(r1.bits(), r2.bits());
+        }
+    }
+
+    #[test]
+    fn distributions_are_non_negative(seed in any::<u64>(), mean in 0.1f64..100.0, cv in 0.01f64..2.0) {
+        let mut rng = SimRng::from_seed(seed);
+        let ln = LogNormal::from_mean_cv(mean, cv);
+        let ex = Exponential::with_mean(mean);
+        let wb = Weibull::new(mean, 1.3);
+        for _ in 0..64 {
+            prop_assert!(ln.sample(&mut rng) > 0.0);
+            prop_assert!(ex.sample(&mut rng) >= 0.0);
+            prop_assert!(wb.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn welford_merge_is_consistent(xs in prop::collection::vec(-1e4f64..1e4, 2..200), split in 1usize..199) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    // --- queueing --------------------------------------------------------
+
+    #[test]
+    fn queueing_formulas_ordered(lambda in 0.1f64..9.0, mu in 10.0f64..20.0) {
+        let load = Load::new(lambda, mu);
+        // M/D/1 <= M/G/1(cs2<1) <= M/M/1.
+        prop_assert!(md1_wait(load) <= mg1_wait(load, 0.5) + 1e-12);
+        prop_assert!(mg1_wait(load, 0.5) <= mm1_wait(load) + 1e-12);
+        // Waits grow with load.
+        let heavier = Load::new(lambda * 1.05, mu);
+        prop_assert!(mm1_wait(heavier) >= mm1_wait(load));
+    }
+
+    // --- radio model ------------------------------------------------------
+
+    #[test]
+    fn radio_mean_monotone_in_load(load1 in 0.0f64..1.0, load2 in 0.0f64..1.0, intf in 0.0f64..1.0) {
+        let (lo, hi) = if load1 <= load2 { (load1, load2) } else { (load2, load1) };
+        let a = FiveGAccess::new(CellEnv::new(lo, intf));
+        let b = FiveGAccess::new(CellEnv::new(hi, intf));
+        prop_assert!(a.mean_rtt_ms() <= b.mean_rtt_ms() + 1e-9);
+    }
+
+    #[test]
+    fn radio_variance_monotone_in_interference(load in 0.0f64..1.0, i1 in 0.0f64..1.0, i2 in 0.0f64..1.0) {
+        let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        let a = FiveGAccess::new(CellEnv::new(load, lo));
+        let b = FiveGAccess::new(CellEnv::new(load, hi));
+        prop_assert!(a.var_rtt_ms2() <= b.var_rtt_ms2() + 1e-9);
+    }
+
+    #[test]
+    fn radio_fit_hits_feasible_targets(mean in 8.0f64..70.0, cv in 0.05f64..0.7) {
+        let std = mean * cv;
+        let m = FiveGAccess::fit(mean, std);
+        // Inside the parameter box the fit must recover the mean well;
+        // at the box edges it clamps (checked separately).
+        if m.env.load > 0.001 && m.env.load < 0.999 {
+            prop_assert!((m.mean_rtt_ms() - mean).abs() < 1.0,
+                "mean {} for target {}", m.mean_rtt_ms(), mean);
+        }
+    }
+
+    // --- engine -----------------------------------------------------------
+
+    #[test]
+    fn engine_executes_in_time_order(delays in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut world: Vec<u64> = Vec::new();
+        for &d in &delays {
+            eng.schedule(SimDuration(d), move |e, w: &mut Vec<u64>| w.push(e.now().0));
+        }
+        eng.run(&mut world);
+        prop_assert_eq!(world.len(), delays.len());
+        for pair in world.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    // --- routing -----------------------------------------------------------
+
+    #[test]
+    fn spf_path_is_connected_and_acyclic(n in 3usize..12, extra in 0usize..8, seed in any::<u64>()) {
+        let mut topo = Topology::new();
+        let mut rng = SimRng::from_seed(seed);
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let lat = 46.0 + rng.unit();
+                let lon = 14.0 + rng.unit();
+                topo.add_node(NodeKind::CoreRouter, format!("r{i}"), GeoPoint::new(lat, lon), Asn(1))
+            })
+            .collect();
+        // Spanning chain guarantees connectivity; extras add shortcuts.
+        for w in ids.windows(2) {
+            topo.add_link(w[0], w[1], LinkParams::backbone());
+        }
+        for _ in 0..extra {
+            let a = ids[rng.below(n as u64) as usize];
+            let b = ids[rng.below(n as u64) as usize];
+            if a != b {
+                topo.add_link(a, b, LinkParams::metro());
+            }
+        }
+        let (hops, cost) = shortest_path(&topo, ids[0], ids[n - 1], |_| true).expect("connected");
+        prop_assert!(cost >= 0.0);
+        // Path is loop-free.
+        let mut seen = vec![ids[0]];
+        for (node, _) in &hops {
+            prop_assert!(!seen.contains(node), "loop at {node:?}");
+            seen.push(*node);
+        }
+        prop_assert_eq!(*seen.last().unwrap(), ids[n - 1]);
+    }
+
+    #[test]
+    fn bgp_paths_are_valley_free(seed in any::<u64>(), n_as in 3u32..10) {
+        let mut rng = SimRng::from_seed(seed);
+        let mut g = AsGraph::new();
+        // Random transit tree + a few peerings.
+        for i in 1..n_as {
+            let provider = rng.below(i as u64) as u32;
+            g.add_transit(Asn(provider), Asn(i));
+        }
+        for _ in 0..n_as / 2 {
+            let a = rng.below(n_as as u64) as u32;
+            let b = rng.below(n_as as u64) as u32;
+            if a != b && g.relationship(Asn(a), Asn(b)).is_none() {
+                g.add_peering(Asn(a), Asn(b));
+            }
+        }
+        for src in 0..n_as {
+            for dst in 0..n_as {
+                if let Some(path) = g.as_path(Asn(src), Asn(dst)) {
+                    prop_assert!(g.is_valley_free(&path.asns), "{:?}", path.asns);
+                    prop_assert_eq!(*path.asns.first().unwrap(), Asn(src));
+                    prop_assert_eq!(*path.asns.last().unwrap(), Asn(dst));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cell_ids_round_trip_all_labels() {
+    for col in 0..26u8 {
+        for row in 0..99u8 {
+            let cell = CellId::new(col, row);
+            assert_eq!(CellId::parse(&cell.label()), Some(cell));
+        }
+    }
+}
