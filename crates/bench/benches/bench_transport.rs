@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sixg_geo::GeoPoint;
 use sixg_netsim::protocols::transport::{transfer, TransferConfig};
-use sixg_netsim::routing::{AsGraph, PathComputer};
 use sixg_netsim::rng::SimRng;
+use sixg_netsim::routing::{AsGraph, PathComputer};
 use sixg_netsim::topology::{Asn, LinkParams, NodeKind, Topology};
 use sixg_workloads::video::{VideoConfig, VideoStream};
 
@@ -44,13 +44,8 @@ fn bench_lossy_transfer(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            transfer(
-                &t,
-                &hops,
-                TransferConfig { loss_prob: 0.05, ..Default::default() },
-                seed,
-            )
-            .retransmissions
+            transfer(&t, &hops, TransferConfig { loss_prob: 0.05, ..Default::default() }, seed)
+                .retransmissions
         });
     });
 }

@@ -17,8 +17,8 @@ use sixg_measure::klagenfurt::{
     KlagenfurtScenario, ASCUS_AS, CAMPUS_AS, DATAPACKET_AS, IX_AS, OP_AS, ZET_AS,
 };
 use sixg_netsim::radio::{AccessModel, CellEnv, FiveGAccess};
-use sixg_netsim::routing::{AsGraph, PathComputer};
 use sixg_netsim::rng::SimRng;
+use sixg_netsim::routing::{AsGraph, PathComputer};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -36,10 +36,7 @@ fn main() {
 
     // Hypothetical: everyone peers with everyone (pure SPF world).
     let mut flat = AsGraph::new();
-    for (i, a) in [OP_AS, DATAPACKET_AS, ZET_AS, IX_AS, ASCUS_AS, CAMPUS_AS]
-        .iter()
-        .enumerate()
-    {
+    for (i, a) in [OP_AS, DATAPACKET_AS, ZET_AS, IX_AS, ASCUS_AS, CAMPUS_AS].iter().enumerate() {
         for b in &[OP_AS, DATAPACKET_AS, ZET_AS, IX_AS, ASCUS_AS, CAMPUS_AS][i + 1..] {
             flat.add_peering(*a, *b);
         }

@@ -34,7 +34,12 @@ fn main() {
     println!("{:<14} {:>10} {:>10}", "mode", "on-time", "stale");
     for mode in [ControlMode::Centralized, ControlMode::Local, ControlMode::Hybrid] {
         let s = simulate_control(mode, 20_000, 0.5, 1.2, 0.05, 100, &mut rng);
-        println!("{:<14} {:>9.1}% {:>9.1}%", format!("{mode:?}"), s.on_time_ratio * 100.0, s.stale_ratio * 100.0);
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}%",
+            format!("{mode:?}"),
+            s.on_time_ratio * 100.0,
+            s.stale_ratio * 100.0
+        );
     }
     println!(
         "\nThe paper: 'constraints imposed by real-time scheduling require a\n\

@@ -68,10 +68,16 @@ fn main() {
     let p = run_autoscale(ScalePolicy::Predictive, 96, 10e9, 1.1e9, 1e9, 5.0);
     println!(
         "{:<12} violations {:>4}   mean waste {:>7.2} Gbit/s   resizes {:>3}",
-        "static", s.violations, s.mean_waste_bps / 1e9, s.resizes
+        "static",
+        s.violations,
+        s.mean_waste_bps / 1e9,
+        s.resizes
     );
     println!(
         "{:<12} violations {:>4}   mean waste {:>7.2} Gbit/s   resizes {:>3}",
-        "predictive", p.violations, p.mean_waste_bps / 1e9, p.resizes
+        "predictive",
+        p.violations,
+        p.mean_waste_bps / 1e9,
+        p.resizes
     );
 }

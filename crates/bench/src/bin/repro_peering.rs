@@ -12,7 +12,11 @@ fn main() {
     header("Detour detection (before peering)");
     let scenario = KlagenfurtScenario::paper(REPRO_SEED);
     let detours = detect_detours(&scenario, 9);
-    compare("inefficient campaign flows", "all (hops > 10)", format!("{}/{}", detours, scenario.routes.len()));
+    compare(
+        "inefficient campaign flows",
+        "all (hops > 10)",
+        format!("{}/{}", detours, scenario.routes.len()),
+    );
 
     for depth in [PeeringDepth::LocalIsp, PeeringDepth::DirectCampus] {
         header(&format!("Local peering — {depth:?}"));

@@ -148,10 +148,8 @@ mod tests {
     #[test]
     fn predictive_cuts_violations_against_drift() {
         let epochs = 96;
-        let static_run =
-            run_autoscale(ScalePolicy::Static, epochs, 10e9, 1.1e9, 1e9, 5.0);
-        let predictive =
-            run_autoscale(ScalePolicy::Predictive, epochs, 10e9, 1.1e9, 1e9, 5.0);
+        let static_run = run_autoscale(ScalePolicy::Static, epochs, 10e9, 1.1e9, 1e9, 5.0);
+        let predictive = run_autoscale(ScalePolicy::Predictive, epochs, 10e9, 1.1e9, 1e9, 5.0);
         // The ramp (+1%/epoch) walks demand past the static reservation.
         assert!(static_run.violations > 10, "static violations {}", static_run.violations);
         assert!(

@@ -61,19 +61,12 @@ impl DetourAnalysis {
             }
             outbound_points.push(p);
         }
-        let outbound_km = if outbound_points.len() > 1 {
-            Polyline::new(outbound_points).fibre_km()
-        } else {
-            0.0
-        };
+        let outbound_km =
+            if outbound_points.len() > 1 { Polyline::new(outbound_points).fibre_km() } else { 0.0 };
 
         let dst = trace.hops.last().map(|h| h.pos).unwrap_or(src);
         let direct_km = src.distance_km(dst);
-        let farthest_km = trace
-            .hops
-            .iter()
-            .map(|h| h.pos.distance_km(src))
-            .fold(0.0, f64::max);
+        let farthest_km = trace.hops.iter().map(|h| h.pos.distance_km(src)).fold(0.0, f64::max);
 
         Self {
             city_waypoints: waypoints,

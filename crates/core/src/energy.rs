@@ -145,8 +145,8 @@ pub fn simulate_sleep(
                 SleepPolicy::ThresholdSleep => {
                     if u < sleep_threshold {
                         // Site sleeps; each request pays a wake-up.
-                        energy_wh += power.sleep_w * (1.0 - active_share)
-                            + power.active_w * active_share;
+                        energy_wh +=
+                            power.sleep_w * (1.0 - active_share) + power.active_w * active_share;
                         wake_penalty_ms += reqs * power.wake_ms;
                     } else {
                         energy_wh += base;

@@ -58,10 +58,7 @@ impl GapReport {
             })
             .collect();
         let measured = field.grand_mean_ms();
-        let best = reported
-            .iter()
-            .map(|s| s.mean_ms)
-            .fold(f64::INFINITY, f64::min);
+        let best = reported.iter().map(|s| s.mean_ms).fold(f64::INFINITY, f64::min);
         Self {
             requirement_ms: req,
             measured_mean_ms: measured,

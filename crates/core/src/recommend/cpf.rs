@@ -3,7 +3,7 @@
 //! Three executable pieces:
 //!
 //! 1. **Near-RT RIC consolidation** — "integrating subscriber policies
-//!    into the Near-Real-Time RAN Intelligent Controller … consolidate[s]
+//!    into the Near-Real-Time RAN Intelligent Controller … consolidate\[s\]
 //!    session and mobility management at the network edge": a 5G
 //!    session-establishment procedure is modelled as its actual message
 //!    sequence over NF hosts; moving the NFs from the Vienna core to the
@@ -103,9 +103,7 @@ impl ControlPlaneLayout {
         let steps = [NfKind::Amf, NfKind::Udm, NfKind::Smf, NfKind::Pcf, NfKind::Upf];
         steps
             .iter()
-            .map(|&nf| {
-                self.rtt(nf) + LogNormal::from_mean_cv(self.nf_proc_ms, 0.3).sample(rng)
-            })
+            .map(|&nf| self.rtt(nf) + LogNormal::from_mean_cv(self.nf_proc_ms, 0.3).sample(rng))
             .sum()
     }
 
@@ -357,8 +355,7 @@ mod tests {
         let layout = ControlPlaneLayout::core_hosted();
         let mut rng = SimRng::from_seed(1);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| layout.session_setup_ms(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| layout.session_setup_ms(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - layout.mean_setup_ms()).abs() < 0.2, "{mean}");
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The paper: "Local peering methods eliminate these redundant paths,
 //! creating a shorter and more optimized route between the source and
-//! destination … Horvath [3] has demonstrated that such optimization can
+//! destination … Horvath \[3\] has demonstrated that such optimization can
 //! achieve round-trip latencies as low as 1 ms."
 //!
 //! The optimizer detects policy-induced detours on given flows, then adds
@@ -64,7 +64,11 @@ pub fn summarise_flow(scenario: &KlagenfurtScenario, src: NodeId, dst: NodeId) -
     let pc = PathComputer::new(&scenario.topo, &scenario.as_graph);
     let path = pc.route(src, dst).expect("flow must route");
     let wire = pc.expected_one_way_ms(src, dst).expect("routable") * 2.0;
-    PathSummary { hops: path.hop_count(), route_km: path.route_km(&scenario.topo), wire_rtt_ms: wire }
+    PathSummary {
+        hops: path.hop_count(),
+        route_km: path.route_km(&scenario.topo),
+        wire_rtt_ms: wire,
+    }
 }
 
 /// Counts campaign flows whose route is inefficient: more hops than
@@ -76,11 +80,8 @@ pub fn detect_detours(scenario: &KlagenfurtScenario, hop_budget: usize) -> usize
         .values()
         .filter(|path| {
             let km = path.route_km(&scenario.topo);
-            let direct = scenario
-                .topo
-                .node(path.src)
-                .pos
-                .distance_km(scenario.topo.node(path.dst()).pos);
+            let direct =
+                scenario.topo.node(path.src).pos.distance_km(scenario.topo.node(path.dst()).pos);
             path.hop_count() > hop_budget || km - direct > 50.0
         })
         .count()
@@ -92,8 +93,7 @@ pub fn apply_local_peering(scenario: &mut KlagenfurtScenario, depth: PeeringDept
     let gw = scenario.gw;
     match depth {
         PeeringDepth::LocalIsp => {
-            let ascus_klu =
-                scenario.topo.find_by_name("ascus-agg-klu").expect("scenario node");
+            let ascus_klu = scenario.topo.find_by_name("ascus-agg-klu").expect("scenario node");
             scenario.topo.add_link(
                 gw,
                 ascus_klu,

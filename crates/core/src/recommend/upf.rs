@@ -13,6 +13,7 @@
 //!    processing latency by a factor of 3.75" (Jain, Panda).
 
 use serde::{Deserialize, Serialize};
+use sixg_geo::GeoPoint;
 use sixg_measure::klagenfurt::{KlagenfurtScenario, OP_AS};
 use sixg_netsim::dist::{LogNormal, Sample};
 use sixg_netsim::latency::DelaySampler;
@@ -22,7 +23,6 @@ use sixg_netsim::radio::{AccessModel, FiveGAccess};
 use sixg_netsim::rng::{SimRng, StreamKey};
 use sixg_netsim::routing::PathComputer;
 use sixg_netsim::stats::Welford;
-use sixg_geo::GeoPoint;
 use sixg_netsim::topology::{LinkParams, NodeId, NodeKind, Topology};
 
 /// Where a UPF instance sits.
@@ -100,12 +100,7 @@ impl Dataplane {
 /// breakout), matching the MEC deployments of the cited studies.
 pub fn deploy_upfs(scenario: &mut KlagenfurtScenario, dataplane: Dataplane) -> Vec<UpfInstance> {
     let topo = &mut scenario.topo;
-    let edge = topo.add_node(
-        NodeKind::Upf,
-        "upf-edge-klu",
-        GeoPoint::new(46.623, 14.301),
-        OP_AS,
-    );
+    let edge = topo.add_node(NodeKind::Upf, "upf-edge-klu", GeoPoint::new(46.623, 14.301), OP_AS);
     let regional =
         topo.add_node(NodeKind::Upf, "upf-reg-vie", GeoPoint::new(48.209, 16.365), OP_AS);
     let central =
@@ -114,16 +109,20 @@ pub fn deploy_upfs(scenario: &mut KlagenfurtScenario, dataplane: Dataplane) -> V
     let gw = scenario.gw;
     topo.add_link(gw, edge, LinkParams { bandwidth_bps: 100e9, utilisation: 0.10, extra_ms: 0.02 });
     // Regional UPF sits next to the operator's Vienna backhaul landing.
-    topo.add_link(gw, regional, LinkParams { bandwidth_bps: 100e9, utilisation: 0.30, extra_ms: 0.1 });
-    topo.add_link(gw, central, LinkParams { bandwidth_bps: 100e9, utilisation: 0.40, extra_ms: 0.5 });
+    topo.add_link(
+        gw,
+        regional,
+        LinkParams { bandwidth_bps: 100e9, utilisation: 0.30, extra_ms: 0.1 },
+    );
+    topo.add_link(
+        gw,
+        central,
+        LinkParams { bandwidth_bps: 100e9, utilisation: 0.40, extra_ms: 0.5 },
+    );
 
     // Local breakout server at the edge UPF.
-    let app = topo.add_node(
-        NodeKind::EdgeServer,
-        "mec-app-klu",
-        GeoPoint::new(46.6235, 14.3015),
-        OP_AS,
-    );
+    let app =
+        topo.add_node(NodeKind::EdgeServer, "mec-app-klu", GeoPoint::new(46.6235, 14.3015), OP_AS);
     topo.add_link(edge, app, LinkParams { bandwidth_bps: 100e9, utilisation: 0.05, extra_ms: 0.0 });
 
     scenario.refresh_routes();
@@ -197,11 +196,7 @@ pub fn place_upfs(
         }
     }
     let weight: f64 = clients.iter().map(|(_, w)| w).sum();
-    let mean = clients
-        .iter()
-        .enumerate()
-        .map(|(i, &(_, w))| w * best_to_chosen[i])
-        .sum::<f64>()
+    let mean = clients.iter().enumerate().map(|(i, &(_, w))| w * best_to_chosen[i]).sum::<f64>()
         / weight.max(1e-12);
     PlacementSolution { chosen, mean_latency_ms: mean }
 }
@@ -250,8 +245,9 @@ pub fn evaluate(seed: u64) -> UpfReport {
     let mut rng = SimRng::for_stream(StreamKey::root(seed).with_label("upf-eval"));
     let mut w_base = Welford::new();
     for _ in 0..4000 {
-        w_base
-            .push(sampler.rtt_ms(&base_path.hops, 256, &mut rng) + c2_access.sample_rtt_ms(&mut rng));
+        w_base.push(
+            sampler.rtt_ms(&base_path.hops, 256, &mut rng) + c2_access.sample_rtt_ms(&mut rng),
+        );
     }
     let _ = pc;
 
@@ -337,11 +333,10 @@ mod tests {
         // And the sampled means preserve the factor at light load.
         let mut rng = SimRng::from_seed(2);
         let n = 50_000;
-        let h: f64 =
-            (0..n).map(|_| Dataplane::HostCpu.sample_proc_ms(1e5, &mut rng)).sum::<f64>() / n as f64;
-        let s: f64 =
-            (0..n).map(|_| Dataplane::SmartNic.sample_proc_ms(1e5, &mut rng)).sum::<f64>()
-                / n as f64;
+        let h: f64 = (0..n).map(|_| Dataplane::HostCpu.sample_proc_ms(1e5, &mut rng)).sum::<f64>()
+            / n as f64;
+        let s: f64 = (0..n).map(|_| Dataplane::SmartNic.sample_proc_ms(1e5, &mut rng)).sum::<f64>()
+            / n as f64;
         assert!((h / s - 3.75).abs() < 0.4, "sampled ratio {}", h / s);
     }
 
@@ -357,8 +352,7 @@ mod tests {
         let upfs = deploy_upfs(&mut scenario, Dataplane::HostCpu);
         let pc = PathComputer::new(&scenario.topo, &scenario.as_graph);
         let candidates: Vec<NodeId> = upfs.iter().map(|u| u.node).collect();
-        let clients: Vec<(NodeId, f64)> =
-            scenario.ue.values().map(|&n| (n, 1.0)).collect();
+        let clients: Vec<(NodeId, f64)> = scenario.ue.values().map(|&n| (n, 1.0)).collect();
         let sol = place_upfs(&pc, &candidates, &clients, 1);
         assert_eq!(sol.chosen[0], upfs[0].node, "edge site must win for local demand");
         // More sites never hurt.

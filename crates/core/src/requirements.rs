@@ -3,10 +3,10 @@
 //! The paper's requirements analysis distils, per application family, the
 //! network envelope that 6G must provide: round-trip latency, sustained
 //! throughput, daily data volume, and device density. The constants below
-//! carry the paper's citations: AR motion-to-photon < 20 ms [12][13],
-//! 60 FPS ⇒ 16.6 ms frame interval, IoT protocol overhead 5–8 ms [14],
+//! carry the paper's citations: AR motion-to-photon < 20 ms \[12\]\[13\],
+//! 60 FPS ⇒ 16.6 ms frame interval, IoT protocol overhead 5–8 ms \[14\],
 //! autonomous vehicles at 4 TB/day, telemedicine above 10 GB/day, 125
-//! billion devices by 2030 [11].
+//! billion devices by 2030 \[11\].
 
 use serde::{Deserialize, Serialize};
 
@@ -16,11 +16,11 @@ pub const SIXG_LATENCY_TARGET_MS: f64 = 0.1;
 pub const FIVEG_SPEC_LATENCY_MS: f64 = 1.0;
 /// Frame interval at 60 FPS, ms.
 pub const FRAME_INTERVAL_60FPS_MS: f64 = 1000.0 / 60.0;
-/// User-perceived latency bound for interactive applications, ms [13].
+/// User-perceived latency bound for interactive applications, ms \[13\].
 pub const USER_PERCEIVED_BOUND_MS: f64 = 16.0;
-/// IoT protocol overhead band, ms [14].
+/// IoT protocol overhead band, ms \[14\].
 pub const IOT_OVERHEAD_MS: (f64, f64) = (5.0, 8.0);
-/// Global connected-device forecast for 2030 [11].
+/// Global connected-device forecast for 2030 \[11\].
 pub const DEVICES_BY_2030: f64 = 125e9;
 
 /// Application families the paper analyses.
@@ -136,10 +136,7 @@ impl ApplicationClass {
 
     /// The strictest (smallest) RTL requirement across all classes, ms.
     pub fn strictest_rtl_ms() -> f64 {
-        Self::ALL
-            .iter()
-            .map(|c| c.profile().max_rtl_ms)
-            .fold(f64::INFINITY, f64::min)
+        Self::ALL.iter().map(|c| c.profile().max_rtl_ms).fold(f64::INFINITY, f64::min)
     }
 }
 

@@ -12,7 +12,7 @@
 //!   shared link; per-slice M/G/1 latency shows isolation (a bulk
 //!   overload cannot hurt the critical slice), in contrast to a
 //!   best-effort shared queue;
-//! * [`HypervisorPlanner`] + [`ReconfigSimulation`] — placement of
+//! * [`HypervisorPlanner`] + [`simulate_reconfig`] — placement of
 //!   network-hypervisor instances under the three literature objectives,
 //!   and the reactive-vs-predictive reconfiguration comparison the paper
 //!   calls for.
@@ -85,8 +85,7 @@ impl SliceManager {
     /// Admits a slice or explains why not.
     pub fn admit(&mut self, spec: SliceSpec) -> Result<(), AdmissionError> {
         assert!(spec.reserved_bps > 0.0, "reservation must be positive");
-        if self.reserved_bps() + spec.reserved_bps > self.link_capacity_bps * self.max_reservation
-        {
+        if self.reserved_bps() + spec.reserved_bps > self.link_capacity_bps * self.max_reservation {
             return Err(AdmissionError::InsufficientCapacity);
         }
         // Even an empty slice pays one serialisation time.
@@ -136,9 +135,7 @@ impl SliceManager {
 
     /// Whether every admitted slice currently meets its bound.
     pub fn all_bounds_met(&self) -> bool {
-        self.slices
-            .iter()
-            .all(|s| self.slice_latency_ms(&s.spec.name) <= s.spec.max_latency_ms)
+        self.slices.iter().all(|s| self.slice_latency_ms(&s.spec.name) <= s.spec.max_latency_ms)
     }
 
     /// Admitted slice names.
@@ -208,9 +205,7 @@ impl HypervisorPlanner {
         } else {
             sites
                 .iter()
-                .map(|&dead| {
-                    (0..n).map(|s| nearest(s, Some(dead))).fold(0.0, f64::max)
-                })
+                .map(|&dead| (0..n).map(|s| nearest(s, Some(dead))).fold(0.0, f64::max))
                 .fold(0.0, f64::max)
         };
         // Assignment load.
@@ -224,7 +219,12 @@ impl HypervisorPlanner {
             load[best] += 1;
         }
         let max_load = sites.iter().map(|&c| load[c]).max().unwrap_or(0);
-        Placement { sites: sites.to_vec(), mean_latency_ms: mean, worst_failover_ms: worst_failover, max_load }
+        Placement {
+            sites: sites.to_vec(),
+            mean_latency_ms: mean,
+            worst_failover_ms: worst_failover,
+            max_load,
+        }
     }
 
     /// Greedy placement of `k` sites under an objective.
@@ -292,7 +292,7 @@ pub struct ReconfigStats {
 /// pattern; hosting the hypervisor in the hot region inflates its control
 /// latency past `bound_ms`. The reactive strategy migrates only after
 /// observing a violation; the predictive one extrapolates the load trend
-/// (per the paper: placement today "operate[s] in a reactive rather than
+/// (per the paper: placement today "operate\[s\] in a reactive rather than
 /// predictive manner" — this quantifies what prediction buys).
 pub fn simulate_reconfig(strategy: ReconfigStrategy, steps: u32, bound_ms: f64) -> ReconfigStats {
     let load = |t: f64, region: usize| -> f64 {
@@ -321,7 +321,7 @@ pub fn simulate_reconfig(strategy: ReconfigStrategy, steps: u32, bound_ms: f64) 
             ReconfigStrategy::Reactive => now > bound_ms,
             ReconfigStrategy::Predictive => {
                 // One-step linear extrapolation of this site's latency.
-                let next = latency(site, t + 1.0) ;
+                let next = latency(site, t + 1.0);
                 next > bound_ms && latency(other, t + 1.0) < next
             }
         };

@@ -70,8 +70,8 @@ impl GeoPoint {
         let brg = bearing_deg.to_radians();
         let ang = distance_km / EARTH_RADIUS_KM;
         let la2 = (la1.sin() * ang.cos() + la1.cos() * ang.sin() * brg.cos()).asin();
-        let lo2 = lo1
-            + (brg.sin() * ang.sin() * la1.cos()).atan2(ang.cos() - la1.sin() * la2.sin());
+        let lo2 =
+            lo1 + (brg.sin() * ang.sin() * la1.cos()).atan2(ang.cos() - la1.sin() * la2.sin());
         GeoPoint::new(la2.to_degrees(), lo2.to_degrees())
     }
 
@@ -128,7 +128,11 @@ mod tests {
         let brg = a.bearing_deg(vienna());
         let d = a.distance_km(vienna());
         let reached = a.destination(brg, d);
-        assert!(reached.distance_km(vienna()) < 0.5, "missed by {} km", reached.distance_km(vienna()));
+        assert!(
+            reached.distance_km(vienna()) < 0.5,
+            "missed by {} km",
+            reached.distance_km(vienna())
+        );
     }
 
     #[test]

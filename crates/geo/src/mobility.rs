@@ -101,11 +101,8 @@ impl ManhattanMobility {
     pub fn traverse(&self, grid: &GridSpec, included: &[CellId]) -> Traversal {
         let mut visits = Vec::with_capacity(included.len());
         for r in 0..grid.rows {
-            let cols: Vec<u8> = if r % 2 == 0 {
-                (0..grid.cols).collect()
-            } else {
-                (0..grid.cols).rev().collect()
-            };
+            let cols: Vec<u8> =
+                if r % 2 == 0 { (0..grid.cols).collect() } else { (0..grid.cols).rev().collect() };
             for c in cols {
                 let cell = CellId::new(c, r);
                 if !included.contains(&cell) {

@@ -43,7 +43,13 @@ impl DensityRaster {
     /// `decay_cells`, deterministic in the grid dimensions. This mirrors the
     /// monocentric-city density profile classically fitted to European
     /// mid-size cities.
-    pub fn synth_urban(grid: &GridSpec, core_col: f64, core_row: f64, peak: f64, decay_cells: f64) -> Self {
+    pub fn synth_urban(
+        grid: &GridSpec,
+        core_col: f64,
+        core_row: f64,
+        peak: f64,
+        decay_cells: f64,
+    ) -> Self {
         let mut density = Vec::with_capacity(grid.len());
         for r in 0..grid.rows {
             for c in 0..grid.cols {

@@ -76,12 +76,7 @@ impl CellField {
         if w.count() < MIN_SAMPLES {
             CellStats { cell, count: w.count(), mean_ms: 0.0, std_ms: 0.0 }
         } else {
-            CellStats {
-                cell,
-                count: w.count(),
-                mean_ms: w.mean(),
-                std_ms: w.sample_std_dev(),
-            }
+            CellStats { cell, count: w.count(), mean_ms: w.mean(), std_ms: w.sample_std_dev() }
         }
     }
 

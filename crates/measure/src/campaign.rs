@@ -125,9 +125,7 @@ impl<'a> MobileCampaign<'a> {
         let access = s.access_for(c2);
         let key = StreamKey::root(s.seed).with_label("traceroute").with(rep);
         let mut rng = SimRng::for_stream(key);
-        pinger
-            .traceroute(ue, anchor, Some(access), &mut rng)
-            .expect("table1 path must route")
+        pinger.traceroute(ue, anchor, Some(access), &mut rng).expect("table1 path must route")
     }
 }
 
@@ -163,8 +161,7 @@ mod tests {
         let s = scenario();
         let c = MobileCampaign::new(&s, CampaignConfig::default());
         let field = c.run();
-        let counts: Vec<u64> =
-            field.reported().iter().map(|st| st.count).collect();
+        let counts: Vec<u64> = field.reported().iter().map(|st| st.count).collect();
         let min = counts.iter().min().unwrap();
         let max = counts.iter().max().unwrap();
         assert!(max > min, "dwell jitter must vary counts ({min}..{max})");

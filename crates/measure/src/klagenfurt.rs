@@ -47,7 +47,7 @@ pub const IX_AS: Asn = Asn(39912);
 pub const ASCUS_AS: Asn = Asn(8445);
 /// University campus AS hosting the anchor (hop 10).
 pub const CAMPUS_AS: Asn = Asn(5383);
-/// Exoscale-like Vienna cloud (the 7–12 ms wired reference of [3]).
+/// Exoscale-like Vienna cloud (the 7–12 ms wired reference of \[3\]).
 pub const CLOUD_AS: Asn = Asn(61098);
 
 /// Per-cell calibration targets encoding the paper's Figures 2 and 3.
@@ -180,8 +180,9 @@ impl KlagenfurtScenario {
         // to the <1000 /km² threshold).
         for cell in grid.cells() {
             let d = density.density(cell);
-            let jitter = (sixg_geo::mobility::mix64(seed ^ (cell.col as u64) << 8 ^ cell.row as u64)
-                % 200) as f64;
+            let jitter =
+                (sixg_geo::mobility::mix64(seed ^ (cell.col as u64) << 8 ^ cell.row as u64) % 200)
+                    as f64;
             if targets.traversed(cell) && d < SPARSE_THRESHOLD {
                 density.set_density(cell, 1020.0 + jitter);
             } else if !targets.traversed(cell) && d >= SPARSE_THRESHOLD {
@@ -272,9 +273,7 @@ impl KlagenfurtScenario {
 
     /// Calibrated access model for a traversed cell.
     pub fn access_for(&self, cell: CellId) -> &FiveGAccess {
-        self.access
-            .get(&cell)
-            .unwrap_or_else(|| panic!("cell {cell} not traversed / calibrated"))
+        self.access.get(&cell).unwrap_or_else(|| panic!("cell {cell} not traversed / calibrated"))
     }
 
     /// A neutral 5G access model for nodes outside calibrated cells.
@@ -306,13 +305,9 @@ struct ScenarioNodes {
     cloud: NodeId,
 }
 
-fn build_topology(
-    grid: &GridSpec,
-    included: &[CellId],
-) -> (Topology, NameRegistry, ScenarioNodes) {
+fn build_topology(grid: &GridSpec, included: &[CellId]) -> (Topology, NameRegistry, ScenarioNodes) {
     let mut t = Topology::new();
     let mut names = NameRegistry::new();
-
 
     let prg = City::Prague.position();
     let buh = City::Bucharest.position();
@@ -323,12 +318,20 @@ fn build_topology(
     names.pin_name(gw, "10.12.128.1");
 
     // --- DataPacket / CDN77, Vienna (hops 2-3) ----------------------------
-    let dp_vie =
-        t.add_node(NodeKind::BorderRouter, "dp-edge-vie", GeoPoint::new(48.210, 16.363), DATAPACKET_AS);
+    let dp_vie = t.add_node(
+        NodeKind::BorderRouter,
+        "dp-edge-vie",
+        GeoPoint::new(48.210, 16.363),
+        DATAPACKET_AS,
+    );
     names.pin_ip(dp_vie, [37, 19, 223, 61]);
     names.pin_name(dp_vie, "unn-37-19-223-61.datapacket.com");
-    let cdn_vie =
-        t.add_node(NodeKind::CoreRouter, "cdn77-core-vie", GeoPoint::new(48.203, 16.378), DATAPACKET_AS);
+    let cdn_vie = t.add_node(
+        NodeKind::CoreRouter,
+        "cdn77-core-vie",
+        GeoPoint::new(48.203, 16.378),
+        DATAPACKET_AS,
+    );
     names.pin_ip(cdn_vie, [185, 156, 45, 138]);
     names.pin_name(cdn_vie, "vl204.vie-itx1-core-2.cdn77.com");
 
@@ -345,13 +348,18 @@ fn build_topology(
     names.pin_name(amanet_buh, "amanet-cust.zet.net");
 
     // --- AS39912, Vienna (hop 7) ------------------------------------------
-    let ix_vie = t.add_node(NodeKind::BorderRouter, "mx204-vie", GeoPoint::new(48.195, 16.370), IX_AS);
+    let ix_vie =
+        t.add_node(NodeKind::BorderRouter, "mx204-vie", GeoPoint::new(48.195, 16.370), IX_AS);
     names.pin_ip(ix_vie, [185, 211, 219, 155]);
     names.pin_name(ix_vie, "ae2-97.mx204-1.ix.vie.at.as39912.net");
 
     // --- ascus.at (hops 8-9) ----------------------------------------------
-    let ascus_vie =
-        t.add_node(NodeKind::BorderRouter, "ascus-bras-vie", GeoPoint::new(48.220, 16.390), ASCUS_AS);
+    let ascus_vie = t.add_node(
+        NodeKind::BorderRouter,
+        "ascus-bras-vie",
+        GeoPoint::new(48.220, 16.390),
+        ASCUS_AS,
+    );
     names.pin_ip(ascus_vie, [195, 16, 228, 3]);
     names.pin_name(ascus_vie, "003-228-016-195.ascus.at");
     let ascus_klu =
@@ -366,8 +374,7 @@ fn build_topology(
     names.pin_name(anchor, "195.140.139.133");
 
     // --- Exoscale-like cloud, Vienna --------------------------------------
-    let cloud =
-        t.add_node(NodeKind::CloudDc, "cloud-vie", GeoPoint::new(48.230, 16.410), CLOUD_AS);
+    let cloud = t.add_node(NodeKind::CloudDc, "cloud-vie", GeoPoint::new(48.230, 16.410), CLOUD_AS);
     names.register_org(
         CLOUD_AS,
         OrgProfile {
@@ -384,21 +391,41 @@ fn build_topology(
     // DataPacket internal Vienna fabric.
     t.add_link(dp_vie, cdn_vie, LinkParams::backbone());
     // Vienna→Prague private peering wave towards zet.
-    t.add_link(cdn_vie, zet_prg, LinkParams { bandwidth_bps: 10e9, utilisation: 0.55, extra_ms: 0.4 });
+    t.add_link(
+        cdn_vie,
+        zet_prg,
+        LinkParams { bandwidth_bps: 10e9, utilisation: 0.55, extra_ms: 0.4 },
+    );
     // zet internal: Prague fabric → Bucharest core.
-    t.add_link(zet_prg, zet_buh, LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.5 });
+    t.add_link(
+        zet_prg,
+        zet_buh,
+        LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.5 },
+    );
     t.add_link(zet_buh, amanet_buh, LinkParams::backbone());
     // Bucharest → Vienna long-haul into AS39912.
-    t.add_link(amanet_buh, ix_vie, LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.4 });
+    t.add_link(
+        amanet_buh,
+        ix_vie,
+        LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.4 },
+    );
     // AS39912 → ascus.
     t.add_link(ix_vie, ascus_vie, LinkParams::metro());
     // ascus internal aggregation, Vienna → Klagenfurt.
-    t.add_link(ascus_vie, ascus_klu, LinkParams { bandwidth_bps: 10e9, utilisation: 0.45, extra_ms: 0.2 });
+    t.add_link(
+        ascus_vie,
+        ascus_klu,
+        LinkParams { bandwidth_bps: 10e9, utilisation: 0.45, extra_ms: 0.2 },
+    );
     // ascus → campus access.
     t.add_link(ascus_klu, anchor, LinkParams::access_wired());
     // ascus ↔ cloud peering in Vienna (cloud ingress pipeline adds fixed
     // processing).
-    t.add_link(ascus_vie, cloud, LinkParams { bandwidth_bps: 100e9, utilisation: 0.30, extra_ms: 2.0 });
+    t.add_link(
+        ascus_vie,
+        cloud,
+        LinkParams { bandwidth_bps: 100e9, utilisation: 0.30, extra_ms: 2.0 },
+    );
 
     // --- Mobile UEs (one per traversed cell) -------------------------------
     let mut ue = BTreeMap::new();
@@ -555,10 +582,7 @@ mod tests {
                 (total_mean - want_mean).abs() < 1.5,
                 "{label}: mean {total_mean} want {want_mean}"
             );
-            assert!(
-                (total_std - want_std).abs() < 2.0,
-                "{label}: std {total_std} want {want_std}"
-            );
+            assert!((total_std - want_std).abs() < 2.0, "{label}: std {total_std} want {want_std}");
         }
     }
 

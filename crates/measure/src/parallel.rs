@@ -66,8 +66,7 @@ pub fn seed_sweep(
     seeds
         .par_iter()
         .map(|&seed| {
-            let field =
-                MobileCampaign::new(scenario, CampaignConfig { seed, ..base }).run();
+            let field = MobileCampaign::new(scenario, CampaignConfig { seed, ..base }).run();
             let (min, max) = field.mean_extrema().expect("non-empty campaign");
             SweepPoint {
                 seed,

@@ -119,8 +119,7 @@ impl SkopjeScenario {
             .iter()
             .map(|l| CellId::parse(l).expect("static label"))
             .collect();
-        let included: Vec<CellId> =
-            grid.cells().filter(|c| !skipped.contains(c)).collect();
+        let included: Vec<CellId> = grid.cells().filter(|c| !skipped.contains(c)).collect();
 
         let (topo, names, gw, anchor, ue) = build_topology(&grid, &included);
         let as_graph = build_as_graph();
@@ -149,7 +148,9 @@ impl SkopjeScenario {
             let ue = self.ue[&cell];
             let path = pc.route(ue, self.anchor).expect("anchor routable");
             let sampler = DelaySampler::new(&self.topo);
-            let key = StreamKey::root(self.seed).with_label("skopje-cal").with(cell.col as u64)
+            let key = StreamKey::root(self.seed)
+                .with_label("skopje-cal")
+                .with(cell.col as u64)
                 .with(cell.row as u64);
             let mut rng = SimRng::for_stream(key);
             let mut w = Welford::new();
@@ -180,8 +181,7 @@ impl SkopjeScenario {
                 .with(((cell.col as u64) << 8) | cell.row as u64);
             let mut rng = SimRng::for_stream(key);
             for _ in 0..samples_per_cell {
-                let rtt =
-                    sampler.rtt_ms(&path.hops, 64, &mut rng) + access.sample_rtt_ms(&mut rng);
+                let rtt = sampler.rtt_ms(&path.hops, 64, &mut rng) + access.sample_rtt_ms(&mut rng);
                 field.push(cell, rtt);
             }
         }
@@ -203,8 +203,12 @@ fn build_topology(
     let gw = t.add_node(NodeKind::CoreRouter, "mk-cgnat-skp", skp, MK_OP_AS);
     let tr_vie = t.add_node(NodeKind::BorderRouter, "transit-vie", vie, TRANSIT_VIE_AS);
     let carrier_fra = t.add_node(NodeKind::CoreRouter, "carrier-fra", fra, CARRIER_FRA_AS);
-    let carrier_vie =
-        t.add_node(NodeKind::CoreRouter, "carrier-vie", GeoPoint::new(48.21, 16.39), CARRIER_FRA_AS);
+    let carrier_vie = t.add_node(
+        NodeKind::CoreRouter,
+        "carrier-vie",
+        GeoPoint::new(48.21, 16.39),
+        CARRIER_FRA_AS,
+    );
     let isp_skp =
         t.add_node(NodeKind::CoreRouter, "mk-isp-skp", GeoPoint::new(42.00, 21.43), MK_ISP_AS);
     let e3 = CellId::parse("C3").expect("static label");
@@ -214,8 +218,16 @@ fn build_topology(
     // hairpins via Frankfurt before descending to the local ISP.
     t.add_link(gw, tr_vie, LinkParams { bandwidth_bps: 40e9, utilisation: 0.55, extra_ms: 0.6 });
     t.add_link(tr_vie, carrier_vie, LinkParams::transit_loaded());
-    t.add_link(carrier_vie, carrier_fra, LinkParams { bandwidth_bps: 10e9, utilisation: 0.55, extra_ms: 0.5 });
-    t.add_link(carrier_fra, isp_skp, LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.6 });
+    t.add_link(
+        carrier_vie,
+        carrier_fra,
+        LinkParams { bandwidth_bps: 10e9, utilisation: 0.55, extra_ms: 0.5 },
+    );
+    t.add_link(
+        carrier_fra,
+        isp_skp,
+        LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.6 },
+    );
     t.add_link(isp_skp, anchor, LinkParams::access_wired());
 
     let mut ue = BTreeMap::new();
@@ -325,10 +337,7 @@ mod tests {
         let a = SkopjeScenario::projected(9);
         let b = SkopjeScenario::projected(9);
         for cell in &a.included {
-            assert_eq!(
-                a.access[cell].env.load.to_bits(),
-                b.access[cell].env.load.to_bits()
-            );
+            assert_eq!(a.access[cell].env.load.to_bits(), b.access[cell].env.load.to_bits());
         }
     }
 }

@@ -54,9 +54,9 @@ pub fn mean_agreement(field: &CellField, targets: &TargetField) -> FieldAgreemen
     let (min, max) = field.mean_extrema().expect("non-empty field");
     let (tmin, tmax) = target_extrema(targets, &grid, |t, c| t.mean_of(c));
     agreement(
-        grid.cells().filter(|c| targets.traversed(*c)).map(|c| {
-            (targets.mean_of(c), field.stats(c).mean_ms)
-        }),
+        grid.cells()
+            .filter(|c| targets.traversed(*c))
+            .map(|c| (targets.mean_of(c), field.stats(c).mean_ms)),
         min.cell == tmin,
         max.cell == tmax,
     )
@@ -68,9 +68,9 @@ pub fn std_agreement(field: &CellField, targets: &TargetField) -> FieldAgreement
     let (min, max) = field.std_extrema().expect("non-empty field");
     let (tmin, tmax) = target_extrema(targets, &grid, |t, c| t.std_of(c));
     agreement(
-        grid.cells().filter(|c| targets.traversed(*c)).map(|c| {
-            (targets.std_of(c), field.stats(c).std_ms)
-        }),
+        grid.cells()
+            .filter(|c| targets.traversed(*c))
+            .map(|c| (targets.std_of(c), field.stats(c).std_ms)),
         min.cell == tmin,
         max.cell == tmax,
     )

@@ -72,8 +72,8 @@ impl<'a> WiredCampaign<'a> {
                     .with(ti as u64);
                 let mut rng = SimRng::for_stream(key);
                 for _ in 0..self.samples_per_pair {
-                    let rtt = sampler.rtt_ms(&path.hops, 64, &mut rng)
-                        + access.sample_rtt_ms(&mut rng);
+                    let rtt =
+                        sampler.rtt_ms(&path.hops, 64, &mut rng) + access.sample_rtt_ms(&mut rng);
                     all.push(rtt);
                     if dst == s.cloud {
                         cloud.push(rtt);
@@ -122,11 +122,7 @@ mod tests {
         // Horvath et al. [3]: Klagenfurt→Exoscale 7–12 ms over wires.
         let s = scenario();
         let wired = WiredCampaign::new(&s, 3).run();
-        assert!(
-            (7.0..=12.0).contains(&wired.cloud_mean_ms),
-            "cloud mean {}",
-            wired.cloud_mean_ms
-        );
+        assert!((7.0..=12.0).contains(&wired.cloud_mean_ms), "cloud mean {}", wired.cloud_mean_ms);
     }
 
     #[test]

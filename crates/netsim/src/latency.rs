@@ -88,11 +88,7 @@ impl<'a> DelaySampler<'a> {
         // Waiting time in M/G/1 is approximately exponential at moderate
         // load; sampling it exponential with the P-K mean is the standard
         // fast abstraction.
-        let queue = if qmean > 0.0 {
-            -(1.0 - rng.unit()).ln() * qmean
-        } else {
-            0.0
-        };
+        let queue = if qmean > 0.0 { -(1.0 - rng.unit()).ln() * qmean } else { 0.0 };
         let proc_mean = self.topo.node(into).kind.base_processing_ms();
         let proc = LogNormal::from_mean_cv(proc_mean, PROCESSING_CV).sample(rng);
         fixed + queue + proc
@@ -197,8 +193,10 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node(NodeKind::Server, "a", GeoPoint::new(46.6, 14.3), Asn(1));
         let b = t.add_node(NodeKind::Server, "b", GeoPoint::new(46.7, 14.4), Asn(1));
-        let quiet = t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 0.1, extra_ms: 0.0 });
-        let busy = t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 0.9, extra_ms: 0.0 });
+        let quiet =
+            t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 0.1, extra_ms: 0.0 });
+        let busy =
+            t.add_link(a, b, LinkParams { bandwidth_bps: 1e9, utilisation: 0.9, extra_ms: 0.0 });
         assert!(mean_queue_ms(&t, busy) > 10.0 * mean_queue_ms(&t, quiet));
         assert!(expected_link_ms(&t, busy, b) > expected_link_ms(&t, quiet, b));
     }

@@ -134,10 +134,9 @@ impl NameRegistry {
                 let label = n.name.split('-').next().unwrap_or("host");
                 format!("{label}.{}", org.domain)
             }
-            NameStyle::ReverseOctets => format!(
-                "{:03}-{:03}-{:03}-{:03}.{}",
-                ip[3], ip[2], ip[1], ip[0], org.domain
-            ),
+            NameStyle::ReverseOctets => {
+                format!("{:03}-{:03}-{:03}-{:03}.{}", ip[3], ip[2], ip[1], ip[0], org.domain)
+            }
             NameStyle::Unresolved => format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]),
         }
     }

@@ -159,7 +159,11 @@ mod tests {
         let mut w_slow = Welford::new();
         for _ in 0..20_000 {
             w_fast.push(IotProtocol::Mqtt.publish_latency_ms(5.0, QosLevel::AtLeastOnce, &mut rng));
-            w_slow.push(IotProtocol::Mqtt.publish_latency_ms(60.0, QosLevel::AtLeastOnce, &mut rng));
+            w_slow.push(IotProtocol::Mqtt.publish_latency_ms(
+                60.0,
+                QosLevel::AtLeastOnce,
+                &mut rng,
+            ));
         }
         assert!((w_slow.mean() - w_fast.mean() - 55.0).abs() < 0.5);
     }

@@ -207,12 +207,8 @@ mod tests {
     fn loss_causes_retransmissions_and_slowdown() {
         let (t, hops) = path();
         let clean = transfer(&t, &hops, TransferConfig::default(), 2);
-        let lossy = transfer(
-            &t,
-            &hops,
-            TransferConfig { loss_prob: 0.05, ..TransferConfig::default() },
-            2,
-        );
+        let lossy =
+            transfer(&t, &hops, TransferConfig { loss_prob: 0.05, ..TransferConfig::default() }, 2);
         assert!(lossy.retransmissions > 0);
         assert!(lossy.duration > clean.duration);
         assert!(lossy.goodput_bps < clean.goodput_bps);
@@ -221,18 +217,10 @@ mod tests {
     #[test]
     fn bigger_window_is_faster() {
         let (t, hops) = path();
-        let small = transfer(
-            &t,
-            &hops,
-            TransferConfig { window: 2, ..TransferConfig::default() },
-            3,
-        );
-        let large = transfer(
-            &t,
-            &hops,
-            TransferConfig { window: 64, ..TransferConfig::default() },
-            3,
-        );
+        let small =
+            transfer(&t, &hops, TransferConfig { window: 2, ..TransferConfig::default() }, 3);
+        let large =
+            transfer(&t, &hops, TransferConfig { window: 64, ..TransferConfig::default() }, 3);
         assert!(
             large.goodput_bps > 2.0 * small.goodput_bps,
             "large {} vs small {}",
@@ -253,12 +241,8 @@ mod tests {
     #[test]
     fn tiny_transfer_single_segment() {
         let (t, hops) = path();
-        let stats = transfer(
-            &t,
-            &hops,
-            TransferConfig { bytes: 100, ..TransferConfig::default() },
-            4,
-        );
+        let stats =
+            transfer(&t, &hops, TransferConfig { bytes: 100, ..TransferConfig::default() }, 4);
         assert_eq!(stats.transmissions, 1);
     }
 }

@@ -421,9 +421,7 @@ mod tests {
         assert_eq!(g.as_path(A, B).unwrap().crossings(), 1);
         // …but if the A-B adjacency has no physical link, BGP falls back
         // to the transit hierarchy.
-        let p = g
-            .as_path_where(A, B, |x, y| !(x == A && y == B || x == B && y == A))
-            .unwrap();
+        let p = g.as_path_where(A, B, |x, y| !(x == A && y == B || x == B && y == A)).unwrap();
         assert_eq!(p.asns, vec![A, T1, TIER1, T2, B]);
         assert_eq!(p.pref, RoutePref::Provider);
     }

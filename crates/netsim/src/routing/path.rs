@@ -86,17 +86,16 @@ impl<'a> PathComputer<'a> {
                 (a.min(b), a.max(b))
             })
             .collect();
-        let as_path = self.as_graph.as_path_where(src_as, dst_as, |a, b| {
-            phys.contains(&(a.0.min(b.0), a.0.max(b.0)))
-        })?;
+        let as_path = self
+            .as_graph
+            .as_path_where(src_as, dst_as, |a, b| phys.contains(&(a.0.min(b.0), a.0.max(b.0))))?;
 
         let mut hops: Vec<(NodeId, LinkId)> = Vec::new();
         let mut current = src;
 
         for w in as_path.asns.windows(2) {
             let (here, next) = (w[0], w[1]);
-            let (egress_hops, cross_link, ingress) =
-                self.best_crossing(current, here, next)?;
+            let (egress_hops, cross_link, ingress) = self.best_crossing(current, here, next)?;
             hops.extend(egress_hops);
             hops.push((ingress, cross_link));
             current = ingress;
@@ -113,23 +112,13 @@ impl<'a> PathComputer<'a> {
     /// Expected one-way latency of the routed path, ms (`None` if no route).
     pub fn expected_one_way_ms(&self, src: NodeId, dst: NodeId) -> Option<f64> {
         let path = self.route(src, dst)?;
-        Some(
-            path.hops
-                .iter()
-                .map(|&(into, link)| expected_link_ms(self.topo, link, into))
-                .sum(),
-        )
+        Some(path.hops.iter().map(|&(into, link)| expected_link_ms(self.topo, link, into)).sum())
     }
 
     /// Picks the cheapest egress crossing from `current` (inside `here`)
     /// into AS `next`: returns `(intra hops to the egress border router,
     /// crossing link, ingress node in next)`.
-    fn best_crossing(
-        &self,
-        current: NodeId,
-        here: Asn,
-        next: Asn,
-    ) -> Option<Crossing> {
+    fn best_crossing(&self, current: NodeId, here: Asn, next: Asn) -> Option<Crossing> {
         let admit = |n: NodeId| self.topo.node(n).asn == here;
         let (dist, prev) = spf::dijkstra(self.topo, current, admit);
 
@@ -253,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn same_as_uses_spf_only(){
+    fn same_as_uses_spf_only() {
         let (t, asg, ue, _) = internet();
         let op_br = t.find_by_name("op-br").unwrap();
         let pc = PathComputer::new(&t, &asg);

@@ -65,11 +65,8 @@ impl FlowTrace {
     pub fn render_table(&self) -> String {
         let mut out = String::from("Hop  Node\n");
         for h in &self.hops {
-            let display = if h.name == h.ip {
-                h.ip.clone()
-            } else {
-                format!("{} [{}]", h.name, h.ip)
-            };
+            let display =
+                if h.name == h.ip { h.ip.clone() } else { format!("{} [{}]", h.name, h.ip) };
             out.push_str(&format!("{:>3}  {display}\n", h.hop));
         }
         out

@@ -8,7 +8,7 @@
 //! 3. **Trajectory** applies the event to the stream and renders the
 //!    ball's flight.
 //!
-//! The paper's QoE criterion: with a round-trip budget of 20 ms [15], a
+//! The paper's QoE criterion: with a round-trip budget of 20 ms \[15\], a
 //! player must never be "struck by a ball even though their physical
 //! location no longer aligns with the virtual ball's position". We model
 //! exactly that failure: if the victim's pose, as known to the Trajectory
@@ -102,10 +102,8 @@ impl ArGame {
         rng: &mut SimRng,
     ) -> Option<ArGameResult> {
         // Event chain: thrower → controller → trajectory.
-        let event_chain = ServiceChain::new(
-            self.thrower,
-            vec![self.controller.clone(), self.trajectory.clone()],
-        );
+        let event_chain =
+            ServiceChain::new(self.thrower, vec![self.controller.clone(), self.trajectory.clone()]);
         // Display chain: trajectory → video → victim (modelled as a chain
         // from the trajectory host).
         let display_chain = ServiceChain::new(
@@ -122,8 +120,7 @@ impl ArGame {
         for _ in 0..self.config.throws {
             let up = event_chain.sample_ms(pc, 200, rng)?;
             let down = display_chain.sample_ms(pc, 1200, rng)?;
-            let thrower_air =
-                thrower_access.map(|a| a.sample_rtt_ms(rng) / 2.0).unwrap_or(0.0);
+            let thrower_air = thrower_access.map(|a| a.sample_rtt_ms(rng) / 2.0).unwrap_or(0.0);
             let victim_air = victim_access.map(|a| a.sample_rtt_ms(rng) / 2.0).unwrap_or(0.0);
             let event_latency = up.total_ms + thrower_air + down.total_ms + victim_air;
 
@@ -184,7 +181,11 @@ mod tests {
         let cloud = t.add_node(NodeKind::CloudDc, "cloud", GeoPoint::new(48.21, 16.37), Asn(1));
         t.add_link(a, edge, LinkParams::access_wired());
         t.add_link(b, edge, LinkParams::access_wired());
-        t.add_link(edge, cloud, LinkParams { bandwidth_bps: 10e9, utilisation: 0.5, extra_ms: 1.0 });
+        t.add_link(
+            edge,
+            cloud,
+            LinkParams { bandwidth_bps: 10e9, utilisation: 0.5, extra_ms: 1.0 },
+        );
         (t, AsGraph::new(), a, b, edge, cloud)
     }
 
@@ -231,8 +232,7 @@ mod tests {
         let pc = PathComputer::new(&t, &g);
         let access = SixGAccess::default();
         let mut rng = SimRng::from_seed(3);
-        let edge_r =
-            game_on(edge, a, b).play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
+        let edge_r = game_on(edge, a, b).play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
         let cloud_r =
             game_on(cloud, a, b).play(&pc, Some(&access), Some(&access), &mut rng).unwrap();
         assert!(cloud_r.mean_event_latency_ms > edge_r.mean_event_latency_ms);

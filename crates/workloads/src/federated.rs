@@ -53,13 +53,7 @@ impl FlConfig {
                 compute_s: 2.0 + 6.0 * (i as f64 / 19.0),
             })
             .collect();
-        Self {
-            model_bytes: 5_000_000,
-            clients,
-            participants_per_round: 10,
-            aggregator,
-            rounds: 50,
-        }
+        Self { model_bytes: 5_000_000, clients, participants_per_round: 10, aggregator, rounds: 50 }
     }
 }
 
@@ -81,11 +75,7 @@ pub struct FlStats {
 
 /// Simulates synchronous FedAvg. `access_rtt_ms` samples the per-message
 /// radio RTT contribution (handshakes per transfer leg).
-pub fn run_federated(
-    config: &FlConfig,
-    access: &dyn AccessModel,
-    rng: &mut SimRng,
-) -> FlStats {
+pub fn run_federated(config: &FlConfig, access: &dyn AccessModel, rng: &mut SimRng) -> FlStats {
     assert!(config.participants_per_round >= 1);
     assert!(config.participants_per_round <= config.clients.len());
     let bits = config.model_bytes as f64 * 8.0;
@@ -112,16 +102,14 @@ pub fn run_federated(
                 };
                 let down = bits / c.downlink_bps + handshakes(rng);
                 let up = bits / c.uplink_bps + handshakes(rng);
-                let compute =
-                    LogNormal::from_mean_cv(c.compute_s, 0.25).sample(rng);
+                let compute = LogNormal::from_mean_cv(c.compute_s, 0.25).sample(rng);
                 down + compute + up
             })
             .collect();
         completion.sort_by(f64::total_cmp);
         let slowest = *completion.last().expect("participants");
         let median = completion[completion.len() / 2];
-        let agg = LogNormal::from_mean_cv(config.aggregator.proc_ms / 1e3 + 0.05, 0.2)
-            .sample(rng);
+        let agg = LogNormal::from_mean_cv(config.aggregator.proc_ms / 1e3 + 0.05, 0.2).sample(rng);
 
         let round = slowest + agg;
         round_w.push(round);
@@ -183,11 +171,8 @@ mod tests {
     fn loaded_5g_access_adds_handshake_latency() {
         // Same random stream for both runs: the only difference is the
         // access model, so the comparison is exact, not statistical.
-        let sixg = run_federated(
-            &config(50e6, 200e6),
-            &SixGAccess::default(),
-            &mut SimRng::from_seed(3),
-        );
+        let sixg =
+            run_federated(&config(50e6, 200e6), &SixGAccess::default(), &mut SimRng::from_seed(3));
         let fiveg = run_federated(
             &config(50e6, 200e6),
             &FiveGAccess::new(CellEnv::new(0.9, 0.8)),

@@ -87,10 +87,7 @@ impl FactoryLine {
 
     /// Aggregate offered load, bits per second.
     pub fn offered_bps(&self) -> f64 {
-        self.classes
-            .iter()
-            .map(|c| c.count as f64 * c.rate_hz * c.bytes as f64 * 8.0)
-            .sum()
+        self.classes.iter().map(|c| c.count as f64 * c.rate_hz * c.bytes as f64 * 8.0).sum()
     }
 
     /// Data generated per day, terabytes.
@@ -111,9 +108,7 @@ impl FactoryLine {
             .iter()
             .filter_map(|c| {
                 let deadline = c.loop_deadline_ms?;
-                let ok = (0..samples)
-                    .filter(|_| access.sample_rtt_ms(rng) <= deadline)
-                    .count();
+                let ok = (0..samples).filter(|_| access.sample_rtt_ms(rng) <= deadline).count();
                 Some((c.name.clone(), ok as f64 / samples.max(1) as f64))
             })
             .collect()

@@ -10,7 +10,7 @@
 //!   generation, frame deadlines at 60 FPS / 16.6 ms);
 //! * [`ar_game`] — the AR dodgeball application with its three services
 //!   (Video Streaming, Remote Controller, Trajectory) and the 20 ms
-//!   round-trip budget of [15];
+//!   round-trip budget of \[15\];
 //! * [`vehicles`] — autonomous-vehicle workloads (4 TB/day sensor load,
 //!   10 Hz V2X safety beacons);
 //! * [`smart_city`] — the adaptive traffic-management scenario (up to

@@ -114,10 +114,10 @@ impl ServiceChain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sixg_geo::GeoPoint;
     use sixg_netsim::routing::AsGraph;
     use sixg_netsim::stats::Welford;
     use sixg_netsim::topology::{Asn, LinkParams, NodeKind, Topology};
-    use sixg_geo::GeoPoint;
 
     fn world() -> (Topology, AsGraph, NodeId, NodeId, NodeId) {
         let mut t = Topology::new();

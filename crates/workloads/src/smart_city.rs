@@ -102,7 +102,8 @@ pub fn analyse_fleet(
     let sustainable = if !deadline_met {
         0
     } else {
-        let density_limit = (class.device_density_per_km2 * area_km2 / profile.devices as f64) as u64;
+        let density_limit =
+            (class.device_density_per_km2 * area_km2 / profile.devices as f64) as u64;
         n.min(capacity_limit).min(density_limit)
     };
     FleetAnalysis {

@@ -162,8 +162,7 @@ mod tests {
     fn sixg_beacons_make_deadline() {
         let (t, hops) = rsu_path();
         let mut rng = SimRng::from_seed(1);
-        let stats =
-            run_v2x(&t, &hops, &SixGAccess::default(), V2xConfig::default(), &mut rng);
+        let stats = run_v2x(&t, &hops, &SixGAccess::default(), V2xConfig::default(), &mut rng);
         assert!(stats.on_time_ratio > 0.99, "on-time {}", stats.on_time_ratio);
     }
 
@@ -181,8 +180,7 @@ mod tests {
     fn ideal_5g_is_borderline() {
         let (t, hops) = rsu_path();
         let mut rng = SimRng::from_seed(3);
-        let stats =
-            run_v2x(&t, &hops, &FiveGAccess::ideal(), V2xConfig::default(), &mut rng);
+        let stats = run_v2x(&t, &hops, &FiveGAccess::ideal(), V2xConfig::default(), &mut rng);
         // Best-case 5G mostly makes a 20 ms one-way deadline.
         assert!(stats.on_time_ratio > 0.9, "on-time {}", stats.on_time_ratio);
     }

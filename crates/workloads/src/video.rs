@@ -1,6 +1,6 @@
 //! Bidirectional video streaming (the ffmpeg emulation of Section IV-A).
 //!
-//! The paper's testbed "use[s] the ffmpeg codec suite to create a
+//! The paper's testbed "use\[s\] the ffmpeg codec suite to create a
 //! bidirectional video stream between multiple locations". We model the
 //! stream at frame granularity: a GOP structure of large I-frames and
 //! smaller P-frames paced at the configured frame rate, each frame
@@ -165,8 +165,7 @@ impl VideoStream {
                 0.2,
             );
             let network = sampler.one_way_ms(hops, frame.bytes, rng) + extra_ms(rng);
-            let total =
-                network + sixg_netsim::dist::Sample::sample(&codec, rng);
+            let total = network + sixg_netsim::dist::Sample::sample(&codec, rng);
             if total > self.config.deadline_ms {
                 late += 1;
             }

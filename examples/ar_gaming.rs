@@ -8,8 +8,8 @@
 
 use sixg::geo::GeoPoint;
 use sixg::netsim::radio::{AccessModel, CellEnv, FiveGAccess, SixGAccess};
-use sixg::netsim::routing::{AsGraph, PathComputer};
 use sixg::netsim::rng::SimRng;
+use sixg::netsim::routing::{AsGraph, PathComputer};
 use sixg::netsim::topology::{Asn, LinkParams, NodeKind, Topology};
 use sixg::workloads::ar_game::{ArGame, ArGameConfig};
 use sixg::workloads::services::Service;

@@ -25,12 +25,7 @@ fn main() {
         ("6G / 50 Mbit/s uplink", 50e6, 200e6, Box::new(SixGAccess::default())),
         ("6G / 5 Mbit/s uplink", 5e6, 50e6, Box::new(SixGAccess::default())),
         ("5G ideal / 50 Mbit/s", 50e6, 200e6, Box::new(FiveGAccess::ideal())),
-        (
-            "5G loaded / 50 Mbit/s",
-            50e6,
-            200e6,
-            Box::new(FiveGAccess::new(CellEnv::new(0.9, 0.7))),
-        ),
+        ("5G loaded / 50 Mbit/s", 50e6, 200e6, Box::new(FiveGAccess::new(CellEnv::new(0.9, 0.7)))),
     ];
     for (name, up, down, access) in cases {
         let mut cfg = FlConfig::reference(aggregator.clone(), up, down);

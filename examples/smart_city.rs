@@ -6,11 +6,11 @@
 //! cargo run --release --example smart_city
 //! ```
 
+use sixg::netsim::radio::{FiveGAccess, SixGAccess};
+use sixg::netsim::rng::SimRng;
 use sixg::workloads::industrial::FactoryLine;
 use sixg::workloads::smart_city::{tokyo_scenario, NetworkClass};
 use sixg::workloads::vehicles::SensorSuite;
-use sixg::netsim::radio::{FiveGAccess, SixGAccess};
-use sixg::netsim::rng::SimRng;
 
 fn main() {
     println!("Tokyo adaptive traffic management (50,000 intersections):");

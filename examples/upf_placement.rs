@@ -5,14 +5,12 @@
 //! cargo run --release --example upf_placement
 //! ```
 
-use sixg::core::recommend::upf::{
-    deploy_upfs, place_upfs, select_upf, service_rtt_ms, Dataplane,
-};
+use sixg::core::recommend::upf::{deploy_upfs, place_upfs, select_upf, service_rtt_ms, Dataplane};
 use sixg::measure::klagenfurt::KlagenfurtScenario;
 use sixg::netsim::packet::TrafficClass;
 use sixg::netsim::radio::FiveGAccess;
-use sixg::netsim::routing::PathComputer;
 use sixg::netsim::rng::SimRng;
+use sixg::netsim::routing::PathComputer;
 use sixg::netsim::topology::NodeId;
 
 fn main() {

@@ -69,12 +69,8 @@ fn all_strategies_improve_the_measured_scenario() {
 #[test]
 fn campaign_field_masks_exactly_the_nine_skipped_cells() {
     let field = dense_field();
-    let masked: Vec<String> = field
-        .all_stats()
-        .iter()
-        .filter(|s| s.is_masked())
-        .map(|s| s.cell.label())
-        .collect();
+    let masked: Vec<String> =
+        field.all_stats().iter().filter(|s| s.is_masked()).map(|s| s.cell.label()).collect();
     assert_eq!(masked.len(), 9);
     for label in ["A1", "F1", "F2", "A6", "F6", "A7", "B7", "E7", "F7"] {
         assert!(masked.contains(&label.to_string()), "{label} should be masked");

@@ -16,11 +16,7 @@ fn scenario() -> &'static KlagenfurtScenario {
 fn find_link(s: &KlagenfurtScenario, a: &str, b: &str) -> LinkId {
     let na = s.topo.find_by_name(a).unwrap_or_else(|| panic!("node {a}"));
     let nb = s.topo.find_by_name(b).unwrap_or_else(|| panic!("node {b}"));
-    s.topo
-        .neighbours(na)
-        .find(|(n, _)| *n == nb)
-        .unwrap_or_else(|| panic!("link {a}-{b}"))
-        .1
+    s.topo.neighbours(na).find(|(n, _)| *n == nb).unwrap_or_else(|| panic!("link {a}-{b}")).1
 }
 
 #[test]
@@ -79,8 +75,10 @@ fn policy_withdrawal_equals_physical_failure() {
     // routing effect as cutting the wave physically.
     let mut s = KlagenfurtScenario::paper(SEED);
     let (ue, anchor) = s.table1_endpoints();
-    s.as_graph
-        .remove_peering(sixg::measure::klagenfurt::DATAPACKET_AS, sixg::measure::klagenfurt::ZET_AS);
+    s.as_graph.remove_peering(
+        sixg::measure::klagenfurt::DATAPACKET_AS,
+        sixg::measure::klagenfurt::ZET_AS,
+    );
     let pc = PathComputer::new(&s.topo, &s.as_graph);
     assert!(pc.route(ue, anchor).is_none());
 }

@@ -7,10 +7,10 @@ use sixg::netsim::engine::Engine;
 use sixg::netsim::queueing::{md1_wait, mg1_wait, mm1_wait, Load};
 use sixg::netsim::radio::{AccessModel, CellEnv, FiveGAccess};
 use sixg::netsim::rng::{SimRng, StreamKey};
+use sixg::netsim::routing::{shortest_path, AsGraph};
 use sixg::netsim::stats::Welford;
 use sixg::netsim::time::SimDuration;
 use sixg::netsim::topology::{Asn, LinkParams, NodeKind, Topology};
-use sixg::netsim::routing::{shortest_path, AsGraph};
 
 proptest! {
     // --- geometry -------------------------------------------------------

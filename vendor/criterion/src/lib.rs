@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's seven `[[bench]]` targets compiling and runnable
+//! without crates.io access. Benchmarks run a warm-up, then time
+//! `sample_size` batches and report the median ns/iteration to stdout —
+//! no statistics engine, plots, or baselines, just honest wall-clock
+//! numbers with the `criterion` call surface (`criterion_group!`,
+//! `criterion_main!`, groups, throughput, `bench_with_input`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Throughput annotation; recorded to scale the printed rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times one closure; created by the harness and handed to bench bodies.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: warm-up, then `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+
+        // Pick a batch size so all samples fit in `measurement`.
+        let total_budget_ns = self.measurement.as_nanos() as f64;
+        let batch = ((total_budget_ns / self.sample_size as f64 / per_iter.max(1.0)).ceil() as u64)
+            .clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib_s = b as f64 / median_ns * 1e9 / (1u64 << 30) as f64;
+            format!("  ({gib_s:.2} GiB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let melem_s = n as f64 / median_ns * 1e9 / 1e6;
+            format!("  ({melem_s:.2} Melem/s)")
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} {:>12}/iter{rate}", human_time(median_ns));
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = self.bencher();
+        f(&mut b);
+        report(name, b.median_ns, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for rate reporting of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = self.criterion.bencher();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), b.median_ns, self.throughput);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.criterion.bencher();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.median_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

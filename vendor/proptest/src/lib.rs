@@ -1,0 +1,273 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset `tests/properties.rs` uses: the [`proptest!`] macro
+//! over `arg in strategy` parameters, range strategies over numeric
+//! primitives, `any::<T>()`, tuple strategies, `prop::collection::vec`, and
+//! the `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from real proptest, by design: a fixed number of cases per
+//! property (no adaptive sizing), no shrinking on failure (the failing
+//! values are printed by the assertion instead), and determinism derived
+//! from the property's name rather than a persisted failure seed.
+
+/// Number of cases each property runs.
+pub const NUM_CASES: u32 = 64;
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator seeded from the property name, so
+    /// every run of the suite exercises identical cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (the property function's name).
+        pub fn deterministic(label: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in label.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform u64 in [0, n).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            // Multiply-shift; bias is irrelevant for test-case generation.
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// Strategy behind [`crate::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        /// Creates the full-domain strategy for `T`.
+        pub fn new() -> Self {
+            Self { _marker: std::marker::PhantomData }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<i64> {
+        type Value = i64;
+        fn sample(&self, rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+}
+
+/// Full-domain strategy for a primitive type, mirroring proptest's `any`.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any::new()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Re-export so generated code can reference the range type.
+pub use std::ops::Range as SizeRange;
+
+#[allow(unused_imports)]
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`NUM_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain assertion in the stub (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain equality assertion in the stub.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain inequality assertion in the stub.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in prop::collection::vec(0u32..5, 2..8)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn tuples_compose(p in (0u8..4, 0.0f64..1.0)) {
+            prop_assert!(p.0 < 4);
+            prop_assert!((0.0..1.0).contains(&p.1));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("label");
+        let mut b = crate::test_runner::TestRng::deterministic("label");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

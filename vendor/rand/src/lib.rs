@@ -1,0 +1,205 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements exactly the surface `sixg-netsim`'s [`SimRng`] wrapper uses:
+//! [`rngs::SmallRng`] (xoshiro256++, the algorithm real `rand` 0.8 uses for
+//! `SmallRng` on 64-bit targets), [`SeedableRng::seed_from_u64`] (SplitMix64
+//! state expansion, as in `rand_core`), and [`Rng::gen`] / [`Rng::gen_range`]
+//! for `u64` and `f64`.
+//!
+//! [`SimRng`]: https://docs.rs/rand/0.8
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed via SplitMix64 state expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod sample {
+    use super::RngCore;
+
+    /// Types drawable uniformly from an RNG via [`super::Rng::gen`].
+    pub trait Standard: Sized {
+        fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Standard for bool {
+        fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 mantissa bits, uniform in [0, 1) — the conversion rand's
+            // Standard distribution uses.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Ranges samplable by [`super::Rng::gen_range`].
+    pub trait SampleRange {
+        type Output;
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end - self.start) as u64;
+                    // Unbiased rejection sampling over the top `span`-aligned
+                    // portion of the u64 space.
+                    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+                    loop {
+                        let x = rng.next_u64();
+                        if x <= zone {
+                            return self.start + (x % span) as $t;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    impl SampleRange for core::ops::Range<f64> {
+        type Output = f64;
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            self.start + (self.end - self.start) * f64::draw(rng)
+        }
+    }
+}
+
+pub use sample::{SampleRange, Standard};
+
+/// Convenience draws on top of [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from a half-open range.
+    fn gen_range<Rge: SampleRange>(&mut self, range: Rge) -> Rge::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Xoshiro256++ — the algorithm behind `rand` 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_residues_unbiased() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[r.gen_range(0u64..5) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.05, "count {c}");
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

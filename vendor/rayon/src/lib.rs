@@ -1,0 +1,108 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Maps the `par_iter` family onto ordinary sequential `std` iterators, so
+//! every adapter (`map`, `flat_map`, `collect`, …) is available unchanged.
+//! Sequential execution is semantically equivalent here: the workspace only
+//! parallelises embarrassingly parallel loops whose results are asserted to
+//! be bitwise identical to sequential runs anyway. When real `rayon` is
+//! restored the call sites need no edits.
+
+pub mod prelude {
+    /// `.par_iter()` — sequential stand-in returning the `&T` iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Returns a (sequential) iterator over shared references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.par_iter_mut()` — sequential stand-in returning the `&mut T`
+    /// iterator.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Returns a (sequential) iterator over mutable references.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.into_par_iter()` — sequential stand-in for consuming iteration.
+    pub trait IntoParallelIterator {
+        /// Item yielded by the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Returns a (sequential) consuming iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Item = C::Item;
+        type Iter = C::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let xs = vec![1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut xs = vec![1, 2, 3];
+        xs.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(xs, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let total: i32 = vec![1, 2, 3].into_par_iter().sum();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! minimal serialisation model the `sixg` workspace actually uses: a JSON
+//! value tree ([`Value`]), a [`Serialize`] trait producing it, and the
+//! derive macros re-exported from the vendored `serde_derive`.
+//!
+//! Deliberately *not* implemented: serialisers other than the value tree,
+//! `#[serde(...)]` attributes, zero-copy deserialisation. Nothing in the
+//! workspace needs them, and the stub should stay small enough to audit.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree, the single serialisation target of the stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer number.
+    I64(i64),
+    /// Unsigned integer number.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON-shaped [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for `serde::Deserialize`. The workspace derives
+/// it but never deserialises, so it carries no methods.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($variant:ident : $($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as _)
+            }
+        })*
+    };
+}
+
+impl_serialize_int!(I64: i8, i16, i32, i64, isize);
+impl_serialize_int!(U64: u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {
+        $(impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        })*
+    };
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::U64(3));
+        assert_eq!((-4i64).to_value(), Value::I64(-4));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn collections_nest() {
+        let v = vec![(1u8, 2.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::U64(1), Value::F64(2.0)])])
+        );
+    }
+}
