@@ -1,0 +1,97 @@
+//! E18 — parallel scaling: sequential vs thread-pool campaign execution.
+//!
+//! Runs the same Klagenfurt campaign through the sequential runner and
+//! through `run_parallel` at several pool sizes, reports wall time and
+//! speedup, and **verifies bitwise equality** of every parallel result
+//! against the sequential baseline. A mismatch is a determinism-contract
+//! violation and exits non-zero, so CI can use this binary as a smoke
+//! gate. Speedup itself is hardware-dependent (a single-core container
+//! measures only scheduling overhead) and is reported, not asserted.
+//!
+//! ```text
+//! cargo run --release --bin repro_scaling -- [--passes N] [--seed S]
+//! ```
+
+use sixg_bench::{compare, header, shared_scenario};
+use sixg_measure::aggregate::CellField;
+use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
+use sixg_measure::parallel::{run_parallel, with_thread_count};
+use std::time::Instant;
+
+fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Bitwise comparison over every cell; returns the first differing cell.
+fn first_difference(
+    s: &sixg_measure::KlagenfurtScenario,
+    a: &CellField,
+    b: &CellField,
+) -> Option<String> {
+    for cell in s.grid.cells() {
+        let (x, y) = (a.stats(cell), b.stats(cell));
+        if x.count != y.count
+            || x.mean_ms.to_bits() != y.mean_ms.to_bits()
+            || x.std_ms.to_bits() != y.std_ms.to_bits()
+        {
+            return Some(format!(
+                "cell {cell}: seq (n={}, mean={:.17}, std={:.17}) vs par (n={}, mean={:.17}, std={:.17})",
+                x.count, x.mean_ms, x.std_ms, y.count, y.mean_ms, y.std_ms
+            ));
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let passes = parse_flag(&args, "--passes", 8) as u32;
+    let seed = parse_flag(&args, "--seed", 1);
+    let config = CampaignConfig { seed, passes, ..Default::default() };
+
+    let s = shared_scenario();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    header("E18 — parallel scaling (sequential vs thread pool)");
+    compare("hardware threads available", "n/a", cores);
+    compare("campaign passes", "n/a", passes);
+
+    // Warm up caches (scenario routes, allocator) outside the timed region.
+    let _ = MobileCampaign::new(s, CampaignConfig { passes: 1, ..config }).run();
+
+    let t0 = Instant::now();
+    let sequential = MobileCampaign::new(s, config).run();
+    let seq_s = t0.elapsed().as_secs_f64();
+    println!("\nsequential: {:>8.3} s   ({} samples)", seq_s, sequential.total_samples());
+
+    let mut all_equal = true;
+    let mut best_speedup = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let parallel = with_thread_count(threads, || run_parallel(s, config));
+        let par_s = t.elapsed().as_secs_f64();
+        let speedup = seq_s / par_s;
+        best_speedup = best_speedup.max(speedup);
+        let verdict = match first_difference(s, &sequential, &parallel) {
+            None => "bitwise equal".to_string(),
+            Some(diff) => {
+                all_equal = false;
+                format!("MISMATCH — {diff}")
+            }
+        };
+        println!("{threads:>2} threads: {par_s:>8.3} s   speedup {speedup:>5.2}x   {verdict}");
+    }
+
+    println!("\nbest speedup: {best_speedup:.2}x over sequential on {cores} hardware thread(s)");
+    println!("parallel output identical to sequential: {all_equal}");
+    if !all_equal {
+        eprintln!(
+            "repro_scaling: parallel output differs from sequential — determinism contract broken"
+        );
+        std::process::exit(1);
+    }
+}

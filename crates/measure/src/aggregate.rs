@@ -61,7 +61,27 @@ impl CellField {
         self.acc[i].push(rtl_ms);
     }
 
+    /// Folds `(cell, samples)` batches into the field in iteration order.
+    ///
+    /// This is the single accumulation path shared by the sequential and
+    /// parallel campaign runners: as long as both present the same batches
+    /// in the same order, the floating-point operation sequence — and hence
+    /// every bit of the resulting statistics — is identical, regardless of
+    /// how many threads *produced* the batches.
+    pub fn accumulate_ordered(&mut self, batches: impl IntoIterator<Item = (CellId, Vec<f64>)>) {
+        for (cell, samples) in batches {
+            for v in samples {
+                self.push(cell, v);
+            }
+        }
+    }
+
     /// Merges another field (parallel reduction). Grids must match shape.
+    ///
+    /// Note the contrast with [`Self::accumulate_ordered`]: `merge` combines
+    /// Welford accumulators pairwise (Chan's formula), which is numerically
+    /// excellent but *not* bitwise identical to pushing the concatenated
+    /// sample stream — use it where tolerance-based comparison suffices.
     pub fn merge(&mut self, other: &CellField) {
         assert_eq!(self.grid.cols, other.grid.cols, "grid shape mismatch");
         assert_eq!(self.grid.rows, other.grid.rows, "grid shape mismatch");
@@ -195,6 +215,31 @@ mod tests {
         assert_eq!(a.count, b.count);
         assert!((a.mean_ms - b.mean_ms).abs() < 1e-9);
         assert!((a.std_ms - b.std_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_ordered_is_bitwise_equal_to_pushes() {
+        let a = CellId::parse("A1").unwrap();
+        let b = CellId::parse("B2").unwrap();
+        let batches = vec![
+            (a, (0..15).map(|i| 50.0 + (i as f64 * 0.3).sin()).collect::<Vec<_>>()),
+            (b, (0..12).map(|i| 80.0 + (i as f64 * 0.7).cos()).collect::<Vec<_>>()),
+            (a, (0..11).map(|i| 55.0 + i as f64 * 0.01).collect::<Vec<_>>()),
+        ];
+        let mut pushed = CellField::new(grid());
+        for (cell, samples) in &batches {
+            for &v in samples {
+                pushed.push(*cell, v);
+            }
+        }
+        let mut folded = CellField::new(grid());
+        folded.accumulate_ordered(batches);
+        for cell in [a, b] {
+            let (x, y) = (pushed.stats(cell), folded.stats(cell));
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.mean_ms.to_bits(), y.mean_ms.to_bits());
+            assert_eq!(x.std_ms.to_bits(), y.std_ms.to_bits());
+        }
     }
 
     #[test]

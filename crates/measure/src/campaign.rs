@@ -43,6 +43,20 @@ impl CampaignConfig {
     }
 }
 
+/// One (pass, cell) unit of campaign work — the shard granularity of the
+/// parallel runner. The shard's random stream is derived from `(campaign
+/// seed, pass, cell)`, so shards can be sampled in any order, on any
+/// thread, and still produce the exact values of a sequential run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Traversal pass this shard belongs to.
+    pub pass: u32,
+    /// Cell visited.
+    pub cell: CellId,
+    /// Dwell time in the cell, seconds (sets the sample count).
+    pub dwell_s: f64,
+}
+
 /// The mobile campaign runner.
 pub struct MobileCampaign<'a> {
     scenario: &'a KlagenfurtScenario,
@@ -63,9 +77,10 @@ impl<'a> MobileCampaign<'a> {
 
     /// Samples of one (pass, cell) pair, in cadence order.
     ///
-    /// Exposed so the rayon-parallel runner can shard work at cell
-    /// granularity while drawing from the *same* per-(pass, cell, index)
-    /// random streams — parallel and sequential runs are bitwise equal.
+    /// Each sample draws from a stream keyed by (campaign seed, pass, cell,
+    /// sample index), so the thread-pool runner can execute shards in any
+    /// order on any worker and still produce the sequential runner's exact
+    /// values — parallel and sequential runs are bitwise equal.
     pub fn collect_cell(&self, pass: u32, cell: CellId, dwell_s: f64) -> Vec<f64> {
         let s = self.scenario;
         let sampler = DelaySampler::new(&s.topo);
@@ -104,14 +119,35 @@ impl<'a> MobileCampaign<'a> {
         mob.traverse(&self.scenario.grid, &self.scenario.included)
     }
 
-    /// Runs the full campaign sequentially.
+    /// The full campaign work list, in sequential execution order.
+    ///
+    /// Both runners consume exactly this list: the sequential runner in
+    /// order, the parallel runner sampling shards on any thread and then
+    /// merging batches back *in this order* — which is what makes the two
+    /// bitwise interchangeable.
+    pub fn shards(&self) -> Vec<Shard> {
+        (0..self.config.passes)
+            .flat_map(|pass| {
+                self.traversal(pass)
+                    .visits
+                    .into_iter()
+                    .map(move |v| Shard { pass, cell: v.cell, dwell_s: v.dwell_s })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Samples of one shard, in cadence order (see [`Self::collect_cell`]).
+    pub fn collect_shard(&self, shard: Shard) -> Vec<f64> {
+        self.collect_cell(shard.pass, shard.cell, shard.dwell_s)
+    }
+
+    /// Runs the full campaign sequentially, shard by shard.
     pub fn run(&self) -> CellField {
         let mut field = CellField::new(self.scenario.grid.clone());
-        for pass in 0..self.config.passes {
-            for visit in self.traversal(pass).visits {
-                self.run_cell(pass, visit.cell, visit.dwell_s, &mut field);
-            }
-        }
+        field.accumulate_ordered(
+            self.shards().into_iter().map(|shard| (shard.cell, self.collect_shard(shard))),
+        );
         field
     }
 

@@ -16,8 +16,9 @@
 //!   comparison and the Exoscale 7–12 ms reference);
 //! * [`report`] — ASCII heatmaps (Figures 2–3 as tables), CSV and JSON
 //!   export;
-//! * [`parallel`] — rayon-parallel execution across cells and seeds,
-//!   bitwise-identical to sequential runs;
+//! * [`parallel`] — multi-threaded execution across (pass, cell) shards and
+//!   sweep seeds on the rayon pool, bitwise-identical to sequential runs
+//!   for every pool size;
 //! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
 //!   extrema rank agreement) between a campaign and its targets;
 //! * [`skopje`] — a second, *projected* scenario at the partner site

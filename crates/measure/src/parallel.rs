@@ -1,48 +1,36 @@
-//! Rayon-parallel campaign execution.
+//! Multi-threaded campaign execution on the rayon thread pool.
 //!
-//! Campaigns are embarrassingly parallel across (pass, cell) work items
-//! because every item draws from its own derived random stream (see
-//! [`sixg_netsim::rng`]). The parallel runner therefore produces results
-//! **bitwise identical** to the sequential one — verified by tests — while
-//! scaling across cores for the multi-seed sweeps the benchmark harness
-//! runs.
+//! Campaigns are embarrassingly parallel across [`Shard`]s — (pass, cell)
+//! work items — because every shard draws from its own derived random
+//! stream (see [`sixg_netsim::rng`]). The runner samples shards on the
+//! pool's worker threads (`RAYON_NUM_THREADS` controls how many), then
+//! merges the per-shard sample batches into a [`CellField`] **in work-list
+//! order**, so the floating-point accumulation sequence is exactly the
+//! sequential runner's and the result is bitwise identical for every pool
+//! size — asserted by the `parallel_equals_sequential_bitwise` thread-count
+//! matrix test.
 
 use crate::aggregate::CellField;
-use crate::campaign::{CampaignConfig, MobileCampaign};
+use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
 use crate::klagenfurt::KlagenfurtScenario;
 use rayon::prelude::*;
-use sixg_geo::CellId;
 
-/// Runs the campaign with rayon, sharding at (pass, cell) granularity.
+/// Runs the campaign on the thread pool, sharding at (pass, cell)
+/// granularity and merging batches in deterministic work-list order.
 pub fn run_parallel(scenario: &KlagenfurtScenario, config: CampaignConfig) -> CellField {
     let campaign = MobileCampaign::new(scenario, config);
-    // Materialise the work list first (traversals are cheap and
-    // deterministic).
-    let work: Vec<(u32, CellId, f64)> = (0..config.passes)
-        .flat_map(|pass| {
-            campaign
-                .traversal(pass)
-                .visits
-                .into_iter()
-                .map(move |v| (pass, v.cell, v.dwell_s))
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    // The work list is cheap and deterministic; materialise it once so the
+    // sequential and parallel runners agree on shard order by construction.
+    let shards: Vec<Shard> = campaign.shards();
 
-    // Sample in parallel (each item has its own random stream), then
-    // accumulate in work order so the floating-point operation sequence —
-    // and hence every bit of the result — matches the sequential runner.
-    let batches: Vec<(CellId, Vec<f64>)> = work
-        .par_iter()
-        .map(|&(pass, cell, dwell)| (cell, campaign.collect_cell(pass, cell, dwell)))
-        .collect();
+    // Sample on worker threads (each shard owns its random stream), then
+    // fold the batches in work order so every bit of the result matches the
+    // sequential runner.
+    let batches: Vec<_> =
+        shards.par_iter().map(|&shard| (shard.cell, campaign.collect_shard(shard))).collect();
 
     let mut field = CellField::new(scenario.grid.clone());
-    for (cell, samples) in batches {
-        for v in samples {
-            field.push(cell, v);
-        }
-    }
+    field.accumulate_ordered(batches);
     field
 }
 
@@ -57,7 +45,8 @@ pub struct SweepPoint {
     pub mean_range: (f64, f64),
 }
 
-/// Runs the campaign for many seeds in parallel (scenario shared).
+/// Runs the campaign for many seeds on the thread pool (scenario shared;
+/// results in input seed order).
 pub fn seed_sweep(
     scenario: &KlagenfurtScenario,
     base: CampaignConfig,
@@ -77,6 +66,8 @@ pub fn seed_sweep(
         .collect()
 }
 
+pub use rayon::with_thread_count;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,18 +76,38 @@ mod tests {
         KlagenfurtScenario::paper(0x6B6C_7531)
     }
 
+    fn assert_fields_bitwise_equal(
+        s: &KlagenfurtScenario,
+        a: &CellField,
+        b: &CellField,
+        context: &str,
+    ) {
+        for cell in s.grid.cells() {
+            let (x, y) = (a.stats(cell), b.stats(cell));
+            assert_eq!(x.count, y.count, "{context}: cell {cell} count");
+            assert_eq!(x.mean_ms.to_bits(), y.mean_ms.to_bits(), "{context}: cell {cell} mean");
+            assert_eq!(x.std_ms.to_bits(), y.std_ms.to_bits(), "{context}: cell {cell} std");
+        }
+    }
+
+    /// The determinism contract, as a thread-count matrix: for every pool
+    /// size and several seeds, the parallel runner must reproduce the
+    /// sequential runner bit for bit.
     #[test]
     fn parallel_equals_sequential_bitwise() {
         let s = scenario();
-        let config = CampaignConfig { passes: 2, ..Default::default() };
-        let seq = MobileCampaign::new(&s, config).run();
-        let par = run_parallel(&s, config);
-        for cell in s.grid.cells() {
-            let a = seq.stats(cell);
-            let b = par.stats(cell);
-            assert_eq!(a.count, b.count, "cell {cell}");
-            assert_eq!(a.mean_ms.to_bits(), b.mean_ms.to_bits(), "cell {cell} mean");
-            assert_eq!(a.std_ms.to_bits(), b.std_ms.to_bits(), "cell {cell} std");
+        for &seed in &[1u64, 7, 0xBEEF] {
+            let config = CampaignConfig { seed, passes: 2, ..Default::default() };
+            let seq = MobileCampaign::new(&s, config).run();
+            for &threads in &[1usize, 2, 4, 8] {
+                let par = with_thread_count(threads, || run_parallel(&s, config));
+                assert_fields_bitwise_equal(
+                    &s,
+                    &seq,
+                    &par,
+                    &format!("seed {seed}, {threads} threads"),
+                );
+            }
         }
     }
 
@@ -112,12 +123,15 @@ mod tests {
     }
 
     #[test]
-    fn sweep_is_deterministic() {
+    fn sweep_is_deterministic_across_pool_sizes() {
         let s = scenario();
-        let a = seed_sweep(&s, CampaignConfig::default(), &[5, 6]);
-        let b = seed_sweep(&s, CampaignConfig::default(), &[5, 6]);
+        let a = with_thread_count(1, || seed_sweep(&s, CampaignConfig::default(), &[5, 6]));
+        let b = with_thread_count(4, || seed_sweep(&s, CampaignConfig::default(), &[5, 6]));
         for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed, "sweep must keep input seed order");
             assert_eq!(x.grand_mean_ms.to_bits(), y.grand_mean_ms.to_bits());
+            assert_eq!(x.mean_range.0.to_bits(), y.mean_range.0.to_bits());
+            assert_eq!(x.mean_range.1.to_bits(), y.mean_range.1.to_bits());
         }
     }
 }

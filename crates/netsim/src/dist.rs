@@ -18,6 +18,21 @@ pub trait Sample {
     fn mean(&self) -> f64;
 }
 
+/// Distributions with a closed-form inverse CDF.
+///
+/// `quantile(p)` returns the value `x` with `P(X ≤ x) = p`. Used by the
+/// latency budget analysis (tail percentiles without sampling) and pinned
+/// down by property tests: a quantile function must be monotone in `p` and
+/// agree with its sampler's inverse-transform formula.
+pub trait Quantile {
+    /// The inverse CDF at `p ∈ [0, 1)`. Panics outside that range.
+    fn quantile(&self, p: f64) -> f64;
+}
+
+fn check_p(p: f64) {
+    assert!((0.0..1.0).contains(&p), "quantile: p must be in [0, 1), got {p}");
+}
+
 /// Degenerate distribution: always `value`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Constant(pub f64);
@@ -27,6 +42,13 @@ impl Sample for Constant {
         self.0
     }
     fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Quantile for Constant {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
         self.0
     }
 }
@@ -57,6 +79,13 @@ impl Sample for Uniform {
     }
 }
 
+impl Quantile for Uniform {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.lo + (self.hi - self.lo) * p
+    }
+}
+
 /// Exponential with rate `lambda` (mean `1/lambda`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Exponential {
@@ -79,10 +108,17 @@ impl Exponential {
 impl Sample for Exponential {
     fn sample(&self, rng: &mut SimRng) -> f64 {
         // Inverse CDF; 1-u avoids ln(0).
-        -(1.0 - rng.unit()).ln() / self.lambda
+        self.quantile(rng.unit())
     }
     fn mean(&self) -> f64 {
         1.0 / self.lambda
+    }
+}
+
+impl Quantile for Exponential {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        -(1.0 - p).ln() / self.lambda
     }
 }
 
@@ -108,6 +144,59 @@ impl Normal {
         let u2 = rng.unit();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
+
+    /// Inverse CDF of the *standard* normal (Acklam's rational
+    /// approximation, |relative error| < 1.15e-9 over (0, 1)).
+    pub fn standard_quantile(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "standard_quantile: p must be in (0, 1), got {p}");
+        const A: [f64; 6] = [
+            -3.969683028665376e+01,
+            2.209460984245205e+02,
+            -2.759285104469687e+02,
+            1.383577518672690e+02,
+            -3.066479806614716e+01,
+            2.506628277459239e+00,
+        ];
+        const B: [f64; 5] = [
+            -5.447609879822406e+01,
+            1.615858368580409e+02,
+            -1.556989798598866e+02,
+            6.680131188771972e+01,
+            -1.328068155288572e+01,
+        ];
+        const C: [f64; 6] = [
+            -7.784894002430293e-03,
+            -3.223964580411365e-01,
+            -2.400758277161838e+00,
+            -2.549732539343734e+00,
+            4.374664141464968e+00,
+            2.938163982698783e+00,
+        ];
+        const D: [f64; 4] = [
+            7.784695709041462e-03,
+            3.224671290700398e-01,
+            2.445134137142996e+00,
+            3.754408661907416e+00,
+        ];
+        const P_LOW: f64 = 0.02425;
+        if p < P_LOW {
+            // Lower tail.
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - P_LOW {
+            // Central region.
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            // Upper tail (by symmetry).
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        }
+    }
 }
 
 impl Sample for Normal {
@@ -116,6 +205,16 @@ impl Sample for Normal {
     }
     fn mean(&self) -> f64 {
         self.mu
+    }
+}
+
+impl Quantile for Normal {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.mu + self.sigma * Self::standard_quantile(p)
     }
 }
 
@@ -157,6 +256,16 @@ impl Sample for LogNormal {
     }
 }
 
+impl Quantile for LogNormal {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        if p == 0.0 {
+            return 0.0;
+        }
+        (self.mu + self.sigma * Normal::standard_quantile(p)).exp()
+    }
+}
+
 /// Pareto(x_min, alpha) — heavy-tailed spikes (congestion bursts).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Pareto {
@@ -176,7 +285,7 @@ impl Pareto {
 
 impl Sample for Pareto {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        self.x_min / (1.0 - rng.unit()).powf(1.0 / self.alpha)
+        self.quantile(rng.unit())
     }
     fn mean(&self) -> f64 {
         if self.alpha <= 1.0 {
@@ -184,6 +293,13 @@ impl Sample for Pareto {
         } else {
             self.alpha * self.x_min / (self.alpha - 1.0)
         }
+    }
+}
+
+impl Quantile for Pareto {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.x_min / (1.0 - p).powf(1.0 / self.alpha)
     }
 }
 
@@ -206,10 +322,17 @@ impl Weibull {
 
 impl Sample for Weibull {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        self.scale * (-(1.0 - rng.unit()).ln()).powf(1.0 / self.shape)
+        self.quantile(rng.unit())
     }
     fn mean(&self) -> f64 {
         self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+impl Quantile for Weibull {
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
     }
 }
 
@@ -426,6 +549,51 @@ mod tests {
         let low = (0..n).filter(|_| m.sample(&mut rng) < 2.0).count();
         let frac = low as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn standard_quantile_known_values() {
+        assert_eq!(Normal::standard_quantile(0.5), 0.0);
+        assert!((Normal::standard_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((Normal::standard_quantile(0.025) + 1.959_963_984_540_054).abs() < 1e-8);
+        // Tail branches (beyond Acklam's central region).
+        assert!((Normal::standard_quantile(0.001) + 3.090_232_306_167_813).abs() < 1e-7);
+        assert!((Normal::standard_quantile(0.999) - 3.090_232_306_167_813).abs() < 1e-7);
+    }
+
+    #[test]
+    fn quantiles_match_closed_forms() {
+        let e = Exponential::with_mean(4.0);
+        assert!((e.quantile(0.5) - 4.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        let u = Uniform::new(10.0, 20.0);
+        assert_eq!(u.quantile(0.25), 12.5);
+        let p = Pareto::new(2.0, 3.0);
+        assert_eq!(p.quantile(0.0), 2.0);
+        let w = Weibull::new(3.0, 1.0); // shape 1 == exponential(mean 3)
+        assert!((w.quantile(0.5) - 3.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        let ln = LogNormal::new(1.0, 0.5);
+        assert!((ln.quantile(0.5) - 1.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_empirical_cdf() {
+        // For inverse-transform samplers the p-quantile must sit at the
+        // p-th fraction of a large sample.
+        let d = Exponential::with_mean(2.0);
+        let mut rng = SimRng::from_seed(11);
+        let n = 100_000;
+        for p in [0.1, 0.5, 0.9] {
+            let q = d.quantile(p);
+            let below = (0..n).filter(|_| d.sample(&mut rng) <= q).count();
+            let frac = below as f64 / n as f64;
+            assert!((frac - p).abs() < 0.01, "p={p} frac={frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile: p must be in")]
+    fn quantile_rejects_p_of_one() {
+        let _ = Exponential::with_mean(1.0).quantile(1.0);
     }
 
     #[test]

@@ -98,6 +98,44 @@ fn wired_peers_survive_mobile_side_failures() {
 }
 
 #[test]
+fn poisoned_worker_propagates_and_pool_stays_usable() {
+    // A panicking closure inside `par_iter` must unwind out of the calling
+    // thread (not deadlock the pool, not abort a worker for good) and leave
+    // the pool fully usable — including for the campaign runner.
+    use rayon::prelude::*;
+    use sixg::measure::campaign::{CampaignConfig, MobileCampaign};
+    use sixg::measure::parallel::{run_parallel, with_thread_count};
+
+    with_thread_count(4, || {
+        let poisoned = std::panic::catch_unwind(|| {
+            (0..128u32)
+                .into_par_iter()
+                .map(|i| if i % 37 == 5 { panic!("injected worker failure at {i}") } else { i })
+                .collect::<Vec<u32>>()
+        });
+        assert!(poisoned.is_err(), "worker panic must propagate to the caller");
+
+        // The pool serves subsequent batches normally...
+        for round in 0..3 {
+            let xs: Vec<u32> = (0..512u32).into_par_iter().map(|x| x * 2).collect();
+            assert_eq!(xs.len(), 512, "round {round}");
+            assert_eq!(xs[511], 1022, "round {round}");
+        }
+
+        // ...and the determinism contract still holds after the poisoning.
+        let s = scenario();
+        let config = CampaignConfig::default();
+        let seq = MobileCampaign::new(s, config).run();
+        let par = run_parallel(s, config);
+        for cell in s.grid.cells() {
+            let (a, b) = (seq.stats(cell), par.stats(cell));
+            assert_eq!(a.count, b.count, "cell {cell}");
+            assert_eq!(a.mean_ms.to_bits(), b.mean_ms.to_bits(), "cell {cell}");
+        }
+    });
+}
+
+#[test]
 fn op_ascus_peering_is_purely_additive() {
     // Adding the peering never breaks pre-existing reachability.
     let before = scenario();

@@ -1,0 +1,153 @@
+//! Golden-value regression suite.
+//!
+//! Pins the key numbers behind the `repro_*` binaries — the gap exceedance,
+//! the Table I hop count, the Klagenfurt campaign grand mean, and the
+//! multi-seed sweep extrema — against committed expected values **to the
+//! bit**. Any change to the RNG streams, distribution parameterisations,
+//! routing metric, or accumulation order shows up here as a bit-exact diff,
+//! not a tolerance-sized drift.
+//!
+//! The values are pinned for the CI target (x86_64-linux-gnu): IEEE-754
+//! arithmetic is deterministic everywhere, but `ln`/`exp`/`powf` round
+//! through the platform libm, so other platforms may differ in final bits.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! cargo test --test golden_repro -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `EXPECTED`.
+
+use sixg::core::gap::GapReport;
+use sixg::core::requirements::campaign_reference_requirement;
+use sixg::measure::campaign::{CampaignConfig, MobileCampaign};
+use sixg::measure::klagenfurt::KlagenfurtScenario;
+use sixg::measure::parallel::{run_parallel, seed_sweep, with_thread_count};
+use std::sync::OnceLock;
+
+/// The shared reproduction seed (same as `sixg_bench::REPRO_SEED`).
+const SEED: u64 = 0x6B6C_7531;
+
+/// The dense campaign seed every figure binary uses.
+const DENSE_SEED: u64 = 2;
+
+/// Seeds of the pinned sweep.
+const SWEEP_SEEDS: [u64; 3] = [1, 2, 3];
+
+fn scenario() -> &'static KlagenfurtScenario {
+    static S: OnceLock<KlagenfurtScenario> = OnceLock::new();
+    S.get_or_init(|| KlagenfurtScenario::paper(SEED))
+}
+
+/// Computes every golden quantity, in a fixed order, from the same logic
+/// the `repro_*` binaries run.
+fn compute_goldens() -> Vec<(&'static str, f64)> {
+    let s = scenario();
+
+    // Figures 2-3 / repro_requirements: the dense campaign and its gap.
+    let field = MobileCampaign::new(s, CampaignConfig::dense(DENSE_SEED)).run();
+    let (mean_min, mean_max) = field.mean_extrema().expect("non-empty");
+    let (std_min, std_max) = field.std_extrema().expect("non-empty");
+    let gap = GapReport::analyse(&field, &campaign_reference_requirement());
+
+    // Table I: the pinned traceroute.
+    let trace = MobileCampaign::new(s, CampaignConfig::default()).table1_traceroute(0);
+
+    // The multi-seed sweep (repro_fig2/3 stability check).
+    let sweep = seed_sweep(s, CampaignConfig::default(), &SWEEP_SEEDS);
+    let sweep_min = sweep.iter().map(|p| p.mean_range.0).fold(f64::INFINITY, f64::min);
+    let sweep_max = sweep.iter().map(|p| p.mean_range.1).fold(f64::NEG_INFINITY, f64::max);
+
+    let mut out = vec![
+        ("dense_grand_mean_ms", field.grand_mean_ms()),
+        ("dense_total_samples", field.total_samples() as f64),
+        ("dense_mean_min_ms", mean_min.mean_ms),
+        ("dense_mean_max_ms", mean_max.mean_ms),
+        ("dense_std_min_ms", std_min.std_ms),
+        ("dense_std_max_ms", std_max.std_ms),
+        ("gap_exceedance_pct", gap.exceedance_pct),
+        ("gap_best_cell_exceedance_pct", gap.best_cell_exceedance_pct),
+        ("gap_compliant_cells", gap.compliant_cells as f64),
+        ("table1_hop_count", trace.hop_count() as f64),
+        ("table1_total_rtt_ms", trace.total_rtt_ms()),
+        ("sweep_mean_range_min_ms", sweep_min),
+        ("sweep_mean_range_max_ms", sweep_max),
+    ];
+    for p in &sweep {
+        let name: &'static str = match p.seed {
+            1 => "sweep_seed1_grand_mean_ms",
+            2 => "sweep_seed2_grand_mean_ms",
+            3 => "sweep_seed3_grand_mean_ms",
+            _ => unreachable!("unpinned sweep seed"),
+        };
+        out.push((name, p.grand_mean_ms));
+    }
+    out
+}
+
+/// The committed expectations: `(name, value bits, human-readable value)`.
+/// The third column is redundant (it is `f64::from_bits` of the second) and
+/// exists so diffs of this table stay reviewable.
+const EXPECTED: &[(&str, u64, f64)] = &[
+    // GOLDEN-TABLE-START
+    ("dense_grand_mean_ms", 0x4052885dff661ae7, 74.1307371613617),
+    ("dense_total_samples", 0x40ecefa000000000, 59261.0),
+    ("dense_mean_min_ms", 0x404e6e7a95f93457, 60.86311602276026),
+    ("dense_mean_max_ms", 0x405b6c0fe3a24180, 109.68846979947375),
+    ("dense_std_min_ms", 0x3ffd870a77234639, 1.8454689649410183),
+    ("dense_std_max_ms", 0x4047e1fe362e60f4, 47.76557042374216),
+    ("gap_exceedance_pct", 0x4070ea757f3fa1a1, 270.6536858068085),
+    ("gap_best_cell_exceedance_pct", 0x40698a193b77816c, 204.31558011380127),
+    ("gap_compliant_cells", 0x0000000000000000, 0.0),
+    ("table1_hop_count", 0x4024000000000000, 10.0),
+    ("table1_total_rtt_ms", 0x404f5fb8ead0763d, 62.74783072642138),
+    ("sweep_mean_range_min_ms", 0x404e45f4716d0729, 60.546522310482324),
+    ("sweep_mean_range_max_ms", 0x405bab548c51a63f, 110.677035407768),
+    ("sweep_seed1_grand_mean_ms", 0x40529927eebae418, 74.39306228877138),
+    ("sweep_seed2_grand_mean_ms", 0x4052cd9dc5085bff, 75.2127544957766),
+    ("sweep_seed3_grand_mean_ms", 0x40529ba4257cf03c, 74.4318937034704),
+    // GOLDEN-TABLE-END
+];
+
+#[test]
+fn golden_values_match_to_the_bit() {
+    let computed = compute_goldens();
+    assert_eq!(computed.len(), EXPECTED.len(), "golden table out of sync");
+    for ((name, value), (exp_name, exp_bits, exp_value)) in computed.iter().zip(EXPECTED) {
+        assert_eq!(name, exp_name, "golden table order changed");
+        assert_eq!(
+            value.to_bits(),
+            *exp_bits,
+            "{name}: computed {value:.17} != expected {exp_value:.17} \
+             (bits {:#018x} vs {exp_bits:#018x})",
+            value.to_bits(),
+        );
+    }
+}
+
+#[test]
+fn golden_values_survive_parallel_execution() {
+    // The same dense field, produced by the thread-pool runner at an
+    // oversubscribed pool size, must hit the identical golden bits.
+    let s = scenario();
+    let field = with_thread_count(8, || run_parallel(s, CampaignConfig::dense(DENSE_SEED)));
+    let expect = |name: &str| EXPECTED.iter().find(|(n, ..)| *n == name).expect("golden name").1;
+    assert_eq!(field.grand_mean_ms().to_bits(), expect("dense_grand_mean_ms"));
+    assert_eq!((field.total_samples() as f64).to_bits(), expect("dense_total_samples"));
+    let (mean_min, mean_max) = field.mean_extrema().expect("non-empty");
+    assert_eq!(mean_min.mean_ms.to_bits(), expect("dense_mean_min_ms"));
+    assert_eq!(mean_max.mean_ms.to_bits(), expect("dense_mean_max_ms"));
+}
+
+/// Prints the golden table in source form; run with `--ignored --nocapture`
+/// after an intentional model change and paste over `EXPECTED`.
+#[test]
+#[ignore = "generator: prints the golden table for pasting into EXPECTED"]
+fn regenerate_golden_table() {
+    println!("    // GOLDEN-TABLE-START");
+    for (name, value) in compute_goldens() {
+        println!("    (\"{name}\", {:#018x}, {value:?}),", value.to_bits());
+    }
+    println!("    // GOLDEN-TABLE-END");
+}

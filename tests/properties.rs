@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use sixg::geo::{CellId, GeoPoint, GridSpec, Polyline};
-use sixg::netsim::dist::{Exponential, LogNormal, Sample, Weibull};
+use sixg::netsim::dist::{
+    Exponential, LogNormal, Normal, Pareto, Quantile, Sample, Uniform, Weibull,
+};
 use sixg::netsim::engine::Engine;
 use sixg::netsim::queueing::{md1_wait, mg1_wait, mm1_wait, Load};
 use sixg::netsim::radio::{AccessModel, CellEnv, FiveGAccess};
@@ -11,6 +13,31 @@ use sixg::netsim::routing::{shortest_path, AsGraph};
 use sixg::netsim::stats::Welford;
 use sixg::netsim::time::SimDuration;
 use sixg::netsim::topology::{Asn, LinkParams, NodeKind, Topology};
+
+/// Distance between two floats in units in the last place, measured on the
+/// monotone integer number line (sign-magnitude bits folded around zero).
+fn ulps_apart(a: f64, b: f64) -> u64 {
+    fn fix(v: i64) -> i64 {
+        if v < 0 {
+            i64::MIN - v
+        } else {
+            v
+        }
+    }
+    fix(a.to_bits() as i64).abs_diff(fix(b.to_bits() as i64))
+}
+
+/// Neumaier-compensated sum: the correctly rounded reference the streaming
+/// accumulator is held against.
+fn compensated_sum(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut c) = (0.0f64, 0.0f64);
+    for x in xs {
+        let t = sum + x;
+        c += if sum.abs() >= x.abs() { (sum - t) + x } else { (x - t) + sum };
+        sum = t;
+    }
+    sum + c
+}
 
 proptest! {
     // --- geometry -------------------------------------------------------
@@ -83,6 +110,87 @@ proptest! {
             prop_assert!(ex.sample(&mut rng) >= 0.0);
             prop_assert!(wb.sample(&mut rng) >= 0.0);
         }
+    }
+
+    #[test]
+    fn welford_matches_two_pass_reference(xs in prop::collection::vec(0.1f64..1e3, 2..300)) {
+        // Streaming Welford vs a naive two-pass reference (compensated sums,
+        // so the reference itself is correctly rounded). On positive,
+        // latency-like data the streaming result lands within a handful of
+        // ulps — each update's rounding contributes at most ~1 ulp and they
+        // mostly cancel. (Bitwise equality is impossible here: the two
+        // algorithms perform different operation sequences.)
+        const MAX_ULPS: u64 = 24;
+        let mut w = Welford::new();
+        for &x in &xs { w.push(x); }
+        let n = xs.len() as f64;
+        let mean_ref = compensated_sum(xs.iter().copied()) / n;
+        let m2_ref = compensated_sum(xs.iter().map(|x| (x - mean_ref) * (x - mean_ref)));
+        let std_ref = (m2_ref / (n - 1.0)).sqrt();
+        let mean_ulps = ulps_apart(w.mean(), mean_ref);
+        let std_ulps = ulps_apart(w.sample_std_dev(), std_ref);
+        prop_assert!(mean_ulps <= MAX_ULPS,
+            "mean {} vs ref {} is {} ulps apart", w.mean(), mean_ref, mean_ulps);
+        prop_assert!(std_ulps <= MAX_ULPS,
+            "std {} vs ref {} is {} ulps apart", w.sample_std_dev(), std_ref, std_ulps);
+    }
+
+    #[test]
+    fn welford_merge_equals_concatenation(xs in prop::collection::vec(0.1f64..1e3, 2..300), split in 1usize..299) {
+        // Chan's merge of two accumulators must agree with accumulating the
+        // concatenated stream — not bitwise (the operation sequences
+        // differ), but within the same few-ulp envelope as above.
+        const MAX_ULPS: u64 = 48;
+        let split = split.min(xs.len() - 1);
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(left.max().to_bits(), whole.max().to_bits());
+        let mean_ulps = ulps_apart(left.mean(), whole.mean());
+        let std_ulps = ulps_apart(left.sample_std_dev(), whole.sample_std_dev());
+        prop_assert!(mean_ulps <= MAX_ULPS,
+            "merged mean {} vs streamed {} is {} ulps apart", left.mean(), whole.mean(), mean_ulps);
+        prop_assert!(std_ulps <= MAX_ULPS,
+            "merged std {} vs streamed {} is {} ulps apart",
+            left.sample_std_dev(), whole.sample_std_dev(), std_ulps);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999,
+                              mean in 0.5f64..100.0, shape in 0.6f64..4.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let dists: Vec<Box<dyn Quantile>> = vec![
+            Box::new(Uniform::new(0.0, mean * 2.0)),
+            Box::new(Exponential::with_mean(mean)),
+            Box::new(Normal::new(mean, mean / shape)),
+            Box::new(LogNormal::from_mean_cv(mean, 1.0 / shape)),
+            Box::new(Pareto::new(mean, shape + 1.0)),
+            Box::new(Weibull::new(mean, shape)),
+        ];
+        for d in &dists {
+            let (qlo, qhi) = (d.quantile(lo), d.quantile(hi));
+            prop_assert!(qlo.is_finite() && qhi.is_finite());
+            prop_assert!(qlo <= qhi, "quantile not monotone: q({lo}) = {qlo} > q({hi}) = {qhi}");
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips_through_sampler(seed in any::<u64>(), mean in 0.5f64..50.0) {
+        // Inverse-transform samplers draw u and return quantile(u): every
+        // sample must therefore be *some* quantile, and the empirical CDF at
+        // the p-quantile must converge on p (checked coarsely).
+        let d = Exponential::with_mean(mean);
+        let mut rng = SimRng::from_seed(seed);
+        let q90 = d.quantile(0.9);
+        let below = (0..2000).filter(|_| d.sample(&mut rng) <= q90).count();
+        let frac = below as f64 / 2000.0;
+        prop_assert!((frac - 0.9).abs() < 0.04, "frac {frac} at p=0.9");
     }
 
     #[test]

@@ -1,90 +1,476 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a **real multi-threaded backend**.
 //!
-//! Maps the `par_iter` family onto ordinary sequential `std` iterators, so
-//! every adapter (`map`, `flat_map`, `collect`, …) is available unchanged.
-//! Sequential execution is semantically equivalent here: the workspace only
-//! parallelises embarrassingly parallel loops whose results are asserted to
-//! be bitwise identical to sequential runs anyway. When real `rayon` is
-//! restored the call sites need no edits.
+//! Unlike the earlier sequential shim, `par_iter` work now executes on a
+//! lazily initialised global pool of `std::thread` workers:
+//!
+//! * **Pool size** follows `RAYON_NUM_THREADS` (read-only; set it before
+//!   launch, as the CI thread matrix does), falling back to
+//!   [`std::thread::available_parallelism`]; in-process pinning — e.g. the
+//!   tests' thread-count matrices — goes through [`with_thread_count`],
+//!   which shadows the variable without the `setenv`-vs-`getenv` race. The
+//!   pool grows lazily to the largest size requested and never shrinks;
+//!   idle workers block on a condition variable.
+//! * **Work distribution** is chunked self-scheduling: participants claim
+//!   contiguous index ranges from a shared atomic cursor, so fast workers
+//!   steal the remaining ranges from slow ones without any per-item
+//!   coordination.
+//! * **Index-ordered collection**: every produced value is written to the
+//!   output slot of its *input* index, and `collect`/`sum` read the slots in
+//!   input order. Results are therefore identical — bitwise, for floats —
+//!   to sequential execution for every pool size, which is what lets the
+//!   workspace assert parallel == sequential in tests.
+//! * **Panic propagation**: a panicking closure poisons the batch (remaining
+//!   items are drained without running the closure), the first payload is
+//!   re-thrown on the calling thread via [`std::panic::resume_unwind`], and
+//!   the workers survive to serve later calls — a poisoned batch never
+//!   deadlocks or kills the pool.
+//!
+//! The call surface (`prelude` traits, adapters, `join`) matches the subset
+//! of real `rayon` the workspace uses; swapping in the real crate remains a
+//! one-line `Cargo.toml` change.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Global worker pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    spawned: usize,
+}
+
+/// The global pool: a job queue plus detached worker threads that block on
+/// `work_ready` while the queue is empty.
+struct Pool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), spawned: 0 }),
+        work_ready: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Grows the pool to at least `n` workers (never shrinks).
+    fn ensure_workers(&'static self, n: usize) {
+        let mut state = self.state.lock().expect("pool lock");
+        while state.spawned < n {
+            let id = state.spawned;
+            state.spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("sixg-rayon-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("pool lock");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    state = self.work_ready.wait(state).expect("pool lock");
+                }
+            };
+            // Jobs catch their own panics (see `run_on_pool`); a stray unwind
+            // here would abort the process rather than poison the pool.
+            job();
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.state.lock().expect("pool lock").queue.push_back(job);
+        self.work_ready.notify_one();
+    }
+}
+
+/// Counts outstanding helper jobs so a caller can block until every job that
+/// borrows its stack frame has finished.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self { remaining: Mutex::new(count), all_done: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = self.all_done.wait(remaining).expect("latch lock");
+        }
+    }
+}
+
+thread_local! {
+    /// Pool-size overrides installed by [`with_thread_count`], innermost
+    /// last. Thread-local on purpose: the pool size is consulted exactly
+    /// once per batch, on the calling thread, so a per-thread stack gives
+    /// exact nesting semantics and concurrent tests cannot observe each
+    /// other's overrides.
+    static OVERRIDES: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The pool size the next parallel operation on this thread will use: the
+/// innermost [`with_thread_count`] override if one is active, else
+/// `RAYON_NUM_THREADS` when set to a positive integer, else the machine's
+/// available parallelism.
+///
+/// The environment variable is **only ever read** (at process scope it is
+/// set before launch, e.g. by the CI thread matrix); in-process pinning goes
+/// through `with_thread_count`, so there is no `setenv` while other threads
+/// call `getenv` — that pairing is undefined behaviour on glibc.
+pub fn current_num_threads() -> usize {
+    if let Some(&n) = OVERRIDES.with(|o| o.borrow().last().copied()).as_ref() {
+        return n;
+    }
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs `f` with this thread's pool size pinned to `threads` (minimum 1),
+/// restoring the previous state afterwards — including on panic, via a drop
+/// guard. Overrides nest, innermost wins.
+///
+/// This is the supported way to drive a thread-count matrix inside one
+/// process; it shadows `RAYON_NUM_THREADS` without touching the (shared,
+/// race-prone) process environment. The override applies to parallel calls
+/// made *on the calling thread*; threads spawned inside `f` fall back to
+/// the environment.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDES.with(|o| o.borrow_mut().pop());
+        }
+    }
+    OVERRIDES.with(|o| o.borrow_mut().push(threads.max(1)));
+    let _guard = Guard;
+    f()
+}
+
+/// Runs `work` on the calling thread *and* `helpers` pool workers, returning
+/// once every participant is done. `work` must be panic-free (the map layer
+/// catches closure panics itself); a stray panic is still caught so the
+/// latch always counts down and the pool worker survives.
+fn run_on_pool(helpers: usize, work: &(dyn Fn() + Sync)) {
+    if helpers == 0 {
+        work();
+        return;
+    }
+    let p = pool();
+    p.ensure_workers(helpers);
+    let latch = Latch::new(helpers);
+    {
+        let latch_ref: &Latch = &latch;
+        for _ in 0..helpers {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| work()));
+                latch_ref.count_down();
+            });
+            // SAFETY: the job borrows `work` and `latch` from this stack
+            // frame. `latch.wait()` below blocks until every submitted job
+            // has run its closing `count_down`, so the borrows cannot
+            // outlive the frame. This lifetime erasure is the classic
+            // scoped-pool trick; the persistent queue itself only holds
+            // 'static jobs.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            p.submit(job);
+        }
+        // The caller participates instead of idling; even with zero awake
+        // workers the batch completes (no deadlock).
+        let caller = catch_unwind(AssertUnwindSafe(|| work()));
+        latch.wait();
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+    }
+}
+
+// Nested-parallelism guard: true while this thread is executing batch work.
+// An inner `par_iter` from inside a batch runs inline instead of going to
+// the pool — handing it to the pool could deadlock, because every
+// participant (including pool workers) blocks in `latch.wait()` for inner
+// jobs that sit queued behind those very blocked workers. Real rayon
+// work-steals while waiting; this shim degrades nested calls to sequential,
+// which preserves both progress and (index-ordered) results.
+thread_local! {
+    static IN_BATCH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Parallel map over an owned work list, preserving input order exactly.
+///
+/// Participants claim chunks of indices from an atomic cursor; each result
+/// lands in the slot of its input index, and the output `Vec` is read out in
+/// index order. A panicking `f` poisons the batch: remaining inputs are
+/// drained (dropped) without invoking `f`, and the first payload is
+/// re-thrown on the caller once all participants have finished. Nested
+/// calls on a batch thread run inline (see [`IN_BATCH`][self]).
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 || IN_BATCH.with(|b| b.get()) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // ~4 chunks per participant: coarse enough to amortise claim overhead,
+    // fine enough that an unlucky worker cannot strand a big tail.
+    let chunk = (n / (threads * 4)).max(1);
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    let work = || {
+        struct BatchFlag;
+        impl Drop for BatchFlag {
+            fn drop(&mut self) {
+                IN_BATCH.with(|b| b.set(false));
+            }
+        }
+        IN_BATCH.with(|b| b.set(true));
+        let _flag = BatchFlag;
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for i in start..(start + chunk).min(n) {
+                let item =
+                    inputs[i].lock().expect("input slot").take().expect("index claimed once");
+                if poisoned.load(Ordering::Relaxed) {
+                    continue; // drain: drop the input without running `f`
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => *outputs[i].lock().expect("output slot") = Some(r),
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock().expect("panic slot");
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    run_on_pool(threads - 1, &work);
+
+    if let Some(payload) = first_panic.into_inner().expect("panic slot") {
+        resume_unwind(payload);
+    }
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("output slot").expect("every index produced a value"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator adapters
+// ---------------------------------------------------------------------------
+
+/// Index-ordered parallel iterators over materialised work lists.
+pub mod iter {
+    use super::par_map_vec;
+
+    /// A parallel iterator: the work list, materialised and index-ordered.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        pub(crate) fn new(items: Vec<T>) -> Self {
+            Self { items }
+        }
+
+        /// Number of work items.
+        #[allow(clippy::len_without_is_empty)]
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Maps each item on the pool; results keep input order.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync + Send,
+        {
+            ParMap { items: self.items, f, _out: std::marker::PhantomData }
+        }
+
+        /// Runs `f` for every item on the pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync + Send,
+        {
+            par_map_vec(self.items, f);
+        }
+
+        /// Collects the (unmapped) items in input order.
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+
+        /// Sums the items in input order.
+        pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+            self.items.into_iter().sum()
+        }
+    }
+
+    /// A mapped parallel iterator (`par_iter().map(f)`).
+    pub struct ParMap<T, R, F> {
+        items: Vec<T>,
+        f: F,
+        _out: std::marker::PhantomData<fn() -> R>,
+    }
+
+    impl<T, R, F> ParMap<T, R, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Executes the map on the pool and collects results in input order
+        /// — bitwise identical to the sequential `iter().map().collect()`.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            par_map_vec(self.items, self.f).into_iter().collect()
+        }
+
+        /// Executes the map on the pool, then sums sequentially in input
+        /// order (so float sums stay deterministic).
+        pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+            par_map_vec(self.items, self.f).into_iter().sum()
+        }
+
+        /// Runs the mapped closure for every item on the pool.
+        pub fn for_each(self) {
+            par_map_vec(self.items, self.f);
+        }
+    }
+}
 
 pub mod prelude {
-    /// `.par_iter()` — sequential stand-in returning the `&T` iterator.
+    //! The `par_iter` entry-point traits, as in real rayon's prelude.
+    pub use crate::iter::{ParIter, ParMap};
+
+    /// `.par_iter()` — parallel iteration over shared references.
     pub trait IntoParallelRefIterator<'data> {
         /// Item yielded by the iterator.
-        type Item;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Returns a (sequential) iterator over shared references.
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send;
+        /// Returns a pool-backed, index-ordered parallel iterator.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Send,
     {
         type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter::new(self.into_iter().collect())
         }
     }
 
-    /// `.par_iter_mut()` — sequential stand-in returning the `&mut T`
-    /// iterator.
+    /// `.par_iter_mut()` — parallel iteration over mutable references.
     pub trait IntoParallelRefMutIterator<'data> {
         /// Item yielded by the iterator.
-        type Item;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Returns a (sequential) iterator over mutable references.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+        type Item: Send;
+        /// Returns a pool-backed, index-ordered parallel iterator.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
     where
         &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: Send,
     {
         type Item = <&'data mut C as IntoIterator>::Item;
-        type Iter = <&'data mut C as IntoIterator>::IntoIter;
 
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+            ParIter::new(self.into_iter().collect())
         }
     }
 
-    /// `.into_par_iter()` — sequential stand-in for consuming iteration.
+    /// `.into_par_iter()` — consuming parallel iteration.
     pub trait IntoParallelIterator {
         /// Item yielded by the iterator.
-        type Item;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Returns a (sequential) consuming iterator.
-        fn into_par_iter(self) -> Self::Iter;
+        type Item: Send;
+        /// Returns a pool-backed, index-ordered parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<C: IntoIterator> IntoParallelIterator for C {
+    impl<C: IntoIterator> IntoParallelIterator for C
+    where
+        C::Item: Send,
+    {
         type Item = C::Item;
-        type Iter = C::IntoIter;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<Self::Item> {
+            ParIter::new(self.into_iter().collect())
         }
     }
 }
 
-/// Sequential stand-in for `rayon::join`: runs both closures in order.
+/// Runs both closures, potentially in parallel, and returns both results.
+/// A panic in either closure is propagated after both have completed.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_thread_count;
+    use std::collections::HashSet;
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -104,5 +490,98 @@ mod tests {
     fn into_par_iter_consumes() {
         let total: i32 = vec![1, 2, 3].into_par_iter().sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn collection_keeps_input_order_for_every_pool_size() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let got: Vec<u64> =
+                with_thread_count(threads, || xs.par_iter().map(|&x| x * x).collect());
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn work_is_distributed_across_threads() {
+        // Sleepy items: eight 100 ms tasks (800 ms sequential) on a 4-thread
+        // pool overlap even on one hardware core, because sleeps release the
+        // CPU. The 500 ms bound leaves ample scheduler slack for loaded CI
+        // runners while still being impossible for a sequential run.
+        let start = std::time::Instant::now();
+        let ids: Vec<std::thread::ThreadId> = with_thread_count(4, || {
+            (0..8u32)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() >= 2, "expected helper participation, got {distinct:?}");
+        assert!(elapsed.as_millis() < 500, "batch not overlapped: {elapsed:?}");
+    }
+
+    #[test]
+    fn nested_par_iter_runs_inline_without_deadlock() {
+        // A par_iter inside a par_iter closure must not be handed to the
+        // pool (that can deadlock when every participant is blocked waiting
+        // on the inner batch); it runs inline and still yields ordered,
+        // correct results.
+        let sums: Vec<u64> = with_thread_count(2, || {
+            (0..16u64)
+                .into_par_iter()
+                .map(|i| (0..100u64).into_par_iter().map(|j| i * 100 + j).sum::<u64>())
+                .collect()
+        });
+        let expected: Vec<u64> =
+            (0..16u64).map(|i| (0..100u64).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_stays_usable() {
+        with_thread_count(4, || {
+            let result = std::panic::catch_unwind(|| {
+                (0..64u32)
+                    .into_par_iter()
+                    .map(|i| if i == 13 { panic!("boom at {i}") } else { i })
+                    .collect::<Vec<u32>>()
+            });
+            assert!(result.is_err(), "panic must cross the pool boundary");
+            // The pool must keep serving after a poisoned batch.
+            for _ in 0..3 {
+                let xs: Vec<u32> = (0..256u32).into_par_iter().map(|x| x + 1).collect();
+                assert_eq!(xs.len(), 256);
+                assert_eq!(xs[255], 256);
+            }
+        });
+    }
+
+    #[test]
+    fn num_threads_tracks_override() {
+        assert_eq!(with_thread_count(3, super::current_num_threads), 3);
+        assert_eq!(with_thread_count(7, super::current_num_threads), 7);
+        // Overrides nest innermost-wins and unwind cleanly.
+        with_thread_count(2, || {
+            assert_eq!(with_thread_count(5, super::current_num_threads), 5);
+            assert_eq!(super::current_num_threads(), 2);
+        });
+        // A panicking closure still removes its override (drop guard).
+        let baseline = super::current_num_threads();
+        let _ = std::panic::catch_unwind(|| with_thread_count(6, || panic!("unwind")));
+        assert_eq!(super::current_num_threads(), baseline);
+        assert!(baseline >= 1);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+        let caught = std::panic::catch_unwind(|| super::join(|| 1, || panic!("right side")));
+        assert!(caught.is_err());
     }
 }
