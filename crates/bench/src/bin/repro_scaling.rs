@@ -9,8 +9,12 @@
 //! measures only scheduling overhead) and is reported, not asserted.
 //!
 //! ```text
-//! cargo run --release --bin repro_scaling -- [--passes N] [--seed S]
+//! cargo run --release --bin repro_scaling -- [--passes N] [--seed S] [--json PATH]
 //! ```
+//!
+//! `--json PATH` additionally writes the machine-readable timing record
+//! (the `BENCH_parallel.json` artifact CI uploads, seeding the perf
+//! trajectory).
 
 use sixg_bench::{compare, header, shared_scenario};
 use sixg_measure::aggregate::CellField;
@@ -47,6 +51,10 @@ fn first_difference(
     None
 }
 
+fn json_path(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let passes = parse_flag(&args, "--passes", 8) as u32;
@@ -70,13 +78,16 @@ fn main() {
 
     let mut all_equal = true;
     let mut best_speedup = 0.0f64;
+    let mut runs: Vec<serde_json::Value> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let t = Instant::now();
         let parallel = with_thread_count(threads, || run_parallel(s, config));
         let par_s = t.elapsed().as_secs_f64();
         let speedup = seq_s / par_s;
         best_speedup = best_speedup.max(speedup);
-        let verdict = match first_difference(s, &sequential, &parallel) {
+        let difference = first_difference(s, &sequential, &parallel);
+        let bitwise_equal = difference.is_none();
+        let verdict = match difference {
             None => "bitwise equal".to_string(),
             Some(diff) => {
                 all_equal = false;
@@ -84,10 +95,34 @@ fn main() {
             }
         };
         println!("{threads:>2} threads: {par_s:>8.3} s   speedup {speedup:>5.2}x   {verdict}");
+        runs.push(serde_json::json!({
+            "threads": threads,
+            "seconds": par_s,
+            "speedup": speedup,
+            "bitwise_equal": bitwise_equal,
+        }));
     }
 
     println!("\nbest speedup: {best_speedup:.2}x over sequential on {cores} hardware thread(s)");
     println!("parallel output identical to sequential: {all_equal}");
+
+    if let Some(path) = json_path(&args) {
+        let doc = serde_json::json!({
+            "bench": "repro_scaling",
+            "passes": passes,
+            "seed": seed,
+            "hardware_threads": cores,
+            "total_samples": sequential.total_samples(),
+            "sequential_seconds": seq_s,
+            "best_speedup": best_speedup,
+            "all_bitwise_equal": all_equal,
+            "runs": runs,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("timing record serialises");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
     if !all_equal {
         eprintln!(
             "repro_scaling: parallel output differs from sequential — determinism contract broken"

@@ -1,0 +1,283 @@
+//! `sixg-cli` — run, validate and list declarative scenario specs.
+//!
+//! Any `ScenarioSpec` JSON file on disk becomes a runnable, parallel,
+//! deterministic measurement campaign:
+//!
+//! ```text
+//! sixg-cli run specs/klagenfurt.json          # campaign + heatmaps + gap
+//! sixg-cli run specs/megacity.json --passes 2 # override the seed policy
+//! sixg-cli validate specs/*.json              # all violations, JSON paths
+//! sixg-cli list [specs/]                      # inventory of spec files
+//! ```
+//!
+//! `run` executes the spec's default campaign (its seed policy) on the
+//! rayon thread pool and reports the Figure-2/3-style heatmaps, the
+//! grand mean, and the requirement gap against the spec's reference
+//! workload class — for `specs/klagenfurt.json` the printed grand mean and
+//! exceedance are the `repro_all` numbers, to the digit.
+
+use sixg_core::gap::GapReport;
+use sixg_core::requirements::{ApplicationClass, RequirementProfile};
+use sixg_measure::campaign::CampaignConfig;
+use sixg_measure::parallel::{run_parallel, with_thread_count};
+use sixg_measure::report::{render_grid, CampaignSummary, FieldStat};
+use sixg_measure::scenario::Scenario;
+use sixg_measure::spec::ScenarioSpec;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sixg-cli — declarative scenario runner
+
+USAGE:
+    sixg-cli run <spec.json> [--passes N] [--campaign-seed S] [--seed S]
+                             [--threads T] [--json PATH]
+    sixg-cli validate <spec.json>...
+    sixg-cli list [dir]
+
+SUBCOMMANDS:
+    run       compile the spec and run its campaign on the thread pool
+    validate  parse + validate specs; print every violation with its JSON path
+    list      inventory the spec files in a directory (default: specs/)
+
+RUN OPTIONS:
+    --passes N         override the spec's campaign passes
+    --campaign-seed S  override the spec's campaign seed
+    --seed S           override the scenario seed (calibration + streams)
+    --threads T        pin the rayon pool size (default: RAYON_NUM_THREADS)
+    --json PATH        also write the campaign summary as JSON
+";
+
+fn class_by_name(name: &str) -> Result<ApplicationClass, String> {
+    ApplicationClass::ALL.into_iter().find(|c| format!("{c:?}") == name).ok_or_else(|| {
+        let known: Vec<String> = ApplicationClass::ALL.iter().map(|c| format!("{c:?}")).collect();
+        format!("unknown workload class {name:?} (expected one of {})", known.join(", "))
+    })
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value {v:?} for {flag}")),
+    }
+}
+
+fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec file {path}: {e}"))?;
+    let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(spec)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().filter(|a| !a.starts_with("--")).ok_or("run needs a spec file")?;
+    let mut spec = load_spec(path)?;
+
+    let errors = spec.validate();
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        return Err(format!("{path}: {} validation error(s)", errors.len()));
+    }
+
+    if let Some(seed) = parse_flag::<u64>(args, "--seed")? {
+        spec.seed = seed;
+    }
+    if let Some(passes) = parse_flag::<u32>(args, "--passes")? {
+        spec.campaign.passes = passes;
+    }
+    if let Some(seed) = parse_flag::<u64>(args, "--campaign-seed")? {
+        spec.campaign.seed = seed;
+    }
+    let threads = parse_flag::<usize>(args, "--threads")?;
+
+    // The spec's reference class must resolve before the campaign runs.
+    let reference = class_by_name(&spec.workloads.reference_class)?;
+    let mix: Vec<(ApplicationClass, f64)> = spec
+        .workloads
+        .mix
+        .iter()
+        .map(|w| class_by_name(&w.class).map(|c| (c, w.share)))
+        .collect::<Result<_, _>>()?;
+
+    println!("=== scenario: {} ===", spec.name);
+    if !spec.description.is_empty() {
+        println!("{}", spec.description);
+    }
+    let scenario = Scenario::from_spec(&spec).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "\ngrid {}×{} ({} cells, {} traversed) · {} hops · {} peers · seed {:#x}",
+        scenario.grid.cols,
+        scenario.grid.rows,
+        scenario.grid.len(),
+        scenario.included.len(),
+        spec.hops.len(),
+        scenario.peers.len(),
+        scenario.seed,
+    );
+
+    let config = CampaignConfig {
+        seed: spec.campaign.seed,
+        sample_interval_s: spec.campaign.sample_interval_s,
+        passes: spec.campaign.passes,
+    };
+    println!(
+        "campaign: {} passes, seed {}, {:.1} s cadence",
+        config.passes, config.seed, config.sample_interval_s
+    );
+
+    let field = match threads {
+        Some(t) => with_thread_count(t, || run_parallel(&scenario, config)),
+        None => run_parallel(&scenario, config),
+    };
+
+    println!("\n--- mean RTL heatmap (ms, 0.0 = not traversed) ---");
+    print!("{}", render_grid(&field, FieldStat::Mean));
+    println!("--- σ heatmap (ms) ---");
+    print!("{}", render_grid(&field, FieldStat::StdDev));
+
+    let summary = CampaignSummary::from_field(&field);
+    println!("--- campaign summary ---");
+    println!("samples:      {}", summary.total_samples);
+    println!("grand mean:   {:.4} ms", summary.grand_mean_ms);
+    println!("mean range:   {:.4} .. {:.4} ms", summary.mean_min_ms, summary.mean_max_ms);
+    println!("sigma range:  {:.4} .. {:.4} ms", summary.std_min_ms, summary.std_max_ms);
+
+    let gap = GapReport::analyse(&field, &reference.profile());
+    println!("\n--- requirement gap vs {reference:?} ({} ms) ---", gap.requirement_ms);
+    println!("exceedance:      {:.4} %", gap.exceedance_pct);
+    println!("best cell:       {:.4} %", gap.best_cell_exceedance_pct);
+    println!("compliant cells: {}/{}", gap.compliant_cells, gap.reported_cells);
+
+    println!("\n--- workload mix ---");
+    println!("{:<22} {:>7} {:>10} {:>12}", "class", "share", "req (ms)", "exceedance");
+    for (class, share) in &mix {
+        let profile: RequirementProfile = class.profile();
+        let exceedance = (summary.grand_mean_ms - profile.max_rtl_ms) / profile.max_rtl_ms * 100.0;
+        println!(
+            "{:<22} {:>6.0}% {:>10.1} {:>11.1}%",
+            format!("{class:?}"),
+            share * 100.0,
+            profile.max_rtl_ms,
+            exceedance
+        );
+    }
+
+    if let Some(out) = flag_value(args, "--json") {
+        let mut doc = serde_json::to_value(&summary);
+        if let serde_json::Value::Object(pairs) = &mut doc {
+            pairs.push(("scenario".into(), serde_json::Value::String(spec.name.clone())));
+            pairs.push(("requirement_ms".into(), serde_json::Value::F64(gap.requirement_ms)));
+            pairs.push(("exceedance_pct".into(), serde_json::Value::F64(gap.exceedance_pct)));
+        }
+        let text = serde_json::to_string_pretty(&doc).expect("summary serialises");
+        std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("\nwrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("validate needs at least one spec file".into());
+    }
+    let mut bad = 0usize;
+    for path in paths {
+        match load_spec(path) {
+            Err(e) => {
+                bad += 1;
+                eprintln!("INVALID {e}");
+            }
+            Ok(spec) => {
+                let errors = spec.validate();
+                if errors.is_empty() {
+                    println!(
+                        "ok      {path}: {} ({}×{} grid, {} hops, {} links)",
+                        spec.name,
+                        spec.grid.cols,
+                        spec.grid.rows,
+                        spec.hops.len(),
+                        spec.links.len()
+                    );
+                } else {
+                    bad += 1;
+                    for e in &errors {
+                        eprintln!("INVALID {path}: {e}");
+                    }
+                }
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} of {} spec file(s) invalid", paths.len()));
+    }
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    let dir = args.first().map(String::as_str).unwrap_or("specs");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!("no spec files (*.json) in {dir}"));
+    }
+    println!(
+        "{:<28} {:>7} {:>7} {:>6} {:>6}  description",
+        "file", "grid", "cells", "hops", "peers"
+    );
+    for path in entries {
+        let shown = path.display();
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| ScenarioSpec::from_json(&t).map_err(|e| e.to_string()))
+        {
+            Ok(spec) => {
+                let mut description = spec.description.clone();
+                if description.len() > 60 {
+                    description.truncate(57);
+                    description.push_str("...");
+                }
+                println!(
+                    "{:<28} {:>7} {:>7} {:>6} {:>6}  {description}",
+                    shown.to_string(),
+                    format!("{}×{}", spec.grid.cols, spec.grid.rows),
+                    spec.grid.cols as usize * spec.grid.rows as usize,
+                    spec.hops.len(),
+                    spec.peers.cells.len(),
+                );
+            }
+            Err(e) => println!("{:<28} UNPARSEABLE: {e}", shown.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sixg-cli: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! network RTTs: wire path + radio access, no application processing.
 
 use crate::aggregate::CellField;
-use crate::klagenfurt::KlagenfurtScenario;
+use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 use sixg_geo::mobility::ManhattanMobility;
 use sixg_geo::CellId;
@@ -57,15 +57,15 @@ pub struct Shard {
     pub dwell_s: f64,
 }
 
-/// The mobile campaign runner.
+/// The mobile campaign runner, over any spec-compiled [`Scenario`].
 pub struct MobileCampaign<'a> {
-    scenario: &'a KlagenfurtScenario,
+    scenario: &'a Scenario,
     config: CampaignConfig,
 }
 
 impl<'a> MobileCampaign<'a> {
     /// Creates a campaign over a scenario.
-    pub fn new(scenario: &'a KlagenfurtScenario, config: CampaignConfig) -> Self {
+    pub fn new(scenario: &'a Scenario, config: CampaignConfig) -> Self {
         Self { scenario, config }
     }
 
@@ -151,14 +151,15 @@ impl<'a> MobileCampaign<'a> {
         field
     }
 
-    /// The Table-I traceroute: mobile node in C2 → university anchor.
+    /// The Table-I-style traceroute: the scenario's reference mobile node
+    /// (C2 for Klagenfurt) → the anchor, rendered from the spec's rDNS
+    /// vantage city.
     pub fn table1_traceroute(&self, rep: u64) -> FlowTrace {
         let s = self.scenario;
         let (ue, anchor) = s.table1_endpoints();
         let pc = sixg_netsim::routing::PathComputer::new(&s.topo, &s.as_graph);
-        let pinger = Pinger::new(&pc, &s.names, "vie");
-        let c2 = CellId::parse("C2").expect("static label");
-        let access = s.access_for(c2);
+        let pinger = Pinger::new(&pc, &s.names, &s.spec.measurement.rdns_city);
+        let access = s.access_for(s.reference_cell);
         let key = StreamKey::root(s.seed).with_label("traceroute").with(rep);
         let mut rng = SimRng::for_stream(key);
         pinger.traceroute(ue, anchor, Some(access), &mut rng).expect("table1 path must route")
@@ -168,6 +169,7 @@ impl<'a> MobileCampaign<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::klagenfurt::KlagenfurtScenario;
     use sixg_netsim::stats::Welford;
 
     fn scenario() -> KlagenfurtScenario {

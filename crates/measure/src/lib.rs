@@ -21,20 +21,34 @@
 //!   for every pool size;
 //! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
 //!   extrema rank agreement) between a campaign and its targets;
+//! * [`spec`] — the declarative scenario subsystem: a serde-backed
+//!   [`spec::ScenarioSpec`] (JSON, loadable from a file) describing a
+//!   campaign end to end, validated with path-anchored errors;
+//! * [`scenario`] — the generic [`scenario::Scenario`] every spec compiles
+//!   into, and the dynamic [`scenario::TargetField`];
+//! * [`klagenfurt`] — the measured site as a thin wrapper over
+//!   `specs/klagenfurt.json` (bitwise pinned by the golden suite);
 //! * [`skopje`] — a second, *projected* scenario at the partner site
 //!   (the paper's future-work promise to expand the geographic scope),
-//!   demonstrating framework generality.
+//!   wrapper over `specs/skopje.json`;
+//! * [`megacity`] — a dense 10 × 10 synthetic sector with a local-peering
+//!   topology variant, wrapper over `specs/megacity.json`.
 
 pub mod aggregate;
 pub mod campaign;
 pub mod klagenfurt;
+pub mod megacity;
 pub mod parallel;
 pub mod report;
+pub mod scenario;
 pub mod skopje;
+pub mod spec;
 pub mod validate;
 pub mod wired;
 
 pub use aggregate::{CellField, CellStats};
 pub use campaign::{CampaignConfig, MobileCampaign};
 pub use klagenfurt::KlagenfurtScenario;
+pub use scenario::{Scenario, TargetField};
+pub use spec::{ScenarioSpec, SpecError};
 pub use wired::WiredCampaign;

@@ -1,0 +1,317 @@
+//! A third, synthetic scenario: a dense 10 × 10 "megacity" sector with a
+//! **local-peering topology variant**.
+//!
+//! Klagenfurt shows what the *absence* of local interconnection costs: ten
+//! hops and a 2544 km detour for a sub-5 km flow. This scenario is the
+//! counterfactual at metropolitan scale — the operator peers at an in-city
+//! IX that also transits the local access ISP, so UE→anchor flows stay
+//! inside the city (the Section V-A peering strategy, built into the
+//! topology instead of retrofitted). A long transit path to an out-of-town
+//! cloud still exists for the wired-reference comparison, and one of its
+//! links carries a *lognormal* extra-delay distribution, exercising the
+//! spec's `netsim::dist` integration beyond constants.
+//!
+//! At 100 traversed cells this is 3× the Klagenfurt campaign's cell count:
+//! the scale test for the spec→campaign pipeline, the parallel runner and
+//! the CLI. Like Skopje it is projected, not measured — the target field
+//! comes from the floor+gradient+hotspot model.
+//!
+//! Thin wrapper over the committed spec file `specs/megacity.json`.
+
+use crate::scenario::Scenario;
+use crate::spec::{
+    AsRelationDef, CalibrationDef, CampaignDef, DensityDef, GridDef, HopDef, LinkDef,
+    MeasurementDef, OrgDef, PeerDef, PositionDef, ScenarioSpec, TargetDef, UeDef, WorkloadMixDef,
+    WorkloadShareDef,
+};
+use sixg_netsim::dist::DistSpec;
+use sixg_netsim::topology::Asn;
+use std::sync::OnceLock;
+
+/// The megacity scenario is the generic [`Scenario`], compiled from
+/// `specs/megacity.json`.
+pub type MegacityScenario = Scenario;
+
+/// Metropolitan mobile operator.
+pub const MEGA_OP_AS: Asn = Asn(64801);
+/// In-city internet exchange the operator peers at.
+pub const MEGA_IX_AS: Asn = Asn(64805);
+/// Local access ISP, customer of the IX.
+pub const MEGA_ISP_AS: Asn = Asn(64810);
+/// Campus AS hosting the anchor.
+pub const MEGA_CAMPUS_AS: Asn = Asn(64820);
+/// Out-of-town cloud region.
+pub const MEGA_CLOUD_AS: Asn = Asn(64830);
+/// Long-haul transit provider (the only way out of town).
+pub const MEGA_TRANSIT_AS: Asn = Asn(64840);
+
+/// The committed spec file this module wraps.
+pub const MEGACITY_SPEC_JSON: &str = include_str!("../../../specs/megacity.json");
+
+fn geo(lat: f64, lon: f64) -> PositionDef {
+    PositionDef::Geo { lat, lon }
+}
+
+fn bare_hop(name: &str, kind: &str, asn: Asn, position: PositionDef) -> HopDef {
+    HopDef { name: name.into(), kind: kind.into(), asn: asn.0, position, ip: None, rdns: None }
+}
+
+fn link(a: &str, b: &str, bandwidth_bps: f64, utilisation: f64, extra: DistSpec) -> LinkDef {
+    LinkDef { a: a.into(), b: b.into(), bandwidth_bps, utilisation, extra }
+}
+
+impl ScenarioSpec {
+    /// The megacity spec, as code. `specs/megacity.json` is this value
+    /// serialised; [`Scenario::megacity`] compiles the committed file.
+    pub fn megacity() -> Self {
+        const C0: DistSpec = DistSpec::Constant { ms: 0.0 };
+        Self {
+            name: "megacity".into(),
+            description: "Dense synthetic 10×10 megacity sector with local peering: the \
+                          operator interconnects at an in-city IX that transits the access \
+                          ISP, so local flows stay local (the Section V-A strategy as a \
+                          topology variant); an out-of-town cloud remains reachable only \
+                          over long-haul transit with a lognormal extra-delay link"
+                .into(),
+            seed: 0x6D65_6761,
+            grid: GridDef {
+                origin_lat: 48.30,
+                origin_lon: 16.25,
+                cols: 10,
+                rows: 10,
+                cell_km: 1.0,
+            },
+            density: DensityDef {
+                core_col: 4.5,
+                core_row: 4.5,
+                peak: 15_000.0,
+                decay_cells: 6.0,
+                ..DensityDef::default()
+            },
+            // A lower floor than the measured sites: local peering removes
+            // the transit legs, so what remains is mostly radio access.
+            // Parameters sit inside the 5G model's reachable mean-vs-σ
+            // envelope with ≥6 ms of headroom below load saturation.
+            targets: TargetDef::Projected {
+                floor_ms: 36.0,
+                gradient_ms: 10.0,
+                hotspot_ms: 8.0,
+                hotspot: "F6".into(),
+                std_factor: 1.1,
+                std_floor_ms: 2.0,
+            },
+            // A megacity core: every one of the 100 cells is dense and
+            // traversed.
+            skipped_cells: Vec::new(),
+            calibration: CalibrationDef { label: "mega-cal".into(), samples: 2000 },
+            hops: vec![
+                bare_hop("mega-cgnat", "CoreRouter", MEGA_OP_AS, geo(48.21, 16.37)),
+                bare_hop("mega-ix", "Ixp", MEGA_IX_AS, geo(48.205, 16.36)),
+                bare_hop("mega-isp-agg", "CoreRouter", MEGA_ISP_AS, geo(48.20, 16.38)),
+                bare_hop(
+                    "mega-anchor",
+                    "Anchor",
+                    MEGA_CAMPUS_AS,
+                    PositionDef::Cell { cell: "E5".into(), bearing_deg: 0.0, offset_km: 0.0 },
+                ),
+                bare_hop("mega-transit", "BorderRouter", MEGA_TRANSIT_AS, geo(48.22, 16.40)),
+                bare_hop("mega-cloud", "CloudDc", MEGA_CLOUD_AS, geo(48.10, 16.90)),
+            ],
+            links: vec![
+                // Operator → in-city IX: the local-peering variant's key
+                // interconnect.
+                link("mega-cgnat", "mega-ix", 400e9, 0.35, DistSpec::Constant { ms: 0.1 }),
+                // IX fabric → access ISP aggregation.
+                link("mega-ix", "mega-isp-agg", 100e9, 0.30, DistSpec::Constant { ms: 0.05 }),
+                // ISP → campus access.
+                link("mega-isp-agg", "mega-anchor", 1e9, 0.20, C0),
+                // Operator's long-haul transit uplink (the only way out of
+                // town).
+                link("mega-cgnat", "mega-transit", 100e9, 0.50, DistSpec::Constant { ms: 0.4 }),
+                // Transit also peers at the IX, so ISP customers reach the
+                // cloud.
+                link("mega-transit", "mega-ix", 100e9, 0.40, DistSpec::Constant { ms: 0.2 }),
+                // Long-haul to the cloud region: middlebox jitter modelled
+                // as a lognormal extra-delay distribution.
+                link(
+                    "mega-transit",
+                    "mega-cloud",
+                    40e9,
+                    0.45,
+                    DistSpec::LogNormal { mean_ms: 0.6, cv: 0.5 },
+                ),
+            ],
+            orgs: vec![
+                OrgDef {
+                    asn: MEGA_IX_AS.0,
+                    domain: "mega-ix.net".into(),
+                    cc: "at".into(),
+                    style: "PlainHost".into(),
+                    prefix: [185, 77],
+                },
+                OrgDef {
+                    asn: MEGA_ISP_AS.0,
+                    domain: "metrofiber.example".into(),
+                    cc: "at".into(),
+                    style: "ReverseOctets".into(),
+                    prefix: [193, 88],
+                },
+                OrgDef {
+                    asn: MEGA_CLOUD_AS.0,
+                    domain: "mega-cloud.example".into(),
+                    cc: "at".into(),
+                    style: "PlainHost".into(),
+                    prefix: [194, 99],
+                },
+            ],
+            as_relations: vec![
+                // The local-peering variant: operator ↔ IX settlement-free.
+                AsRelationDef { kind: "peering".into(), a: MEGA_OP_AS.0, b: MEGA_IX_AS.0 },
+                AsRelationDef { kind: "transit".into(), a: MEGA_IX_AS.0, b: MEGA_ISP_AS.0 },
+                AsRelationDef { kind: "transit".into(), a: MEGA_ISP_AS.0, b: MEGA_CAMPUS_AS.0 },
+                AsRelationDef { kind: "transit".into(), a: MEGA_TRANSIT_AS.0, b: MEGA_OP_AS.0 },
+                AsRelationDef { kind: "transit".into(), a: MEGA_TRANSIT_AS.0, b: MEGA_CLOUD_AS.0 },
+                AsRelationDef { kind: "peering".into(), a: MEGA_IX_AS.0, b: MEGA_TRANSIT_AS.0 },
+            ],
+            ue: UeDef {
+                gateway: "mega-cgnat".into(),
+                name_prefix: "mega-ue-".into(),
+                bandwidth_bps: 1e9,
+                utilisation: 0.10,
+                extra: C0,
+            },
+            peers: PeerDef {
+                cells: ["D3", "G4", "C8", "H7"].iter().map(|s| s.to_string()).collect(),
+                attach: "mega-isp-agg".into(),
+                name_prefix: "mega-peer-".into(),
+                bearing_deg: 45.0,
+                offset_km: 0.25,
+                bandwidth_bps: 1e9,
+                utilisation: 0.25,
+                extra: DistSpec::Constant { ms: 0.8 },
+            },
+            measurement: MeasurementDef {
+                anchor: "mega-anchor".into(),
+                cloud: Some("mega-cloud".into()),
+                reference_cell: "C2".into(),
+                rdns_city: "vie".into(),
+            },
+            campaign: CampaignDef { seed: 3, passes: 4, sample_interval_s: 2.0 },
+            workloads: WorkloadMixDef {
+                reference_class: "ArGaming".into(),
+                mix: vec![
+                    WorkloadShareDef { class: "ArGaming".into(), share: 0.3 },
+                    WorkloadShareDef { class: "VideoStreaming".into(), share: 0.2 },
+                    WorkloadShareDef { class: "AutonomousVehicle".into(), share: 0.15 },
+                    WorkloadShareDef { class: "IotTelemetry".into(), share: 0.2 },
+                    WorkloadShareDef { class: "SmartCity".into(), share: 0.15 },
+                ],
+            },
+        }
+    }
+}
+
+/// The committed megacity spec, parsed once.
+pub fn megacity_spec() -> &'static ScenarioSpec {
+    static SPEC: OnceLock<ScenarioSpec> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        ScenarioSpec::from_json(MEGACITY_SPEC_JSON).expect("committed specs/megacity.json parses")
+    })
+}
+
+impl Scenario {
+    /// Builds the megacity scenario from the committed spec file.
+    pub fn megacity(seed: u64) -> Self {
+        let mut spec = megacity_spec().clone();
+        spec.seed = seed;
+        Self::from_spec(&spec).expect("committed megacity spec compiles")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixg_geo::CellId;
+    use sixg_netsim::routing::PathComputer;
+    use std::sync::OnceLock;
+
+    fn scenario() -> &'static MegacityScenario {
+        static S: OnceLock<MegacityScenario> = OnceLock::new();
+        S.get_or_init(|| MegacityScenario::megacity(0x6D65_6761))
+    }
+
+    #[test]
+    fn committed_spec_file_matches_code_constructor() {
+        assert_eq!(*megacity_spec(), ScenarioSpec::megacity());
+    }
+
+    #[test]
+    fn all_hundred_cells_traversed_and_dense() {
+        let s = scenario();
+        assert_eq!(s.grid.len(), 100);
+        assert_eq!(s.included.len(), 100);
+        assert_eq!(s.ue.len(), 100);
+        assert_eq!(s.access.len(), 100);
+        for cell in s.grid.cells() {
+            assert!(!s.density.is_sparse(cell), "megacity cell {cell} must be dense");
+        }
+    }
+
+    #[test]
+    fn local_peering_keeps_anchor_paths_short() {
+        // The whole point of the variant: no Klagenfurt-style ten-hop
+        // international detour — UE → gw → IX → ISP → anchor.
+        let s = scenario();
+        let (ue, anchor) = s.table1_endpoints();
+        let pc = PathComputer::new(&s.topo, &s.as_graph);
+        let path = pc.route(ue, anchor).expect("routable");
+        assert!(path.hop_count() <= 5, "hops {}", path.hop_count());
+        assert!(path.route_km(&s.topo) < 60.0, "route {} km", path.route_km(&s.topo));
+    }
+
+    #[test]
+    fn cloud_only_reachable_over_long_haul_transit() {
+        let s = scenario();
+        let cloud = s.cloud.expect("megacity has a cloud");
+        let pc = PathComputer::new(&s.topo, &s.as_graph);
+        // UE side climbs through the transit provider.
+        let c2 = CellId::parse("C2").unwrap();
+        let p = pc.route(s.ue[&c2], cloud).expect("routable");
+        let names: Vec<&str> = p.hops.iter().map(|(n, _)| s.topo.node(*n).name.as_str()).collect();
+        assert!(names.contains(&"mega-transit"), "{names:?}");
+        // Peers (ISP customers) exit via the IX–transit peering.
+        let p = pc.route(s.peers[0], cloud).expect("routable");
+        let names: Vec<&str> = p.hops.iter().map(|(n, _)| s.topo.node(*n).name.as_str()).collect();
+        assert!(names.contains(&"mega-ix"), "{names:?}");
+    }
+
+    #[test]
+    fn uniform_campaign_reproduces_projected_field_at_scale() {
+        let s = scenario();
+        let field = s.run_uniform_campaign(300, 1);
+        let hotspot = CellId::parse("F6").unwrap();
+        let (_, max) = field.mean_extrema().unwrap();
+        assert_eq!(max.cell, hotspot, "hotspot must carry the max mean");
+        let gm = field.grand_mean_ms();
+        // floor 36 + gradient midpoint 5 + hotspot dilution ≈ 41.
+        assert!((39.0..44.0).contains(&gm), "grand mean {gm}");
+        for &cell in &s.included {
+            let want = s.targets.mean_of(cell);
+            let got = field.stats(cell).mean_ms;
+            assert!((got - want).abs() < 4.0, "cell {cell}: {got} vs projected {want}");
+        }
+    }
+
+    #[test]
+    fn deterministic_at_scale() {
+        let a = MegacityScenario::megacity(11);
+        let b = MegacityScenario::megacity(11);
+        for cell in &a.included {
+            assert_eq!(a.access[cell].env.load.to_bits(), b.access[cell].env.load.to_bits());
+            assert_eq!(
+                a.access[cell].env.interference.to_bits(),
+                b.access[cell].env.interference.to_bits()
+            );
+        }
+    }
+}

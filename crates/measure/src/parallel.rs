@@ -12,12 +12,12 @@
 
 use crate::aggregate::CellField;
 use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
-use crate::klagenfurt::KlagenfurtScenario;
+use crate::scenario::Scenario;
 use rayon::prelude::*;
 
 /// Runs the campaign on the thread pool, sharding at (pass, cell)
 /// granularity and merging batches in deterministic work-list order.
-pub fn run_parallel(scenario: &KlagenfurtScenario, config: CampaignConfig) -> CellField {
+pub fn run_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
     let campaign = MobileCampaign::new(scenario, config);
     // The work list is cheap and deterministic; materialise it once so the
     // sequential and parallel runners agree on shard order by construction.
@@ -47,11 +47,7 @@ pub struct SweepPoint {
 
 /// Runs the campaign for many seeds on the thread pool (scenario shared;
 /// results in input seed order).
-pub fn seed_sweep(
-    scenario: &KlagenfurtScenario,
-    base: CampaignConfig,
-    seeds: &[u64],
-) -> Vec<SweepPoint> {
+pub fn seed_sweep(scenario: &Scenario, base: CampaignConfig, seeds: &[u64]) -> Vec<SweepPoint> {
     seeds
         .par_iter()
         .map(|&seed| {
@@ -71,17 +67,13 @@ pub use rayon::with_thread_count;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::klagenfurt::KlagenfurtScenario;
 
     fn scenario() -> KlagenfurtScenario {
         KlagenfurtScenario::paper(0x6B6C_7531)
     }
 
-    fn assert_fields_bitwise_equal(
-        s: &KlagenfurtScenario,
-        a: &CellField,
-        b: &CellField,
-        context: &str,
-    ) {
+    fn assert_fields_bitwise_equal(s: &Scenario, a: &CellField, b: &CellField, context: &str) {
         for cell in s.grid.cells() {
             let (x, y) = (a.stats(cell), b.stats(cell));
             assert_eq!(x.count, y.count, "{context}: cell {cell} count");

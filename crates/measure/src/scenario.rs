@@ -1,0 +1,596 @@
+//! The generic, spec-compiled measurement scenario.
+//!
+//! [`Scenario`] is the single runtime shape every measurement site compiles
+//! into: a router-level [`Topology`] with AS business relationships, a
+//! labelled grid with a density raster, one mobile UE per traversed cell
+//! behind an operator gateway, a measurement anchor (plus optional fixed
+//! peers and a cloud reference), and per-cell radio access models
+//! calibrated so the campaign *reproduces* the spec's target field.
+//!
+//! Scenarios are built from declarative [`ScenarioSpec`]s
+//! ([`Scenario::from_spec`]); the committed sites — Klagenfurt
+//! ([`Scenario::paper`]), Skopje ([`Scenario::projected`]) and the
+//! megacity ([`Scenario::megacity`]) — are thin wrappers over the spec
+//! files under `specs/`. The compilation pipeline is deliberately
+//! deterministic in spec order: hops, links, UEs and peers are inserted
+//! exactly in the order the spec lists them, so node/link identifiers —
+//! and therefore every routed path and every random stream — are a pure
+//! function of (spec, seed). The Klagenfurt golden suite pins this to the
+//! bit.
+
+use crate::spec::{
+    parse_name_style, parse_node_kind, PositionDef, ScenarioSpec, SpecError, TargetDef,
+};
+use serde::{Deserialize, Serialize};
+use sixg_geo::population::SPARSE_THRESHOLD;
+use sixg_geo::{CellId, DensityRaster, GeoPoint, GridSpec};
+use sixg_netsim::latency::DelaySampler;
+use sixg_netsim::names::{NameRegistry, OrgProfile};
+use sixg_netsim::radio::{AccessModel, CellEnv, FiveGAccess};
+use sixg_netsim::rng::{SimRng, StreamKey};
+use sixg_netsim::routing::{AsGraph, PathComputer, RoutedPath};
+use sixg_netsim::stats::Welford;
+use sixg_netsim::topology::{Asn, LinkParams, NodeId, NodeKind, Topology};
+use std::collections::BTreeMap;
+
+/// Per-cell calibration targets (mean/σ of the round-trip latency field).
+///
+/// A dynamic `[row][col]` field over an arbitrary grid; `0.0` mean marks a
+/// non-traversed cell, exactly as the paper's Figure 2 renders skipped
+/// cells. Dense scenario targets (the published Klagenfurt matrices) store
+/// explicit values; projected scenarios evaluate their model into this
+/// shape once at compile time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetField {
+    cols: u8,
+    rows: u8,
+    /// Mean RTL targets, ms, row-major.
+    mean: Vec<f64>,
+    /// Standard-deviation targets, ms, row-major.
+    std: Vec<f64>,
+}
+
+impl TargetField {
+    /// Builds a field from row-major matrices. Panics when dimensions are
+    /// inconsistent (spec validation reports this recoverably first).
+    pub fn from_rows(mean: Vec<Vec<f64>>, std: Vec<Vec<f64>>) -> Self {
+        assert!(!mean.is_empty(), "target field needs at least one row");
+        let rows = mean.len();
+        let cols = mean[0].len();
+        assert!(cols > 0, "target field needs at least one column");
+        assert_eq!(std.len(), rows, "mean/std row count mismatch");
+        for (m, s) in mean.iter().zip(&std) {
+            assert_eq!(m.len(), cols, "ragged mean matrix");
+            assert_eq!(s.len(), cols, "ragged std matrix");
+        }
+        Self {
+            cols: cols as u8,
+            rows: rows as u8,
+            mean: mean.into_iter().flatten().collect(),
+            std: std.into_iter().flatten().collect(),
+        }
+    }
+
+    /// An all-zero (fully masked) field over a grid.
+    pub fn zero(grid: &GridSpec) -> Self {
+        let n = grid.len();
+        Self { cols: grid.cols, rows: grid.rows, mean: vec![0.0; n], std: vec![0.0; n] }
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (u8, u8) {
+        (self.cols, self.rows)
+    }
+
+    fn idx(&self, cell: CellId) -> usize {
+        assert!(
+            cell.col < self.cols && cell.row < self.rows,
+            "cell {cell} outside {}×{} target field",
+            self.cols,
+            self.rows
+        );
+        cell.row as usize * self.cols as usize + cell.col as usize
+    }
+
+    /// Target mean for a cell (0.0 = not traversed).
+    pub fn mean_of(&self, cell: CellId) -> f64 {
+        self.mean[self.idx(cell)]
+    }
+
+    /// Target σ for a cell.
+    pub fn std_of(&self, cell: CellId) -> f64 {
+        self.std[self.idx(cell)]
+    }
+
+    /// Overwrites one cell's targets (ablations; `mean = 0.0` masks).
+    pub fn set(&mut self, cell: CellId, mean: f64, std: f64) {
+        let i = self.idx(cell);
+        self.mean[i] = mean;
+        self.std[i] = std;
+    }
+
+    /// True when the cell was traversed by the campaign.
+    pub fn traversed(&self, cell: CellId) -> bool {
+        self.mean_of(cell) > 0.0
+    }
+
+    /// All traversed cells, row-major.
+    pub fn traversed_cells(&self, grid: &GridSpec) -> Vec<CellId> {
+        grid.cells().filter(|c| self.traversed(*c)).collect()
+    }
+
+    /// Grand mean over traversed cells.
+    pub fn grand_mean(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &v in &self.mean {
+            if v > 0.0 {
+                sum += v;
+                n += 1;
+            }
+        }
+        sum / n as f64
+    }
+
+    /// The mean matrix as row-major rows (the spec's explicit form).
+    pub fn mean_rows(&self) -> Vec<Vec<f64>> {
+        self.mean.chunks(self.cols as usize).map(<[f64]>::to_vec).collect()
+    }
+
+    /// The σ matrix as row-major rows.
+    pub fn std_rows(&self) -> Vec<Vec<f64>> {
+        self.std.chunks(self.cols as usize).map(<[f64]>::to_vec).collect()
+    }
+
+    /// Evaluates a spec's target definition over a grid, masking skipped
+    /// cells to `0.0`.
+    pub fn from_def(def: &TargetDef, grid: &GridSpec, skipped: &[CellId]) -> Self {
+        let mut field = match def {
+            TargetDef::Explicit { mean, std } => Self::from_rows(mean.clone(), std.clone()),
+            TargetDef::Projected {
+                floor_ms,
+                gradient_ms,
+                hotspot_ms,
+                hotspot,
+                std_factor,
+                std_floor_ms,
+            } => {
+                let hotspot = CellId::parse(hotspot).expect("validated hotspot label");
+                let mut field = Self::zero(grid);
+                for cell in grid.cells() {
+                    let diag = (cell.col as f64 / (grid.cols - 1).max(1) as f64
+                        + cell.row as f64 / (grid.rows - 1).max(1) as f64)
+                        / 2.0;
+                    let peak = if cell == hotspot { *hotspot_ms } else { 0.0 };
+                    let mean = floor_ms + gradient_ms * diag + peak;
+                    let std = (std_factor * (mean - floor_ms)).max(*std_floor_ms);
+                    field.set(cell, mean, std);
+                }
+                field
+            }
+        };
+        for &cell in skipped {
+            field.set(cell, 0.0, 0.0);
+        }
+        field
+    }
+}
+
+/// Deterministic stream-key component of a cell.
+pub(crate) fn cell_key(cell: CellId) -> u64 {
+    ((cell.col as u64) << 8) | cell.row as u64
+}
+
+/// The assembled scenario — everything a campaign needs to run.
+pub struct Scenario {
+    /// Scenario name (from the spec).
+    pub name: String,
+    /// Router-level topology.
+    pub topo: Topology,
+    /// AS business relationships.
+    pub as_graph: AsGraph,
+    /// Naming registry (pinned Table-I style names plus org profiles).
+    pub names: NameRegistry,
+    /// The measurement grid.
+    pub grid: GridSpec,
+    /// Synthetic population-density raster.
+    pub density: DensityRaster,
+    /// Traversed cells, row-major.
+    pub included: Vec<CellId>,
+    /// Per-cell mobile UE.
+    pub ue: BTreeMap<CellId, NodeId>,
+    /// The measurement anchor.
+    pub anchor: NodeId,
+    /// The operator gateway every UE attaches to.
+    pub gw: NodeId,
+    /// Fixed peer nodes of the campaign (may be empty).
+    pub peers: Vec<NodeId>,
+    /// Cloud reference node used by the wired baseline, if the spec has one.
+    pub cloud: Option<NodeId>,
+    /// Calibration targets.
+    pub targets: TargetField,
+    /// Calibrated per-cell access models.
+    pub access: BTreeMap<CellId, FiveGAccess>,
+    /// Cached routes UE(cell) → target index (anchor first, then peers).
+    pub routes: BTreeMap<(CellId, usize), RoutedPath>,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Cell of the reference mobile node (Table-I-style endpoint).
+    pub reference_cell: CellId,
+    /// The spec this scenario was compiled from (seed policy, workload mix).
+    pub spec: ScenarioSpec,
+}
+
+impl Scenario {
+    /// Compiles a declarative spec into a runnable scenario.
+    ///
+    /// Validates first and refuses invalid specs with the first violation;
+    /// use [`ScenarioSpec::validate`] to collect all of them.
+    pub fn from_spec(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        let mut errors = spec.validate();
+        if !errors.is_empty() {
+            return Err(errors.remove(0));
+        }
+        Ok(Self::compile(spec))
+    }
+
+    /// Parses and compiles a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        Self::from_spec(&ScenarioSpec::from_json(text)?)
+    }
+
+    /// Loads, parses and compiles a spec file from disk.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SpecError::new("$", format!("cannot read spec file {}: {e}", path.display()))
+        })?;
+        Self::from_json(&text)
+    }
+
+    /// The compilation pipeline. The spec is already validated.
+    fn compile(spec: &ScenarioSpec) -> Self {
+        let seed = spec.seed;
+        let grid = GridSpec::new(
+            GeoPoint::new(spec.grid.origin_lat, spec.grid.origin_lon),
+            spec.grid.cols,
+            spec.grid.rows,
+            spec.grid.cell_km,
+        );
+        let skipped: Vec<CellId> = spec
+            .skipped_cells
+            .iter()
+            .map(|l| CellId::parse(l).expect("validated skip label"))
+            .collect();
+        let targets = TargetField::from_def(&spec.targets, &grid, &skipped);
+        let included = targets.traversed_cells(&grid);
+        assert!(
+            !included.is_empty(),
+            "spec {} traverses no cells (all targets zero or skipped)",
+            spec.name
+        );
+
+        // Density: monocentric synthetic profile made consistent with the
+        // traversal plan — every traversed cell dense, every skipped cell
+        // sparse (the paper ties its 0.0 cells to the <1000 /km² threshold).
+        let d = &spec.density;
+        let mut density =
+            DensityRaster::synth_urban(&grid, d.core_col, d.core_row, d.peak, d.decay_cells);
+        for cell in grid.cells() {
+            let current = density.density(cell);
+            let jitter =
+                (sixg_geo::mobility::mix64(seed ^ ((cell.col as u64) << 8) ^ cell.row as u64)
+                    % d.jitter_mod) as f64;
+            if targets.traversed(cell) && current < SPARSE_THRESHOLD {
+                density.set_density(cell, d.dense_fill + jitter);
+            } else if !targets.traversed(cell) && current >= SPARSE_THRESHOLD {
+                density.set_density(cell, d.sparse_fill + jitter);
+            }
+        }
+
+        // Topology: hops, links, UEs, peers — in spec order, so node and
+        // link identifiers are a pure function of the spec.
+        let mut topo = Topology::new();
+        let mut names = NameRegistry::new();
+        let mut hop_ids: BTreeMap<&str, NodeId> = BTreeMap::new();
+        let resolve_pos = |pos: &PositionDef| -> GeoPoint {
+            match pos {
+                PositionDef::Geo { lat, lon } => GeoPoint::new(*lat, *lon),
+                PositionDef::Cell { cell, bearing_deg, offset_km } => {
+                    let cell = CellId::parse(cell).expect("validated cell label");
+                    let centroid = grid.centroid(cell);
+                    if *offset_km == 0.0 {
+                        centroid
+                    } else {
+                        centroid.destination(*bearing_deg, *offset_km)
+                    }
+                }
+            }
+        };
+        for hop in &spec.hops {
+            let kind = parse_node_kind(&hop.kind).expect("validated node kind");
+            let id =
+                topo.add_node(kind, hop.name.clone(), resolve_pos(&hop.position), Asn(hop.asn));
+            if let Some(ip) = hop.ip {
+                names.pin_ip(id, ip);
+            }
+            if let Some(rdns) = &hop.rdns {
+                names.pin_name(id, rdns.clone());
+            }
+            hop_ids.insert(hop.name.as_str(), id);
+        }
+        for org in &spec.orgs {
+            names.register_org(
+                Asn(org.asn),
+                OrgProfile {
+                    domain: org.domain.clone(),
+                    cc: org.cc.clone(),
+                    style: parse_name_style(&org.style).expect("validated name style"),
+                    prefix: org.prefix,
+                },
+            );
+        }
+        for link in &spec.links {
+            topo.add_link(
+                hop_ids[link.a.as_str()],
+                hop_ids[link.b.as_str()],
+                LinkParams {
+                    bandwidth_bps: link.bandwidth_bps,
+                    utilisation: link.utilisation,
+                    extra_ms: link.extra.mean_ms(),
+                },
+            );
+        }
+
+        let gw = hop_ids[spec.ue.gateway.as_str()];
+        let mut ue = BTreeMap::new();
+        for &cell in &included {
+            let id = topo.add_node(
+                NodeKind::UserEquipment,
+                format!("{}{}", spec.ue.name_prefix, cell.label().to_lowercase()),
+                grid.centroid(cell),
+                topo.node(gw).asn,
+            );
+            topo.add_link(
+                id,
+                gw,
+                LinkParams {
+                    bandwidth_bps: spec.ue.bandwidth_bps,
+                    utilisation: spec.ue.utilisation,
+                    extra_ms: spec.ue.extra.mean_ms(),
+                },
+            );
+            ue.insert(cell, id);
+        }
+
+        let mut peers = Vec::with_capacity(spec.peers.cells.len());
+        if !spec.peers.cells.is_empty() {
+            let attach = hop_ids[spec.peers.attach.as_str()];
+            for (i, label) in spec.peers.cells.iter().enumerate() {
+                let cell = CellId::parse(label).expect("validated peer cell");
+                // Offset peers from centroids so they are not co-located
+                // with the mobile UE of the same cell.
+                let pos =
+                    grid.centroid(cell).destination(spec.peers.bearing_deg, spec.peers.offset_km);
+                let id = topo.add_node(
+                    NodeKind::Server,
+                    format!("{}{}", spec.peers.name_prefix, i + 1),
+                    pos,
+                    topo.node(attach).asn,
+                );
+                topo.add_link(
+                    id,
+                    attach,
+                    LinkParams {
+                        bandwidth_bps: spec.peers.bandwidth_bps,
+                        utilisation: spec.peers.utilisation,
+                        extra_ms: spec.peers.extra.mean_ms(),
+                    },
+                );
+                peers.push(id);
+            }
+        }
+
+        let mut as_graph = AsGraph::new();
+        for rel in &spec.as_relations {
+            match rel.kind.as_str() {
+                "transit" => as_graph.add_transit(Asn(rel.a), Asn(rel.b)),
+                "peering" => as_graph.add_peering(Asn(rel.a), Asn(rel.b)),
+                other => unreachable!("validated relation kind, got {other}"),
+            }
+        }
+
+        let anchor = hop_ids[spec.measurement.anchor.as_str()];
+        let cloud = spec.measurement.cloud.as_deref().map(|name| hop_ids[name]);
+        let reference_cell =
+            CellId::parse(&spec.measurement.reference_cell).expect("validated reference cell");
+
+        let mut scenario = Self {
+            name: spec.name.clone(),
+            topo,
+            as_graph,
+            names,
+            grid,
+            density,
+            included,
+            ue,
+            anchor,
+            gw,
+            peers,
+            cloud,
+            targets,
+            access: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            seed,
+            reference_cell,
+            spec: spec.clone(),
+        };
+        scenario.compute_routes();
+        scenario.calibrate();
+        scenario
+    }
+
+    /// Recomputes the cached routes after a topology or policy mutation
+    /// (used by the recommendation engines when they add peering links or
+    /// UPF breakouts).
+    pub fn refresh_routes(&mut self) {
+        self.routes.clear();
+        self.compute_routes();
+    }
+
+    /// Measurement targets in campaign order: anchor first, then peers.
+    pub fn measurement_targets(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(1 + self.peers.len());
+        v.push(self.anchor);
+        v.extend(self.peers.iter().copied());
+        v
+    }
+
+    fn compute_routes(&mut self) {
+        let pc = PathComputer::new(&self.topo, &self.as_graph);
+        let targets = self.measurement_targets();
+        for (&cell, &ue) in &self.ue {
+            for (ti, &t) in targets.iter().enumerate() {
+                let path = pc
+                    .route(ue, t)
+                    .unwrap_or_else(|| panic!("no route from {cell} to target {ti}"));
+                self.routes.insert((cell, ti), path);
+            }
+        }
+    }
+
+    /// Empirical wire-path RTT statistics (mean, variance) for a cell's
+    /// target mixture, from `n` deterministic samples on the spec's
+    /// calibration stream.
+    pub fn wire_rtt_stats(&self, cell: CellId, n: usize) -> (f64, f64) {
+        let sampler = DelaySampler::new(&self.topo);
+        let targets = self.measurement_targets();
+        let key = StreamKey::root(self.seed)
+            .with_label(&self.spec.calibration.label)
+            .with(cell_key(cell));
+        let mut rng = SimRng::for_stream(key);
+        let mut w = Welford::new();
+        for i in 0..n {
+            let ti = i % targets.len();
+            let path = &self.routes[&(cell, ti)];
+            w.push(sampler.rtt_ms(&path.hops, 64, &mut rng));
+        }
+        (w.mean(), w.variance())
+    }
+
+    /// Inverts the analytic 5G access model per traversed cell so that wire
+    /// path plus air interface reproduces the target mean/σ field.
+    fn calibrate(&mut self) {
+        let samples = self.spec.calibration.samples as usize;
+        for cell in self.included.clone() {
+            let (wire_mean, wire_var) = self.wire_rtt_stats(cell, samples);
+            let target_mean = self.targets.mean_of(cell);
+            let target_std = self.targets.std_of(cell);
+            let access_mean = (target_mean - wire_mean).max(1.0);
+            let access_var = (target_std * target_std - wire_var).max(0.01);
+            self.access.insert(cell, FiveGAccess::fit(access_mean, access_var.sqrt()));
+        }
+    }
+
+    /// Calibrated access model for a traversed cell.
+    pub fn access_for(&self, cell: CellId) -> &FiveGAccess {
+        self.access.get(&cell).unwrap_or_else(|| panic!("cell {cell} not traversed / calibrated"))
+    }
+
+    /// A neutral 5G access model for nodes outside calibrated cells.
+    pub fn default_access(&self) -> FiveGAccess {
+        FiveGAccess::new(CellEnv::new(0.4, 0.3))
+    }
+
+    /// The reference endpoints: mobile UE in the spec's reference cell and
+    /// the anchor (C2 → E3 for the Klagenfurt Table I).
+    pub fn table1_endpoints(&self) -> (NodeId, NodeId) {
+        (self.ue[&self.reference_cell], self.anchor)
+    }
+
+    /// The grid cell containing the anchor.
+    pub fn anchor_cell(&self) -> CellId {
+        self.grid.locate(self.topo.node(self.anchor).pos).expect("anchor inside grid")
+    }
+
+    /// Runs a uniform campaign: `samples_per_cell` pings from every
+    /// traversed cell across the target mixture, aggregated per cell.
+    ///
+    /// Simpler than the mobility-driven [`crate::campaign::MobileCampaign`]
+    /// (no traversal, no dwell-time variation) — useful for projected
+    /// scenarios and quick field checks.
+    pub fn run_uniform_campaign(&self, samples_per_cell: usize, seed: u64) -> crate::CellField {
+        let mut field = crate::CellField::new(self.grid.clone());
+        let sampler = DelaySampler::new(&self.topo);
+        let targets = self.measurement_targets();
+        for &cell in &self.included {
+            let access = &self.access[&cell];
+            let key = StreamKey::root(self.seed)
+                .with_label("uniform-campaign")
+                .with(seed)
+                .with(cell_key(cell));
+            let mut rng = SimRng::for_stream(key);
+            for i in 0..samples_per_cell {
+                let path = &self.routes[&(cell, i % targets.len())];
+                let rtt = sampler.rtt_ms(&path.hops, 64, &mut rng) + access.sample_rtt_ms(&mut rng);
+                field.push(cell, rtt);
+            }
+        }
+        field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_field_round_trips_rows() {
+        let mean = vec![vec![0.0, 61.0], vec![70.0, 0.0]];
+        let std = vec![vec![0.0, 4.1], vec![8.5, 0.0]];
+        let t = TargetField::from_rows(mean.clone(), std.clone());
+        assert_eq!(t.dims(), (2, 2));
+        assert_eq!(t.mean_rows(), mean);
+        assert_eq!(t.std_rows(), std);
+        assert_eq!(t.mean_of(CellId::new(1, 0)), 61.0);
+        assert_eq!(t.std_of(CellId::new(0, 1)), 8.5);
+        assert!(t.traversed(CellId::new(1, 0)));
+        assert!(!t.traversed(CellId::new(0, 0)));
+        assert!((t.grand_mean() - 65.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_field_matches_formula_and_masks_skips() {
+        let grid = GridSpec::new(GeoPoint::new(42.02, 21.38), 5, 6, 1.0);
+        let def = TargetDef::Projected {
+            floor_ms: 66.0,
+            gradient_ms: 22.0,
+            hotspot_ms: 26.0,
+            hotspot: "C3".into(),
+            std_factor: 0.75,
+            std_floor_ms: 2.0,
+        };
+        let skipped = [CellId::parse("A1").unwrap()];
+        let t = TargetField::from_def(&def, &grid, &skipped);
+        // A1 masked.
+        assert_eq!(t.mean_of(CellId::parse("A1").unwrap()), 0.0);
+        // B1: diag = (1/4 + 0/5)/2 = 0.125 → 66 + 22·0.125.
+        let b1 = t.mean_of(CellId::parse("B1").unwrap());
+        assert!((b1 - (66.0 + 22.0 * 0.125)).abs() < 1e-12, "{b1}");
+        // The hotspot carries its extra peak and the coupled σ.
+        let c3 = CellId::parse("C3").unwrap();
+        assert!(t.mean_of(c3) > 26.0 + 66.0);
+        assert!((t.std_of(c3) - 0.75 * (t.mean_of(c3) - 66.0)).abs() < 1e-12);
+        // Far from the hotspot the σ floor applies.
+        assert_eq!(t.std_of(CellId::parse("B1").unwrap()), 0.75 * 22.0 * 0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrices_rejected() {
+        let _ = TargetField::from_rows(
+            vec![vec![1.0, 2.0], vec![3.0]],
+            vec![vec![0.1, 0.2], vec![0.3]],
+        );
+    }
+}

@@ -4,28 +4,32 @@
 //! geographical scope of the evaluation to include diverse regions,
 //! environments, and network conditions." The author team spans the
 //! University of Klagenfurt and Mother Teresa University in Skopje, so the
-//! natural second site is Skopje — this module builds it with the same
-//! machinery as [`crate::klagenfurt`].
+//! natural second site is Skopje — a thin wrapper over the committed spec
+//! file `specs/skopje.json`, compiled by the same
+//! [`crate::scenario::Scenario`] machinery as Klagenfurt.
 //!
 //! **This scenario is projected, not measured**: no published per-cell
 //! field exists, so the target field is generated from an explicit model
 //! (a Balkan-region latency floor, a north-west→south-east urban gradient,
-//! and one congested hotspot) and documented as such. What the scenario
-//! demonstrates is *framework generality*: a different grid, a different
-//! AS constellation (regional transit via Sofia-like and Vienna PoPs, a
-//! Frankfurt hairpin instead of the Bucharest one), the same campaign,
-//! calibration, and recommendation pipeline.
+//! and one congested hotspot — the spec's `projected` target kind) and
+//! documented as such. What the scenario demonstrates is *framework
+//! generality*: a different grid, a different AS constellation (regional
+//! transit via a Vienna PoP, a Frankfurt hairpin instead of the Bucharest
+//! one), the same campaign, calibration, and recommendation pipeline.
 
-use serde::{Deserialize, Serialize};
-use sixg_geo::{CellId, City, GeoPoint, GridSpec};
-use sixg_netsim::latency::DelaySampler;
-use sixg_netsim::names::NameRegistry;
-use sixg_netsim::radio::FiveGAccess;
-use sixg_netsim::rng::{SimRng, StreamKey};
-use sixg_netsim::routing::{AsGraph, PathComputer, RoutedPath};
-use sixg_netsim::stats::Welford;
-use sixg_netsim::topology::{Asn, LinkParams, NodeId, NodeKind, Topology};
-use std::collections::BTreeMap;
+use crate::scenario::Scenario;
+use crate::spec::{
+    AsRelationDef, CalibrationDef, CampaignDef, DensityDef, GridDef, HopDef, LinkDef,
+    MeasurementDef, PeerDef, PositionDef, ScenarioSpec, TargetDef, UeDef, WorkloadMixDef,
+    WorkloadShareDef,
+};
+use sixg_netsim::dist::DistSpec;
+use sixg_netsim::topology::Asn;
+use std::sync::OnceLock;
+
+/// The Skopje scenario is the generic [`Scenario`], compiled from
+/// `specs/skopje.json`.
+pub type SkopjeScenario = Scenario;
 
 /// Macedonian mobile operator (projected).
 pub const MK_OP_AS: Asn = Asn(43612);
@@ -38,230 +42,154 @@ pub const MK_ISP_AS: Asn = Asn(34547);
 /// Mother Teresa University campus.
 pub const UNT_AS: Asn = Asn(200_002);
 
-/// The projected per-cell field model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct ProjectedField {
-    /// Latency floor for the region, ms (longer transit legs than
-    /// Klagenfurt's 61 ms floor).
-    pub floor_ms: f64,
-    /// Gradient amplitude across the grid diagonal, ms.
-    pub gradient_ms: f64,
-    /// Hotspot peak on top of the floor, ms.
-    pub hotspot_ms: f64,
-    /// Hotspot cell.
-    pub hotspot: CellId,
+/// The committed spec file this module wraps.
+pub const SKOPJE_SPEC_JSON: &str = include_str!("../../../specs/skopje.json");
+
+fn geo(lat: f64, lon: f64) -> PositionDef {
+    PositionDef::Geo { lat, lon }
 }
 
-impl Default for ProjectedField {
-    fn default() -> Self {
+fn bare_hop(name: &str, kind: &str, asn: Asn, position: PositionDef) -> HopDef {
+    HopDef { name: name.into(), kind: kind.into(), asn: asn.0, position, ip: None, rdns: None }
+}
+
+fn link(a: &str, b: &str, bandwidth_bps: f64, utilisation: f64, extra_ms: f64) -> LinkDef {
+    LinkDef {
+        a: a.into(),
+        b: b.into(),
+        bandwidth_bps,
+        utilisation,
+        extra: DistSpec::Constant { ms: extra_ms },
+    }
+}
+
+impl ScenarioSpec {
+    /// The projected Skopje spec, as code. `specs/skopje.json` is this
+    /// value serialised; [`Scenario::projected`] compiles the committed
+    /// file.
+    pub fn skopje() -> Self {
         Self {
-            floor_ms: 66.0,
-            gradient_ms: 22.0,
-            hotspot_ms: 26.0,
-            hotspot: CellId::new(2, 2), // C3
+            name: "skopje".into(),
+            description: "Projected partner-site scenario over central Skopje: 5×6 grid, \
+                          regional transit via a Vienna PoP with a Frankfurt hairpin, \
+                          Mother Teresa University anchor; target field generated from a \
+                          floor+gradient+hotspot model (not measured)"
+                .into(),
+            seed: 7,
+            grid: GridDef { origin_lat: 42.02, origin_lon: 21.38, cols: 5, rows: 6, cell_km: 1.0 },
+            density: DensityDef {
+                core_col: 2.0,
+                core_row: 2.5,
+                peak: 5200.0,
+                decay_cells: 2.4,
+                ..DensityDef::default()
+            },
+            // Parameters sit inside the 5G access model's reachable
+            // envelope (mean vs σ): the calibration inverts exactly, with
+            // ≥5 ms of headroom below the load-saturation ceiling.
+            targets: TargetDef::Projected {
+                floor_ms: 66.0,
+                gradient_ms: 22.0,
+                hotspot_ms: 14.0,
+                hotspot: "C3".into(),
+                std_factor: 1.0,
+                std_floor_ms: 2.0,
+            },
+            // Skip the four corners plus two border cells: 24 traversed.
+            skipped_cells: ["A1", "E1", "A6", "E6", "C1", "A4"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            calibration: CalibrationDef { label: "skopje-cal".into(), samples: 1500 },
+            hops: vec![
+                bare_hop("mk-cgnat-skp", "CoreRouter", MK_OP_AS, geo(41.9981, 21.4254)),
+                bare_hop("transit-vie", "BorderRouter", TRANSIT_VIE_AS, geo(48.2082, 16.3738)),
+                bare_hop("carrier-fra", "CoreRouter", CARRIER_FRA_AS, geo(50.1109, 8.6821)),
+                bare_hop("carrier-vie", "CoreRouter", CARRIER_FRA_AS, geo(48.21, 16.39)),
+                bare_hop("mk-isp-skp", "CoreRouter", MK_ISP_AS, geo(42.00, 21.43)),
+                bare_hop(
+                    "unt-anchor",
+                    "Anchor",
+                    UNT_AS,
+                    PositionDef::Cell { cell: "C3".into(), bearing_deg: 0.0, offset_km: 0.0 },
+                ),
+            ],
+            links: vec![
+                // Operator backhaul lands in Vienna (regional transit), the
+                // carrier hairpins via Frankfurt before descending to the
+                // local ISP.
+                link("mk-cgnat-skp", "transit-vie", 40e9, 0.55, 0.6),
+                link("transit-vie", "carrier-vie", 10e9, 0.65, 0.5),
+                link("carrier-vie", "carrier-fra", 10e9, 0.55, 0.5),
+                link("carrier-fra", "mk-isp-skp", 10e9, 0.60, 0.6),
+                link("mk-isp-skp", "unt-anchor", 1e9, 0.20, 0.0),
+            ],
+            orgs: Vec::new(),
+            as_relations: vec![
+                AsRelationDef { kind: "transit".into(), a: TRANSIT_VIE_AS.0, b: MK_OP_AS.0 },
+                AsRelationDef { kind: "peering".into(), a: TRANSIT_VIE_AS.0, b: CARRIER_FRA_AS.0 },
+                AsRelationDef { kind: "transit".into(), a: CARRIER_FRA_AS.0, b: MK_ISP_AS.0 },
+                AsRelationDef { kind: "transit".into(), a: MK_ISP_AS.0, b: UNT_AS.0 },
+            ],
+            ue: UeDef {
+                gateway: "mk-cgnat-skp".into(),
+                name_prefix: "mk-ue-".into(),
+                bandwidth_bps: 1e9,
+                utilisation: 0.10,
+                extra: DistSpec::Constant { ms: 0.0 },
+            },
+            peers: PeerDef::none(),
+            measurement: MeasurementDef {
+                anchor: "unt-anchor".into(),
+                cloud: None,
+                reference_cell: "C3".into(),
+                rdns_city: "skp".into(),
+            },
+            campaign: CampaignDef { seed: 1, passes: 4, sample_interval_s: 2.0 },
+            workloads: WorkloadMixDef {
+                reference_class: "ArGaming".into(),
+                mix: vec![
+                    WorkloadShareDef { class: "ArGaming".into(), share: 0.5 },
+                    WorkloadShareDef { class: "IotTelemetry".into(), share: 0.5 },
+                ],
+            },
         }
     }
 }
 
-impl ProjectedField {
-    /// Projected mean RTL of a cell, ms.
-    pub fn mean_of(&self, grid: &GridSpec, cell: CellId) -> f64 {
-        let diag = (cell.col as f64 / (grid.cols - 1).max(1) as f64
-            + cell.row as f64 / (grid.rows - 1).max(1) as f64)
-            / 2.0;
-        let hotspot = if cell == self.hotspot { self.hotspot_ms } else { 0.0 };
-        self.floor_ms + self.gradient_ms * diag + hotspot
-    }
-
-    /// Projected σ: proportional to the load above the floor (congested
-    /// cells are also jittery, and the access model couples a high mean to a
-    /// proportionally heavy tail — the coupling the Klagenfurt field shows),
-    /// floored at 2 ms.
-    pub fn std_of(&self, grid: &GridSpec, cell: CellId) -> f64 {
-        (0.75 * (self.mean_of(grid, cell) - self.floor_ms)).max(2.0)
-    }
+/// The committed Skopje spec, parsed once.
+pub fn skopje_spec() -> &'static ScenarioSpec {
+    static SPEC: OnceLock<ScenarioSpec> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        ScenarioSpec::from_json(SKOPJE_SPEC_JSON).expect("committed specs/skopje.json parses")
+    })
 }
 
-/// The projected Skopje scenario.
-pub struct SkopjeScenario {
-    /// Router-level topology.
-    pub topo: Topology,
-    /// AS relationships.
-    pub as_graph: AsGraph,
-    /// Naming registry (generated names; nothing to pin).
-    pub names: NameRegistry,
-    /// 5 × 6 grid of 1 km cells over central Skopje.
-    pub grid: GridSpec,
-    /// Traversed cells (border cells skipped, as in Klagenfurt).
-    pub included: Vec<CellId>,
-    /// Per-cell UEs.
-    pub ue: BTreeMap<CellId, NodeId>,
-    /// University anchor.
-    pub anchor: NodeId,
-    /// Operator gateway.
-    pub gw: NodeId,
-    /// The projection used for calibration.
-    pub field: ProjectedField,
-    /// Calibrated per-cell access models.
-    pub access: BTreeMap<CellId, FiveGAccess>,
-    /// Cached routes UE → anchor.
-    pub routes: BTreeMap<CellId, RoutedPath>,
-    /// Scenario seed.
-    pub seed: u64,
-}
-
-impl SkopjeScenario {
-    /// Builds the projected scenario.
+impl Scenario {
+    /// Builds the projected Skopje scenario from the committed spec file.
     pub fn projected(seed: u64) -> Self {
-        let grid = GridSpec::new(GeoPoint::new(42.02, 21.38), 5, 6, 1.0);
-        // Skip the four corners plus two border cells: 24 traversed.
-        let skipped: Vec<CellId> = ["A1", "E1", "A6", "E6", "C1", "A4"]
-            .iter()
-            .map(|l| CellId::parse(l).expect("static label"))
-            .collect();
-        let included: Vec<CellId> = grid.cells().filter(|c| !skipped.contains(c)).collect();
-
-        let (topo, names, gw, anchor, ue) = build_topology(&grid, &included);
-        let as_graph = build_as_graph();
-
-        let mut scenario = Self {
-            topo,
-            as_graph,
-            names,
-            grid,
-            included,
-            ue,
-            anchor,
-            gw,
-            field: ProjectedField::default(),
-            access: BTreeMap::new(),
-            routes: BTreeMap::new(),
-            seed,
-        };
-        scenario.calibrate();
-        scenario
+        let mut spec = skopje_spec().clone();
+        spec.seed = seed;
+        Self::from_spec(&spec).expect("committed Skopje spec compiles")
     }
-
-    fn calibrate(&mut self) {
-        let pc = PathComputer::new(&self.topo, &self.as_graph);
-        for &cell in &self.included.clone() {
-            let ue = self.ue[&cell];
-            let path = pc.route(ue, self.anchor).expect("anchor routable");
-            let sampler = DelaySampler::new(&self.topo);
-            let key = StreamKey::root(self.seed)
-                .with_label("skopje-cal")
-                .with(cell.col as u64)
-                .with(cell.row as u64);
-            let mut rng = SimRng::for_stream(key);
-            let mut w = Welford::new();
-            for _ in 0..1500 {
-                w.push(sampler.rtt_ms(&path.hops, 64, &mut rng));
-            }
-            let mean_t = self.field.mean_of(&self.grid, cell);
-            let std_t = self.field.std_of(&self.grid, cell);
-            let access_mean = (mean_t - w.mean()).max(1.0);
-            let access_var = (std_t * std_t - w.variance()).max(0.01);
-            self.access.insert(cell, FiveGAccess::fit(access_mean, access_var.sqrt()));
-            self.routes.insert(cell, path);
-        }
-    }
-
-    /// Runs a campaign: `samples_per_cell` pings from every traversed
-    /// cell to the anchor, aggregated per cell.
-    pub fn run_campaign(&self, samples_per_cell: usize, seed: u64) -> crate::CellField {
-        use sixg_netsim::radio::AccessModel;
-        let mut field = crate::CellField::new(self.grid.clone());
-        let sampler = DelaySampler::new(&self.topo);
-        for &cell in &self.included {
-            let access = &self.access[&cell];
-            let path = &self.routes[&cell];
-            let key = StreamKey::root(self.seed)
-                .with_label("skopje-campaign")
-                .with(seed)
-                .with(((cell.col as u64) << 8) | cell.row as u64);
-            let mut rng = SimRng::for_stream(key);
-            for _ in 0..samples_per_cell {
-                let rtt = sampler.rtt_ms(&path.hops, 64, &mut rng) + access.sample_rtt_ms(&mut rng);
-                field.push(cell, rtt);
-            }
-        }
-        field
-    }
-}
-
-fn build_topology(
-    grid: &GridSpec,
-    included: &[CellId],
-) -> (Topology, NameRegistry, NodeId, NodeId, BTreeMap<CellId, NodeId>) {
-    let mut t = Topology::new();
-    let names = NameRegistry::new();
-
-    let skp = City::Skopje.position();
-    let vie = City::Vienna.position();
-    let fra = City::Frankfurt.position();
-
-    let gw = t.add_node(NodeKind::CoreRouter, "mk-cgnat-skp", skp, MK_OP_AS);
-    let tr_vie = t.add_node(NodeKind::BorderRouter, "transit-vie", vie, TRANSIT_VIE_AS);
-    let carrier_fra = t.add_node(NodeKind::CoreRouter, "carrier-fra", fra, CARRIER_FRA_AS);
-    let carrier_vie = t.add_node(
-        NodeKind::CoreRouter,
-        "carrier-vie",
-        GeoPoint::new(48.21, 16.39),
-        CARRIER_FRA_AS,
-    );
-    let isp_skp =
-        t.add_node(NodeKind::CoreRouter, "mk-isp-skp", GeoPoint::new(42.00, 21.43), MK_ISP_AS);
-    let e3 = CellId::parse("C3").expect("static label");
-    let anchor = t.add_node(NodeKind::Anchor, "unt-anchor", grid.centroid(e3), UNT_AS);
-
-    // Operator backhaul lands in Vienna (regional transit), the carrier
-    // hairpins via Frankfurt before descending to the local ISP.
-    t.add_link(gw, tr_vie, LinkParams { bandwidth_bps: 40e9, utilisation: 0.55, extra_ms: 0.6 });
-    t.add_link(tr_vie, carrier_vie, LinkParams::transit_loaded());
-    t.add_link(
-        carrier_vie,
-        carrier_fra,
-        LinkParams { bandwidth_bps: 10e9, utilisation: 0.55, extra_ms: 0.5 },
-    );
-    t.add_link(
-        carrier_fra,
-        isp_skp,
-        LinkParams { bandwidth_bps: 10e9, utilisation: 0.60, extra_ms: 0.6 },
-    );
-    t.add_link(isp_skp, anchor, LinkParams::access_wired());
-
-    let mut ue = BTreeMap::new();
-    for &cell in included {
-        let id = t.add_node(
-            NodeKind::UserEquipment,
-            format!("mk-ue-{}", cell.label().to_lowercase()),
-            grid.centroid(cell),
-            MK_OP_AS,
-        );
-        t.add_link(id, gw, LinkParams { bandwidth_bps: 1e9, utilisation: 0.10, extra_ms: 0.0 });
-        ue.insert(cell, id);
-    }
-
-    (t, names, gw, anchor, ue)
-}
-
-fn build_as_graph() -> AsGraph {
-    let mut g = AsGraph::new();
-    g.add_transit(TRANSIT_VIE_AS, MK_OP_AS);
-    g.add_peering(TRANSIT_VIE_AS, CARRIER_FRA_AS);
-    g.add_transit(CARRIER_FRA_AS, MK_ISP_AS);
-    g.add_transit(MK_ISP_AS, UNT_AS);
-    g
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sixg_geo::CellId;
+    use sixg_netsim::routing::PathComputer;
+    use sixg_netsim::topology::LinkParams;
     use std::sync::OnceLock;
 
     fn scenario() -> &'static SkopjeScenario {
         static S: OnceLock<SkopjeScenario> = OnceLock::new();
         S.get_or_init(|| SkopjeScenario::projected(7))
+    }
+
+    #[test]
+    fn committed_spec_file_matches_code_constructor() {
+        assert_eq!(*skopje_spec(), ScenarioSpec::skopje());
     }
 
     #[test]
@@ -276,7 +204,7 @@ mod tests {
     fn skopje_flow_also_detours_internationally() {
         let s = scenario();
         let c3 = CellId::parse("C3").unwrap();
-        let path = &s.routes[&c3];
+        let path = &s.routes[&(c3, 0)];
         // Skopje → Vienna → Frankfurt → Skopje: thousands of km for a
         // local flow, mirroring the Klagenfurt finding in a new region.
         assert!(path.hop_count() >= 5, "hops {}", path.hop_count());
@@ -289,10 +217,10 @@ mod tests {
     #[test]
     fn campaign_reproduces_projected_field() {
         let s = scenario();
-        let field = s.run_campaign(400, 1);
+        let field = s.run_uniform_campaign(400, 1);
         for &cell in &s.included {
             let stats = field.stats(cell);
-            let want = s.field.mean_of(&s.grid, cell);
+            let want = s.targets.mean_of(cell);
             assert!(
                 (stats.mean_ms - want).abs() < 3.0,
                 "cell {cell}: {} vs projected {want}",
@@ -301,13 +229,13 @@ mod tests {
         }
         // The hotspot is the max.
         let (_, max) = field.mean_extrema().unwrap();
-        assert_eq!(max.cell, s.field.hotspot);
+        assert_eq!(max.cell, CellId::parse("C3").unwrap());
     }
 
     #[test]
     fn projected_band_is_above_klagenfurt_floor() {
         let s = scenario();
-        let field = s.run_campaign(300, 2);
+        let field = s.run_uniform_campaign(300, 2);
         let (min, max) = field.mean_extrema().unwrap();
         assert!(min.mean_ms > 62.0, "min {}", min.mean_ms);
         assert!(max.mean_ms < 140.0, "max {}", max.mean_ms);

@@ -6,7 +6,7 @@
 //! This campaign measures both: the fixed peers ping each other, the
 //! university anchor, and the Vienna cloud over their wired access.
 
-use crate::klagenfurt::KlagenfurtScenario;
+use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 use sixg_netsim::latency::DelaySampler;
 use sixg_netsim::radio::{AccessModel, WiredAccess};
@@ -30,9 +30,10 @@ pub struct WiredStats {
     pub count: u64,
 }
 
-/// Wired baseline campaign runner.
+/// Wired baseline campaign runner. Requires a scenario with fixed peers
+/// and a cloud reference (the Klagenfurt spec provides both).
 pub struct WiredCampaign<'a> {
-    scenario: &'a KlagenfurtScenario,
+    scenario: &'a Scenario,
     /// Samples per (source, target) pair.
     pub samples_per_pair: usize,
     /// Campaign seed.
@@ -41,13 +42,15 @@ pub struct WiredCampaign<'a> {
 
 impl<'a> WiredCampaign<'a> {
     /// Creates the campaign with a default density of 200 samples/pair.
-    pub fn new(scenario: &'a KlagenfurtScenario, seed: u64) -> Self {
+    pub fn new(scenario: &'a Scenario, seed: u64) -> Self {
         Self { scenario, samples_per_pair: 200, seed }
     }
 
-    /// Runs the campaign.
+    /// Runs the campaign. Panics when the scenario spec declares no cloud
+    /// reference node.
     pub fn run(&self) -> WiredStats {
         let s = self.scenario;
+        let s_cloud = s.cloud.expect("wired baseline needs a cloud reference in the spec");
         let pc = PathComputer::new(&s.topo, &s.as_graph);
         let sampler = DelaySampler::new(&s.topo);
         let access = WiredAccess::default();
@@ -56,7 +59,7 @@ impl<'a> WiredCampaign<'a> {
         let mut cloud = Welford::new();
         let mut anchor = Welford::new();
 
-        let mut targets: Vec<NodeId> = vec![s.anchor, s.cloud];
+        let mut targets: Vec<NodeId> = vec![s.anchor, s_cloud];
         targets.extend(s.peers.iter().copied());
 
         for (si, &src) in s.peers.iter().enumerate() {
@@ -75,7 +78,7 @@ impl<'a> WiredCampaign<'a> {
                     let rtt =
                         sampler.rtt_ms(&path.hops, 64, &mut rng) + access.sample_rtt_ms(&mut rng);
                     all.push(rtt);
-                    if dst == s.cloud {
+                    if dst == s_cloud {
                         cloud.push(rtt);
                     } else if dst == s.anchor {
                         anchor.push(rtt);
@@ -103,6 +106,7 @@ pub fn mobile_wired_factor(mobile_grand_mean_ms: f64, wired: &WiredStats) -> f64
 mod tests {
     use super::*;
     use crate::campaign::{CampaignConfig, MobileCampaign};
+    use crate::klagenfurt::KlagenfurtScenario;
 
     fn scenario() -> KlagenfurtScenario {
         KlagenfurtScenario::paper(0x6B6C_7531)

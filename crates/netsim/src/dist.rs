@@ -153,7 +153,7 @@ impl Normal {
             -3.969683028665376e+01,
             2.209460984245205e+02,
             -2.759285104469687e+02,
-            1.383577518672690e+02,
+            1.38357751867269e+02,
             -3.066479806614716e+01,
             2.506628277459239e+00,
         ];
@@ -423,6 +423,235 @@ impl Sample for Mixture {
     }
 }
 
+/// A declarative, serialisable description of a delay distribution.
+///
+/// This is the form distributions take in scenario spec files
+/// (`specs/*.json`): a tagged object like `{"kind": "lognormal",
+/// "mean_ms": 0.4, "cv": 0.5}` that [`DistSpec::build`]s into a sampleable
+/// [`Component`]. Unlike the raw distribution structs, every variant is
+/// parameterised the way an operator would write it down (means and
+/// coefficients of variation rather than `mu`/`sigma`), and
+/// [`DistSpec::validate`] rejects parameterisations that could produce
+/// negative delays or undefined means *before* a campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistSpec {
+    /// Always `ms`.
+    Constant {
+        /// The fixed delay, ms.
+        ms: f64,
+    },
+    /// Uniform on `[lo_ms, hi_ms)`.
+    Uniform {
+        /// Inclusive lower bound, ms.
+        lo_ms: f64,
+        /// Exclusive upper bound, ms.
+        hi_ms: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean delay, ms.
+        mean_ms: f64,
+    },
+    /// Normal — only meaningful for delays when the mass below zero is
+    /// negligible; `validate` enforces `mean_ms ≥ 4·std_ms`.
+    Normal {
+        /// Mean delay, ms.
+        mean_ms: f64,
+        /// Standard deviation, ms.
+        std_ms: f64,
+    },
+    /// LogNormal by mean and coefficient of variation.
+    LogNormal {
+        /// Mean delay, ms.
+        mean_ms: f64,
+        /// Coefficient of variation (σ/μ of the lognormal itself).
+        cv: f64,
+    },
+    /// Pareto by minimum value and tail index.
+    Pareto {
+        /// Minimum delay (scale), ms.
+        x_min_ms: f64,
+        /// Tail index α; `validate` requires α > 1 so the mean is finite.
+        alpha: f64,
+    },
+    /// Weibull by scale and shape.
+    Weibull {
+        /// Scale λ, ms.
+        scale_ms: f64,
+        /// Shape k.
+        shape: f64,
+    },
+}
+
+impl DistSpec {
+    /// The spec's `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DistSpec::Constant { .. } => "constant",
+            DistSpec::Uniform { .. } => "uniform",
+            DistSpec::Exponential { .. } => "exponential",
+            DistSpec::Normal { .. } => "normal",
+            DistSpec::LogNormal { .. } => "lognormal",
+            DistSpec::Pareto { .. } => "pareto",
+            DistSpec::Weibull { .. } => "weibull",
+        }
+    }
+
+    /// Checks the parameterisation describes a valid non-negative delay
+    /// distribution with a finite mean.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            DistSpec::Constant { ms } => {
+                if ms < 0.0 {
+                    return Err(format!("constant delay must be non-negative, got {ms} ms"));
+                }
+            }
+            DistSpec::Uniform { lo_ms, hi_ms } => {
+                if lo_ms < 0.0 {
+                    return Err(format!("uniform lower bound must be non-negative, got {lo_ms}"));
+                }
+                if hi_ms < lo_ms {
+                    return Err(format!("uniform bounds inverted: lo {lo_ms} > hi {hi_ms}"));
+                }
+            }
+            DistSpec::Exponential { mean_ms } => {
+                if mean_ms <= 0.0 {
+                    return Err(format!("exponential mean must be positive, got {mean_ms}"));
+                }
+            }
+            DistSpec::Normal { mean_ms, std_ms } => {
+                if std_ms < 0.0 {
+                    return Err(format!("normal std must be non-negative, got {std_ms}"));
+                }
+                if mean_ms < 4.0 * std_ms {
+                    return Err(format!(
+                        "normal delay needs mean ≥ 4·std to keep negative mass negligible \
+                         (got mean {mean_ms}, std {std_ms}); use lognormal for wider spreads"
+                    ));
+                }
+            }
+            DistSpec::LogNormal { mean_ms, cv } => {
+                if mean_ms <= 0.0 || cv < 0.0 {
+                    return Err(format!(
+                        "lognormal needs mean > 0 and cv ≥ 0, got mean {mean_ms}, cv {cv}"
+                    ));
+                }
+            }
+            DistSpec::Pareto { x_min_ms, alpha } => {
+                if x_min_ms <= 0.0 {
+                    return Err(format!("pareto x_min must be positive, got {x_min_ms}"));
+                }
+                if alpha <= 1.0 {
+                    return Err(format!(
+                        "pareto tail index must exceed 1 for a finite mean delay, got {alpha}"
+                    ));
+                }
+            }
+            DistSpec::Weibull { scale_ms, shape } => {
+                if scale_ms <= 0.0 || shape <= 0.0 {
+                    return Err(format!(
+                        "weibull needs positive scale and shape, got scale {scale_ms}, \
+                         shape {shape}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles into a sampleable [`Component`]. Panics on invalid
+    /// parameters — call [`Self::validate`] first for a recoverable error.
+    pub fn build(&self) -> Component {
+        match *self {
+            DistSpec::Constant { ms } => Component::Constant(Constant(ms)),
+            DistSpec::Uniform { lo_ms, hi_ms } => Component::Uniform(Uniform::new(lo_ms, hi_ms)),
+            DistSpec::Exponential { mean_ms } => {
+                Component::Exponential(Exponential::with_mean(mean_ms))
+            }
+            DistSpec::Normal { mean_ms, std_ms } => Component::Normal(Normal::new(mean_ms, std_ms)),
+            DistSpec::LogNormal { mean_ms, cv } => {
+                Component::LogNormal(LogNormal::from_mean_cv(mean_ms, cv))
+            }
+            DistSpec::Pareto { x_min_ms, alpha } => Component::Pareto(Pareto::new(x_min_ms, alpha)),
+            DistSpec::Weibull { scale_ms, shape } => {
+                Component::Weibull(Weibull::new(scale_ms, shape))
+            }
+        }
+    }
+
+    /// Analytic mean delay of the described distribution, ms.
+    ///
+    /// For `Constant` this is the exact value; the analytic path sampler
+    /// consumes this expectation as the link's fixed extra latency (the
+    /// same convention as the `expected_link_ms` routing metric), while
+    /// event-driven workloads can [`Self::build`] the full distribution.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            DistSpec::Constant { ms } => ms,
+            DistSpec::LogNormal { mean_ms, .. } => mean_ms,
+            DistSpec::Exponential { mean_ms } => mean_ms,
+            DistSpec::Normal { mean_ms, .. } => mean_ms,
+            _ => self.build().mean(),
+        }
+    }
+
+    /// Decodes from a JSON-shaped [`serde::Value`] (`{"kind": ..., ...}`).
+    pub fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| "distribution needs a string `kind` field".to_string())?;
+        let num = |field: &str| -> Result<f64, String> {
+            v.get(field)
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| format!("{kind} distribution needs a numeric `{field}` field"))
+        };
+        let spec = match kind {
+            "constant" => DistSpec::Constant { ms: num("ms")? },
+            "uniform" => DistSpec::Uniform { lo_ms: num("lo_ms")?, hi_ms: num("hi_ms")? },
+            "exponential" => DistSpec::Exponential { mean_ms: num("mean_ms")? },
+            "normal" => DistSpec::Normal { mean_ms: num("mean_ms")?, std_ms: num("std_ms")? },
+            "lognormal" => DistSpec::LogNormal { mean_ms: num("mean_ms")?, cv: num("cv")? },
+            "pareto" => DistSpec::Pareto { x_min_ms: num("x_min_ms")?, alpha: num("alpha")? },
+            "weibull" => DistSpec::Weibull { scale_ms: num("scale_ms")?, shape: num("shape")? },
+            other => {
+                return Err(format!(
+                    "unknown distribution kind {other:?} (expected constant, uniform, \
+                     exponential, normal, lognormal, pareto, or weibull)"
+                ))
+            }
+        };
+        Ok(spec)
+    }
+}
+
+impl serde::Serialize for DistSpec {
+    fn to_value(&self) -> serde::Value {
+        let pair = |k: &str, x: f64| (k.to_string(), serde::Value::F64(x));
+        let kind = ("kind".to_string(), serde::Value::String(self.kind().to_string()));
+        let fields = match *self {
+            DistSpec::Constant { ms } => vec![kind, pair("ms", ms)],
+            DistSpec::Uniform { lo_ms, hi_ms } => {
+                vec![kind, pair("lo_ms", lo_ms), pair("hi_ms", hi_ms)]
+            }
+            DistSpec::Exponential { mean_ms } => vec![kind, pair("mean_ms", mean_ms)],
+            DistSpec::Normal { mean_ms, std_ms } => {
+                vec![kind, pair("mean_ms", mean_ms), pair("std_ms", std_ms)]
+            }
+            DistSpec::LogNormal { mean_ms, cv } => {
+                vec![kind, pair("mean_ms", mean_ms), pair("cv", cv)]
+            }
+            DistSpec::Pareto { x_min_ms, alpha } => {
+                vec![kind, pair("x_min_ms", x_min_ms), pair("alpha", alpha)]
+            }
+            DistSpec::Weibull { scale_ms, shape } => {
+                vec![kind, pair("scale_ms", scale_ms), pair("shape", shape)]
+            }
+        };
+        serde::Value::Object(fields)
+    }
+}
+
 /// Lanczos approximation of the gamma function (g = 7, n = 9), |error| <
 /// 1e-13 over the domain used here (arguments in `(0, 20]`).
 pub fn gamma(x: f64) -> f64 {
@@ -614,5 +843,71 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn mixture_rejects_zero_weights() {
         let _ = Mixture::new(vec![(0.0, Component::Constant(Constant(1.0)))]);
+    }
+
+    const ALL_SPECS: [DistSpec; 7] = [
+        DistSpec::Constant { ms: 0.4 },
+        DistSpec::Uniform { lo_ms: 1.0, hi_ms: 3.0 },
+        DistSpec::Exponential { mean_ms: 2.0 },
+        DistSpec::Normal { mean_ms: 8.0, std_ms: 1.0 },
+        DistSpec::LogNormal { mean_ms: 0.4, cv: 0.5 },
+        DistSpec::Pareto { x_min_ms: 1.0, alpha: 3.0 },
+        DistSpec::Weibull { scale_ms: 2.0, shape: 1.5 },
+    ];
+
+    #[test]
+    fn dist_spec_builds_and_means_agree() {
+        for spec in ALL_SPECS {
+            spec.validate().expect("all specs valid");
+            let built = spec.build();
+            assert!(
+                (spec.mean_ms() - built.mean()).abs() < 1e-12,
+                "{}: spec mean {} vs component mean {}",
+                spec.kind(),
+                spec.mean_ms(),
+                built.mean()
+            );
+        }
+        assert_eq!(DistSpec::Constant { ms: 0.4 }.mean_ms(), 0.4);
+        assert!((DistSpec::LogNormal { mean_ms: 0.4, cv: 0.5 }.mean_ms() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_spec_value_round_trip() {
+        use serde::Serialize;
+        for spec in ALL_SPECS {
+            let v = spec.to_value();
+            let back = DistSpec::from_value(&v).expect("round trip");
+            assert_eq!(back, spec, "{}", spec.kind());
+        }
+    }
+
+    #[test]
+    fn dist_spec_rejects_invalid_parameterisations() {
+        let cases: [(DistSpec, &str); 6] = [
+            (DistSpec::Constant { ms: -1.0 }, "non-negative"),
+            (DistSpec::Uniform { lo_ms: 3.0, hi_ms: 1.0 }, "inverted"),
+            (DistSpec::Exponential { mean_ms: 0.0 }, "positive"),
+            (DistSpec::Normal { mean_ms: 1.0, std_ms: 1.0 }, "negative mass"),
+            (DistSpec::Pareto { x_min_ms: 1.0, alpha: 0.9 }, "finite mean"),
+            (DistSpec::Weibull { scale_ms: -2.0, shape: 1.0 }, "positive"),
+        ];
+        for (spec, needle) in cases {
+            let err = spec.validate().expect_err("must be rejected");
+            assert!(err.contains(needle), "{}: {err}", spec.kind());
+        }
+    }
+
+    #[test]
+    fn dist_spec_from_value_errors_are_actionable() {
+        use serde::Value;
+        let v = Value::Object(vec![("kind".into(), Value::String("gauss".into()))]);
+        let err = DistSpec::from_value(&v).unwrap_err();
+        assert!(err.contains("unknown distribution kind"), "{err}");
+        let v = Value::Object(vec![("kind".into(), Value::String("constant".into()))]);
+        let err = DistSpec::from_value(&v).unwrap_err();
+        assert!(err.contains("`ms`"), "{err}");
+        let err = DistSpec::from_value(&Value::Null).unwrap_err();
+        assert!(err.contains("`kind`"), "{err}");
     }
 }

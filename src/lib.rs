@@ -56,6 +56,8 @@ pub mod prelude {
     pub use sixg_measure::aggregate::{CellField, CellStats};
     pub use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
     pub use sixg_measure::klagenfurt::KlagenfurtScenario;
+    pub use sixg_measure::scenario::{Scenario, TargetField};
+    pub use sixg_measure::spec::{ScenarioSpec, SpecError};
     pub use sixg_netsim::radio::{AccessModel, CellEnv, FiveGAccess, SixGAccess, WiredAccess};
     pub use sixg_netsim::rng::{SimRng, StreamKey};
     pub use sixg_netsim::routing::{AsGraph, PathComputer};

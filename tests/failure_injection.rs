@@ -93,7 +93,7 @@ fn wired_peers_survive_mobile_side_failures() {
     let (_, anchor) = s.table1_endpoints();
     for &peer in &s.peers {
         assert!(pc.route(peer, anchor).is_some());
-        assert!(pc.route(peer, s.cloud).is_some());
+        assert!(pc.route(peer, s.cloud.expect("Klagenfurt has a cloud")).is_some());
     }
 }
 

@@ -1,0 +1,176 @@
+//! Integration suite for the declarative scenario subsystem.
+//!
+//! Three contracts, end to end over the *committed files* in `specs/`:
+//!
+//! 1. **Round-trip stability** — serialise → deserialise → build is
+//!    bitwise-stable: a spec that went through JSON text compiles into a
+//!    scenario with identical calibration and density bits.
+//! 2. **Scenario parity** — the Klagenfurt scenario compiled from the spec
+//!    *file on disk* reproduces the golden repro numbers bit for bit, on
+//!    the sequential runner and on the thread pool at 1 and 4 workers
+//!    (the CI thread matrix re-runs the whole suite under
+//!    `RAYON_NUM_THREADS={1,4}` as well).
+//! 3. **Malformed specs fail usefully** — overlapping cells, negative
+//!    delays, unknown hop references and friends are rejected with errors
+//!    that name the JSON path and say what to fix.
+
+use sixg::measure::campaign::CampaignConfig;
+use sixg::measure::parallel::{run_parallel, with_thread_count};
+use sixg::measure::scenario::Scenario;
+use sixg::measure::spec::ScenarioSpec;
+
+fn spec_path(name: &str) -> String {
+    format!("{}/specs/{name}.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load(name: &str) -> ScenarioSpec {
+    let text = std::fs::read_to_string(spec_path(name)).expect("committed spec file readable");
+    ScenarioSpec::from_json(&text).expect("committed spec file parses")
+}
+
+/// Golden bits copied from `tests/golden_repro.rs` — the dense Klagenfurt
+/// campaign numbers every repro binary pins.
+const GOLDEN_GRAND_MEAN_BITS: u64 = 0x4052885dff661ae7;
+const GOLDEN_TOTAL_SAMPLES: u64 = 59261;
+const GOLDEN_MEAN_MIN_BITS: u64 = 0x404e6e7a95f93457;
+const GOLDEN_MEAN_MAX_BITS: u64 = 0x405b6c0fe3a24180;
+
+#[test]
+fn committed_specs_parse_validate_and_compile() {
+    for name in ["klagenfurt", "skopje", "megacity"] {
+        let spec = load(name);
+        assert_eq!(spec.name, name);
+        let errors = spec.validate();
+        assert!(errors.is_empty(), "{name}: {errors:?}");
+        let scenario = Scenario::from_spec(&spec).expect("compiles");
+        assert!(!scenario.included.is_empty(), "{name} traverses cells");
+        assert_eq!(scenario.access.len(), scenario.included.len(), "{name} calibrated");
+    }
+}
+
+#[test]
+fn klagenfurt_spec_file_reproduces_golden_numbers_across_pool_sizes() {
+    // The spec's own seed policy IS the dense golden configuration:
+    // scenario seed 0x6B6C_7531, campaign seed 2, 30 passes.
+    let spec = load("klagenfurt");
+    assert_eq!(spec.seed, 0x6B6C_7531);
+    let scenario = Scenario::from_spec(&spec).expect("compiles");
+    let config = CampaignConfig {
+        seed: spec.campaign.seed,
+        sample_interval_s: spec.campaign.sample_interval_s,
+        passes: spec.campaign.passes,
+    };
+
+    let check = (|field: sixg::measure::CellField| {
+        assert_eq!(field.grand_mean_ms().to_bits(), GOLDEN_GRAND_MEAN_BITS);
+        assert_eq!(field.total_samples(), GOLDEN_TOTAL_SAMPLES);
+        let (min, max) = field.mean_extrema().expect("non-empty");
+        assert_eq!(min.mean_ms.to_bits(), GOLDEN_MEAN_MIN_BITS);
+        assert_eq!(max.mean_ms.to_bits(), GOLDEN_MEAN_MAX_BITS);
+    }) as fn(sixg::measure::CellField);
+
+    // Sequential, then the thread pool pinned to 1 and 4 workers.
+    check(sixg::measure::MobileCampaign::new(&scenario, config).run());
+    check(with_thread_count(1, || run_parallel(&scenario, config)));
+    check(with_thread_count(4, || run_parallel(&scenario, config)));
+}
+
+#[test]
+fn serialize_deserialize_build_is_bitwise_stable() {
+    for name in ["klagenfurt", "skopje", "megacity"] {
+        let spec = load(name);
+        let round_tripped =
+            ScenarioSpec::from_json(&spec.to_json()).expect("re-serialised spec parses");
+        assert_eq!(round_tripped, spec, "{name}: value-level round trip");
+
+        let a = Scenario::from_spec(&spec).expect("compiles");
+        let b = Scenario::from_spec(&round_tripped).expect("compiles");
+        assert_eq!(a.included, b.included, "{name}: traversal set");
+        for cell in a.grid.cells() {
+            assert_eq!(
+                a.density.density(cell).to_bits(),
+                b.density.density(cell).to_bits(),
+                "{name}: density bits at {cell}"
+            );
+        }
+        for &cell in &a.included {
+            assert_eq!(
+                a.access[&cell].env.load.to_bits(),
+                b.access[&cell].env.load.to_bits(),
+                "{name}: calibrated load bits at {cell}"
+            );
+            assert_eq!(
+                a.access[&cell].env.interference.to_bits(),
+                b.access[&cell].env.interference.to_bits(),
+                "{name}: calibrated interference bits at {cell}"
+            );
+        }
+    }
+}
+
+/// Patches one committed spec with a JSON-text substitution and returns the
+/// resulting validation/parse failure.
+fn break_spec(name: &str, from: &str, to: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(spec_path(name)).expect("readable");
+    assert!(text.contains(from), "fixture drift: {from:?} not in specs/{name}.json");
+    let broken = text.replace(from, to);
+    match ScenarioSpec::from_json(&broken) {
+        Err(e) => vec![e.to_string()],
+        Ok(spec) => spec.validate().iter().map(|e| e.to_string()).collect(),
+    }
+}
+
+#[test]
+fn unknown_hop_reference_is_rejected_with_path_and_name() {
+    let errors = break_spec("klagenfurt", "\"a\": \"op-cgnat-klu\"", "\"a\": \"op-cgnat-typo\"");
+    assert!(
+        errors.iter().any(|e| e.contains("$.links[0].a") && e.contains("op-cgnat-typo")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn negative_delay_is_rejected() {
+    let errors = break_spec(
+        "klagenfurt",
+        "\"kind\": \"constant\",\n        \"ms\": 2.0",
+        "\"kind\": \"constant\",\n        \"ms\": -2.0",
+    );
+    assert!(errors.iter().any(|e| e.contains("extra") && e.contains("non-negative")), "{errors:?}");
+}
+
+#[test]
+fn overlapping_skip_entries_are_rejected() {
+    let errors = break_spec(
+        "skopje",
+        "\"skipped_cells\": [\n    \"A1\",",
+        "\"skipped_cells\": [\n    \"A1\",\n    \"A1\",",
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("skipped_cells") && e.contains("overlapping")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn type_errors_carry_json_paths() {
+    let errors = break_spec("megacity", "\"cols\": 10", "\"cols\": \"ten\"");
+    assert!(
+        errors.iter().any(|e| e.contains("$.grid.cols") && e.contains("integer")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn out_of_range_utilisation_is_rejected() {
+    let errors = break_spec("skopje", "\"utilisation\": 0.65", "\"utilisation\": 1.65");
+    assert!(errors.iter().any(|e| e.contains("utilisation") && e.contains("[0, 1)")), "{errors:?}");
+}
+
+#[test]
+fn truncated_json_reports_position() {
+    let text = std::fs::read_to_string(spec_path("klagenfurt")).expect("readable");
+    let err = ScenarioSpec::from_json(&text[..text.len() / 2]).expect_err("must fail");
+    assert!(err.message.contains("invalid JSON"), "{err}");
+    assert!(err.message.contains("line"), "{err}");
+}

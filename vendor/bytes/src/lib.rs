@@ -38,11 +38,6 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
-
-    /// The contents as a slice.
-    pub fn as_ref(&self) -> &[u8] {
-        &self.data
-    }
 }
 
 impl From<Vec<u8>> for Bytes {

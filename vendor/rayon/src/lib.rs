@@ -192,7 +192,7 @@ fn run_on_pool(helpers: usize, work: &(dyn Fn() + Sync)) {
         let latch_ref: &Latch = &latch;
         for _ in 0..helpers {
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let _ = catch_unwind(AssertUnwindSafe(|| work()));
+                let _ = catch_unwind(AssertUnwindSafe(work));
                 latch_ref.count_down();
             });
             // SAFETY: the job borrows `work` and `latch` from this stack
@@ -207,7 +207,7 @@ fn run_on_pool(helpers: usize, work: &(dyn Fn() + Sync)) {
         }
         // The caller participates instead of idling; even with zero awake
         // workers the batch completes (no deadlock).
-        let caller = catch_unwind(AssertUnwindSafe(|| work()));
+        let caller = catch_unwind(AssertUnwindSafe(work));
         latch.wait();
         if let Err(payload) = caller {
             resume_unwind(payload);

@@ -35,6 +35,88 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Member of an object by key (first match), or `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `I64`/`U64`/`F64` all surface as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view (exact: `F64` only when integral and in range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            Value::F64(x) if *x >= 0.0 && x.trunc() == *x && *x < u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Object view as the underlying insertion-ordered pair list.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short lowercase name of the JSON type, for error messages
+    /// (`"number"`, `"string"`, …).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
 /// Types that can render themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into a JSON-shaped [`Value`].
@@ -201,6 +283,30 @@ mod tests {
         assert_eq!("x".to_value(), Value::String("x".into()));
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::F64(2.5)),
+            ("i".into(), Value::I64(3)),
+            ("u".into(), Value::U64(7)),
+            ("s".into(), Value::String("x".into())),
+            ("a".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("i").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("i").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("u").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::F64(2.5).as_u64(), None);
+        assert_eq!(Value::F64(4.0).as_u64(), Some(4));
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(v.type_name(), "object");
+        assert_eq!(Value::Null.type_name(), "null");
+        assert!(Value::Null.is_null());
     }
 
     #[test]

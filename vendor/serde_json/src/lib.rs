@@ -1,24 +1,287 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Renders the vendored `serde` stub's [`Value`] tree as JSON text. Only the
-//! API surface the `sixg` workspace uses is provided: [`Value`],
-//! [`to_value`], [`to_string`], [`to_string_pretty`], and a [`json!`] macro
-//! restricted to object/array literals with expression values.
+//! Renders the vendored `serde` stub's [`Value`] tree as JSON text and
+//! parses JSON text back into a [`Value`] tree. Only the API surface the
+//! `sixg` workspace uses is provided: [`Value`], [`to_value`],
+//! [`to_string`], [`to_string_pretty`], [`from_str`], and a [`json!`]
+//! macro restricted to object/array literals with expression values.
 
 pub use serde::Value;
 
-/// Error type kept for signature compatibility; serialisation into a value
-/// tree cannot actually fail.
+/// Serialisation/parse error. Serialising into a value tree cannot fail, so
+/// in practice this only carries parse diagnostics (with line/column).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json stub error")
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Supports the full JSON grammar (objects, arrays, strings with escapes
+/// incl. `\uXXXX`, numbers, booleans, null). Numbers without a fraction or
+/// exponent parse as `I64`/`U64`; everything else as `F64` via Rust's
+/// correctly rounded `str::parse::<f64>`, so text produced by
+/// [`to_string`]/[`to_string_pretty`] round-trips bit-exactly.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Maximum container nesting `from_str` accepts (matches real serde_json's
+/// default); a bound turns hostile deeply-nested input into a parse error
+/// instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + consumed.iter().filter(|b| **b == b'\n').count();
+        let col = 1 + consumed.iter().rev().take_while(|b| **b != b'\n').count();
+        Error::new(format!("{message} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn nested(&mut self, inner: fn(&mut Self) -> Result<Value, Error>) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        self.depth += 1;
+        let v = inner(self);
+        self.depth -= 1;
+        v
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: JSON encodes astral chars as
+                            // \uD8xx\uDCxx.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.error("invalid codepoint"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.error("invalid codepoint"))?
+                            };
+                            out.push(ch);
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream: back up one and
+                    // take the whole char.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("non-empty by peek");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.error("invalid number"))
+    }
+}
 
 /// Converts any serialisable value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
@@ -162,5 +425,81 @@ mod tests {
     fn escapes_strings() {
         let s = to_string(&"a\"b\n").unwrap();
         assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str("-3").unwrap(), Value::I64(-3));
+        assert_eq!(from_str("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(from_str("1e2").unwrap(), Value::F64(100.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"a": [1, 2.5, {"b": null}], "c": "x\ny", "d": {}}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\ny"));
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1], Value::F64(2.5));
+        assert!(a[2].get("b").unwrap().is_null());
+        assert_eq!(v.get("d").and_then(Value::as_object).map(<[(String, Value)]>::len), Some(0));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            from_str(r#""a\"\\\/\b\f\n\r\t""#).unwrap().as_str().unwrap(),
+            "a\"\\/\u{8}\u{c}\n\r\t"
+        );
+        assert_eq!(from_str(r#""é""#).unwrap().as_str().unwrap(), "é");
+        assert_eq!(from_str(r#""😀""#).unwrap().as_str().unwrap(), "😀");
+        assert_eq!(from_str("\"héllo\"").unwrap().as_str().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn float_text_round_trips_bit_exactly() {
+        for x in [74.1307371613617_f64, 0.1, 1e11, -46.639, f64::MIN_POSITIVE, 270.6536858068085] {
+            let text = to_string(&x).unwrap();
+            let back = from_str(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_round_trips() {
+        let v = json!({ "a": 1u32, "b": [1.5f64, 2.0f64], "c": "x", "d": true });
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let parsed_compact = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed_compact, v);
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the bound: fine.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&ok).is_ok());
+        // Hostile depth: a parse error, not a stack overflow.
+        let deep = format!("{}1{}", "[".repeat(50_000), "]".repeat(50_000));
+        let err = from_str(&deep).unwrap_err().to_string();
+        assert!(err.contains("recursion limit"), "{err}");
+        let deep_obj = "{\"a\":".repeat(50_000);
+        assert!(from_str(&deep_obj).unwrap_err().to_string().contains("recursion limit"));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = from_str("{\"a\": 1,\n  oops}").unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(from_str("").unwrap_err().to_string().contains("end of input"));
+        assert!(from_str("[1, 2,]").is_err());
+        assert!(from_str("{\"a\" 1}").unwrap_err().to_string().contains("expected ':'"));
+        assert!(from_str("1 2").unwrap_err().to_string().contains("trailing"));
+        assert!(from_str("\"unterminated").is_err());
     }
 }
