@@ -19,10 +19,10 @@
 use sixg_core::gap::GapReport;
 use sixg_core::requirements::{ApplicationClass, RequirementProfile};
 use sixg_measure::campaign::CampaignConfig;
-use sixg_measure::parallel::{run_parallel, with_thread_count};
+use sixg_measure::parallel::{run_backend, with_thread_count};
 use sixg_measure::report::{render_grid, CampaignSummary, FieldStat};
 use sixg_measure::scenario::Scenario;
-use sixg_measure::spec::ScenarioSpec;
+use sixg_measure::spec::{parse_backend, ScenarioSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -30,7 +30,7 @@ sixg-cli — declarative scenario runner
 
 USAGE:
     sixg-cli run <spec.json> [--passes N] [--campaign-seed S] [--seed S]
-                             [--threads T] [--json PATH]
+                             [--backend analytic|event] [--threads T] [--json PATH]
     sixg-cli validate <spec.json>...
     sixg-cli list [dir]
 
@@ -43,6 +43,9 @@ RUN OPTIONS:
     --passes N         override the spec's campaign passes
     --campaign-seed S  override the spec's campaign seed
     --seed S           override the scenario seed (calibration + streams)
+    --backend B        execution backend: analytic (closed-form sampling,
+                       default) or event (packet-level discrete-event
+                       simulation with per-hop FIFO queues)
     --threads T        pin the rayon pool size (default: RAYON_NUM_THREADS)
     --json PATH        also write the campaign summary as JSON
 ";
@@ -93,6 +96,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(seed) = parse_flag::<u64>(args, "--campaign-seed")? {
         spec.campaign.seed = seed;
     }
+    if let Some(backend) = flag_value(args, "--backend") {
+        spec.backend = backend.to_string();
+    }
+    let backend = parse_backend(&spec.backend)?;
     let threads = parse_flag::<usize>(args, "--threads")?;
 
     // The spec's reference class must resolve before the campaign runs.
@@ -126,13 +133,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         passes: spec.campaign.passes,
     };
     println!(
-        "campaign: {} passes, seed {}, {:.1} s cadence",
+        "campaign: {} passes, seed {}, {:.1} s cadence, {backend} backend",
         config.passes, config.seed, config.sample_interval_s
     );
 
     let field = match threads {
-        Some(t) => with_thread_count(t, || run_parallel(&scenario, config)),
-        None => run_parallel(&scenario, config),
+        Some(t) => with_thread_count(t, || run_backend(&scenario, config, backend)),
+        None => run_backend(&scenario, config, backend),
     };
 
     println!("\n--- mean RTL heatmap (ms, 0.0 = not traversed) ---");
@@ -171,6 +178,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let mut doc = serde_json::to_value(&summary);
         if let serde_json::Value::Object(pairs) = &mut doc {
             pairs.push(("scenario".into(), serde_json::Value::String(spec.name.clone())));
+            pairs.push(("backend".into(), serde_json::Value::String(backend.to_string())));
             pairs.push(("requirement_ms".into(), serde_json::Value::F64(gap.requirement_ms)));
             pairs.push(("exceedance_pct".into(), serde_json::Value::F64(gap.exceedance_pct)));
         }

@@ -7,7 +7,7 @@
 //! network RTTs: wire path + radio access, no application processing.
 
 use crate::aggregate::CellField;
-use crate::scenario::Scenario;
+use crate::scenario::{cell_key, Scenario};
 use serde::{Deserialize, Serialize};
 use sixg_geo::mobility::ManhattanMobility;
 use sixg_geo::CellId;
@@ -15,6 +15,7 @@ use sixg_netsim::latency::DelaySampler;
 use sixg_netsim::protocols::icmp::Pinger;
 use sixg_netsim::radio::AccessModel;
 use sixg_netsim::rng::{SimRng, StreamKey};
+use sixg_netsim::topology::NodeId;
 use sixg_netsim::trace::FlowTrace;
 
 /// Campaign configuration.
@@ -58,21 +59,47 @@ pub struct Shard {
 }
 
 /// The mobile campaign runner, over any spec-compiled [`Scenario`].
+///
+/// Construction hoists everything shards share — the path sampler and the
+/// target list — so the per-shard hot path ([`Self::collect_cell_into`])
+/// does no redundant setup work.
 pub struct MobileCampaign<'a> {
     scenario: &'a Scenario,
     config: CampaignConfig,
+    sampler: DelaySampler<'a>,
+    targets: Vec<NodeId>,
 }
 
 impl<'a> MobileCampaign<'a> {
     /// Creates a campaign over a scenario.
     pub fn new(scenario: &'a Scenario, config: CampaignConfig) -> Self {
-        Self { scenario, config }
+        Self {
+            scenario,
+            config,
+            sampler: DelaySampler::new(&scenario.topo),
+            targets: scenario.measurement_targets(),
+        }
     }
 
     /// Number of samples taken in a cell during one pass, derived from the
     /// dwell time (traffic-flow dependent) and the sampling cadence.
+    ///
+    /// Inputs must be finite and the cadence positive — a zero, negative
+    /// or NaN cadence would turn the division into `inf`/NaN and the
+    /// saturating cast into a `usize::MAX` allocation request.
+    /// [`crate::spec::ScenarioSpec::validate`] rejects such specs before a
+    /// campaign is built; the debug assertions catch direct API misuse.
     pub fn samples_for_dwell(&self, dwell_s: f64) -> usize {
-        (dwell_s / self.config.sample_interval_s).round().max(1.0) as usize
+        let interval = self.config.sample_interval_s;
+        debug_assert!(
+            interval.is_finite() && interval > 0.0,
+            "sample_interval_s must be finite and positive, got {interval}"
+        );
+        debug_assert!(
+            dwell_s.is_finite() && dwell_s >= 0.0,
+            "dwell_s must be finite and non-negative, got {dwell_s}"
+        );
+        (dwell_s / interval).round().max(1.0) as usize
     }
 
     /// Samples of one (pass, cell) pair, in cadence order.
@@ -82,26 +109,40 @@ impl<'a> MobileCampaign<'a> {
     /// order on any worker and still produce the sequential runner's exact
     /// values — parallel and sequential runs are bitwise equal.
     pub fn collect_cell(&self, pass: u32, cell: CellId, dwell_s: f64) -> Vec<f64> {
-        let s = self.scenario;
-        let sampler = DelaySampler::new(&s.topo);
-        let access = s.access_for(cell);
-        let targets = s.measurement_targets();
-        let n = self.samples_for_dwell(dwell_s);
-        let key = StreamKey::root(s.seed)
-            .with_label("campaign")
+        let mut out = Vec::new();
+        self.collect_cell_into(pass, cell, dwell_s, &mut out);
+        out
+    }
+
+    /// The shard random-stream key: (scenario seed, campaign seed, pass,
+    /// packed cell), shared verbatim by both execution backends (the event
+    /// backend substitutes its own phase label).
+    pub(crate) fn shard_key(&self, label: &str, pass: u32, cell: CellId) -> StreamKey {
+        StreamKey::root(self.scenario.seed)
+            .with_label(label)
             .with(self.config.seed)
             .with(pass as u64)
-            .with(((cell.col as u64) << 8) | cell.row as u64);
-        let mut out = Vec::with_capacity(n);
+            .with(cell_key(cell))
+    }
+
+    /// [`Self::collect_cell`] into a caller-owned buffer (cleared first),
+    /// so tight loops — the runners visit thousands of shards — can reuse
+    /// one allocation instead of growing a fresh `Vec` per shard.
+    pub fn collect_cell_into(&self, pass: u32, cell: CellId, dwell_s: f64, out: &mut Vec<f64>) {
+        let s = self.scenario;
+        let access = s.access_for(cell);
+        let n = self.samples_for_dwell(dwell_s);
+        let key = self.shard_key("campaign", pass, cell);
+        out.clear();
+        out.reserve(n);
         for i in 0..n {
             let mut rng = SimRng::for_stream(key.with(i as u64));
-            let ti = rng.below(targets.len() as u64) as usize;
+            let ti = rng.below(self.targets.len() as u64) as usize;
             let path = &s.routes[&(cell, ti)];
-            let wire = sampler.rtt_ms(&path.hops, 64, &mut rng);
+            let wire = self.sampler.rtt_ms(&path.hops, 64, &mut rng);
             let air = access.sample_rtt_ms(&mut rng);
             out.push(wire + air);
         }
-        out
     }
 
     /// Collects one (pass, cell) pair directly into `field`.
@@ -109,6 +150,21 @@ impl<'a> MobileCampaign<'a> {
         for v in self.collect_cell(pass, cell, dwell_s) {
             field.push(cell, v);
         }
+    }
+
+    /// The scenario this campaign runs over.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> CampaignConfig {
+        self.config
+    }
+
+    /// The measurement targets, in campaign order (anchor first).
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
     }
 
     /// The per-pass traversal (deterministic in scenario + campaign seed).
@@ -142,13 +198,19 @@ impl<'a> MobileCampaign<'a> {
         self.collect_cell(shard.pass, shard.cell, shard.dwell_s)
     }
 
-    /// Runs the full campaign sequentially, shard by shard.
+    /// [`Self::collect_shard`] into a caller-owned buffer (cleared first).
+    pub fn collect_shard_into(&self, shard: Shard, out: &mut Vec<f64>) {
+        self.collect_cell_into(shard.pass, shard.cell, shard.dwell_s, out);
+    }
+
+    /// Runs the full campaign sequentially, shard by shard, reusing one
+    /// sample buffer across shards. The accumulation order is exactly
+    /// [`CellField::accumulate_ordered`] over the shard list, so the result
+    /// is bitwise identical to the parallel runner's.
     pub fn run(&self) -> CellField {
-        let mut field = CellField::new(self.scenario.grid.clone());
-        field.accumulate_ordered(
-            self.shards().into_iter().map(|shard| (shard.cell, self.collect_shard(shard))),
-        );
-        field
+        crate::parallel::run_shards_sequential(self.scenario, &self.shards(), |shard, buf| {
+            self.collect_shard_into(shard, buf)
+        })
     }
 
     /// The Table-I-style traceroute: the scenario's reference mobile node
@@ -277,6 +339,46 @@ mod tests {
         ] {
             assert!(table.contains(needle), "missing {needle} in\n{table}");
         }
+    }
+
+    /// The per-cell stream-key packing `(col << 8) | row` must be
+    /// injective over the whole packable range — a collision would hand
+    /// two cells the same RNG stream and silently duplicate their samples.
+    /// `ScenarioSpec::validate` rejects grids beyond this range.
+    #[test]
+    fn cell_stream_keys_are_unique_over_packable_range() {
+        let mut seen = std::collections::HashSet::new();
+        for col in 0..=u8::MAX {
+            for row in 0..=u8::MAX {
+                let cell = CellId::new(col, row);
+                let key = cell_key(cell);
+                // Bit-for-bit the historical packing (goldens depend on it).
+                assert_eq!(key, ((col as u64) << 8) | row as u64);
+                assert!(seen.insert(key), "stream key collision at {cell}");
+            }
+        }
+        assert_eq!(seen.len(), 256 * 256);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sample_interval_s must be finite and positive")]
+    fn zero_sample_interval_is_a_debug_assert() {
+        let s = scenario();
+        let c = MobileCampaign::new(
+            &s,
+            CampaignConfig { sample_interval_s: 0.0, ..Default::default() },
+        );
+        let _ = c.samples_for_dwell(10.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "dwell_s must be finite and non-negative")]
+    fn nan_dwell_is_a_debug_assert() {
+        let s = scenario();
+        let c = MobileCampaign::new(&s, CampaignConfig::default());
+        let _ = c.samples_for_dwell(f64::NAN);
     }
 
     #[test]

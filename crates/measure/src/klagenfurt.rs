@@ -133,6 +133,7 @@ impl ScenarioSpec {
                           transit chain, campus anchor, eight fixed peers, Vienna cloud"
                 .into(),
             seed: 0x6B6C_7531,
+            backend: "analytic".into(),
             grid: GridDef {
                 origin_lat: 46.639,
                 origin_lon: 14.206,

@@ -19,6 +19,10 @@
 //! * [`parallel`] — multi-threaded execution across (pass, cell) shards and
 //!   sweep seeds on the rayon pool, bitwise-identical to sequential runs
 //!   for every pool size;
+//! * [`event_backend`] — the packet-level discrete-event execution
+//!   backend: the same shard list and stream-keying discipline, but every
+//!   sample is a probe packet through per-hop FIFO queues (congestion is
+//!   emergent, not sampled), cross-validated against the analytic path;
 //! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
 //!   extrema rank agreement) between a campaign and its targets;
 //! * [`spec`] — the declarative scenario subsystem: a serde-backed
@@ -36,6 +40,7 @@
 
 pub mod aggregate;
 pub mod campaign;
+pub mod event_backend;
 pub mod klagenfurt;
 pub mod megacity;
 pub mod parallel;
@@ -48,7 +53,8 @@ pub mod wired;
 
 pub use aggregate::{CellField, CellStats};
 pub use campaign::{CampaignConfig, MobileCampaign};
+pub use event_backend::{run_event_parallel, EventCampaign};
 pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
-pub use spec::{ScenarioSpec, SpecError};
+pub use spec::{ExecBackend, ScenarioSpec, SpecError};
 pub use wired::WiredCampaign;

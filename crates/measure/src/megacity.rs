@@ -74,6 +74,7 @@ impl ScenarioSpec {
                           over long-haul transit with a lognormal extra-delay link"
                 .into(),
             seed: 0x6D65_6761,
+            backend: "analytic".into(),
             grid: GridDef {
                 origin_lat: 48.30,
                 origin_lon: 16.25,

@@ -13,25 +13,66 @@
 use crate::aggregate::CellField;
 use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
 use crate::scenario::Scenario;
+use crate::spec::ExecBackend;
 use rayon::prelude::*;
 
 /// Runs the campaign on the thread pool, sharding at (pass, cell)
 /// granularity and merging batches in deterministic work-list order.
 pub fn run_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
     let campaign = MobileCampaign::new(scenario, config);
-    // The work list is cheap and deterministic; materialise it once so the
-    // sequential and parallel runners agree on shard order by construction.
-    let shards: Vec<Shard> = campaign.shards();
+    run_shards(scenario, &campaign.shards(), |shard, buf| campaign.collect_shard_into(shard, buf))
+}
 
-    // Sample on worker threads (each shard owns its random stream), then
-    // fold the batches in work order so every bit of the result matches the
-    // sequential runner.
-    let batches: Vec<_> =
-        shards.par_iter().map(|&shard| (shard.cell, campaign.collect_shard(shard))).collect();
+/// The shared parallel skeleton both execution backends use: sample every
+/// shard on the pool via `collect` (each shard owns its random stream, so
+/// execution order is free), writing into per-shard buffers preallocated
+/// once up front, then fold the batches back **in work-list order** so the
+/// floating-point accumulation sequence — and hence every bit of the
+/// result — matches the sequential runner.
+pub(crate) fn run_shards(
+    scenario: &Scenario,
+    shards: &[Shard],
+    collect: impl Fn(Shard, &mut Vec<f64>) + Sync,
+) -> CellField {
+    let mut batches: Vec<(Shard, Vec<f64>)> =
+        shards.iter().map(|&shard| (shard, Vec::new())).collect();
+    batches.par_iter_mut().for_each(|(shard, buf)| collect(*shard, buf));
 
     let mut field = CellField::new(scenario.grid.clone());
-    field.accumulate_ordered(batches);
+    field.accumulate_ordered(batches.into_iter().map(|(shard, buf)| (shard.cell, buf)));
     field
+}
+
+/// The sequential counterpart of [`run_shards`], shared by both backends'
+/// `run()` methods: one reusable sample buffer, shards visited in
+/// work-list order, samples pushed in cadence order — exactly the
+/// accumulation sequence [`run_shards`] reproduces, so the pair stays
+/// bitwise interchangeable by construction.
+pub(crate) fn run_shards_sequential(
+    scenario: &Scenario,
+    shards: &[Shard],
+    mut collect: impl FnMut(Shard, &mut Vec<f64>),
+) -> CellField {
+    let mut field = CellField::new(scenario.grid.clone());
+    let mut buf = Vec::new();
+    for &shard in shards {
+        collect(shard, &mut buf);
+        for &v in &buf {
+            field.push(shard.cell, v);
+        }
+    }
+    field
+}
+
+/// Runs the campaign with the chosen execution backend — both run on the
+/// thread pool over the same shard list and both are bitwise-deterministic
+/// at every pool size; they differ only in how a shard's samples are
+/// produced (closed-form draws vs packet-level event simulation).
+pub fn run_backend(scenario: &Scenario, config: CampaignConfig, backend: ExecBackend) -> CellField {
+    match backend {
+        ExecBackend::Analytic => run_parallel(scenario, config),
+        ExecBackend::Event => crate::event_backend::run_event_parallel(scenario, config),
+    }
 }
 
 /// Result of one seed of a multi-seed sweep.

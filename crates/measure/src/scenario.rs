@@ -438,6 +438,41 @@ impl Scenario {
         self.compute_routes();
     }
 
+    /// The extra-delay distribution of every link, indexed by `LinkId`.
+    ///
+    /// The compilation pipeline inserts links in a fixed order — the spec's
+    /// `links` array, then one UE access link per traversed cell, then the
+    /// peer access links — so the spec's declarative
+    /// [`DistSpec`](sixg_netsim::dist::DistSpec)s can be
+    /// recovered per link id. The analytic sampler collapses each to its
+    /// mean (`LinkParams::extra_ms`); the event backend samples the full
+    /// distribution. Links added after compilation (peering/UPF
+    /// recommendations) fall back to a constant at their stored mean, which
+    /// keeps the two conventions consistent in expectation.
+    pub fn link_extra_specs(&self) -> Vec<sixg_netsim::dist::DistSpec> {
+        use sixg_netsim::dist::DistSpec;
+        let mut extras: Vec<DistSpec> = self
+            .topo
+            .links()
+            .iter()
+            .map(|l| DistSpec::Constant { ms: l.params.extra_ms })
+            .collect();
+        let mut next = 0usize;
+        for link in &self.spec.links {
+            extras[next] = link.extra;
+            next += 1;
+        }
+        for _ in &self.included {
+            extras[next] = self.spec.ue.extra;
+            next += 1;
+        }
+        for _ in &self.peers {
+            extras[next] = self.spec.peers.extra;
+            next += 1;
+        }
+        extras
+    }
+
     /// Measurement targets in campaign order: anchor first, then peers.
     pub fn measurement_targets(&self) -> Vec<NodeId> {
         let mut v = Vec::with_capacity(1 + self.peers.len());

@@ -76,6 +76,7 @@ impl ScenarioSpec {
                           floor+gradient+hotspot model (not measured)"
                 .into(),
             seed: 7,
+            backend: "analytic".into(),
             grid: GridDef { origin_lat: 42.02, origin_lon: 21.38, cols: 5, rows: 6, cell_km: 1.0 },
             density: DensityDef {
                 core_col: 2.0,

@@ -383,6 +383,48 @@ impl Default for WorkloadMixDef {
     }
 }
 
+/// How a campaign is executed.
+///
+/// Both backends consume the same `(seed, pass, cell, sample)` stream-keyed
+/// shard work list, so each is deterministic and parallel; they differ in
+/// *what* produces a sample. The analytic backend draws closed-form path
+/// delays; the event backend pushes a probe packet through a per-hop
+/// discrete-event world (FIFO link serialisation, sampled per-link extra
+/// distributions) and can therefore express congestion the closed form
+/// cannot. Cross-validated against each other by `repro_crossval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Closed-form path sampling (the default; all goldens pin it).
+    Analytic,
+    /// Packet-level discrete-event simulation per shard.
+    Event,
+}
+
+impl ExecBackend {
+    /// The spec-level tag (`"analytic"` / `"event"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecBackend::Analytic => "analytic",
+            ExecBackend::Event => "event",
+        }
+    }
+}
+
+impl fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Parses an execution backend tag.
+pub fn parse_backend(s: &str) -> Result<ExecBackend, String> {
+    match s {
+        "analytic" => Ok(ExecBackend::Analytic),
+        "event" => Ok(ExecBackend::Event),
+        other => Err(format!("unknown backend {other:?} (expected analytic or event)")),
+    }
+}
+
 /// The complete declarative scenario description.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScenarioSpec {
@@ -392,6 +434,9 @@ pub struct ScenarioSpec {
     pub description: String,
     /// Scenario seed: drives calibration, density jitter, and campaigns.
     pub seed: u64,
+    /// Campaign execution backend tag: `"analytic"` (default) or `"event"`
+    /// (see [`ExecBackend`]).
+    pub backend: String,
     /// Grid geometry.
     pub grid: GridDef,
     /// Density raster parameters.
@@ -421,6 +466,11 @@ pub struct ScenarioSpec {
     /// Workload mix.
     pub workloads: WorkloadMixDef,
 }
+
+/// Largest grid dimension whose cell identifiers the per-cell RNG stream
+/// key (`(col << 8) | row`, see `scenario::cell_key`) can pack without
+/// cross-cell collisions.
+pub const PACKABLE_GRID_DIM: u32 = 256;
 
 /// True when `x` is a finite, strictly positive number (NaN and ∞ fail,
 /// which a plain `x > 0.0` comparison would let through or mis-handle).
@@ -744,6 +794,7 @@ impl ScenarioSpec {
             name: c.field("name")?.string()?,
             description: c.opt("description").map_or(Ok(String::new()), |x| x.string())?,
             seed: c.field("seed")?.u64()?,
+            backend: c.opt("backend").map_or(Ok("analytic".into()), |x| x.string())?,
             grid: decode_grid(&c.field("grid")?)?,
             density: decode_density(&c.field("density")?)?,
             targets: decode_targets(&c.field("targets")?)?,
@@ -807,6 +858,27 @@ impl ScenarioSpec {
 
         if self.name.is_empty() {
             err("$.name", "scenario name must not be empty".into());
+        }
+        if let Err(m) = parse_backend(&self.backend) {
+            err("$.backend", m);
+        }
+        // The per-cell RNG stream key packs `(col << 8) | row` (see
+        // `scenario::cell_key`); a dimension beyond 256 would silently
+        // collide streams across cells and duplicate samples. Today's
+        // `u8` grid fields cannot exceed this, but the check guards any
+        // future widening of the grid type — the packing itself must stay
+        // bit-for-bit because every golden stream depends on it.
+        if u32::from(self.grid.cols) > PACKABLE_GRID_DIM
+            || u32::from(self.grid.rows) > PACKABLE_GRID_DIM
+        {
+            err(
+                "$.grid",
+                format!(
+                    "grid {}×{} exceeds the {PACKABLE_GRID_DIM}×{PACKABLE_GRID_DIM} range the \
+                     per-cell RNG stream key can pack without collisions",
+                    self.grid.cols, self.grid.rows
+                ),
+            );
         }
         if self.grid.cols == 0 || self.grid.rows == 0 {
             err(
@@ -1163,6 +1235,7 @@ mod tests {
             name: "mini".into(),
             description: "a minimal two-hop scenario".into(),
             seed: 7,
+            backend: "analytic".into(),
             grid: GridDef { origin_lat: 46.65, origin_lon: 14.25, cols: 3, rows: 3, cell_km: 1.0 },
             density: DensityDef {
                 core_col: 1.0,
@@ -1339,6 +1412,49 @@ mod tests {
             std::fs::write(&path, spec.to_json() + "\n").expect("write spec file");
             println!("wrote {path}");
         }
+    }
+
+    #[test]
+    fn unknown_backend_is_rejected_with_path() {
+        let mut spec = minimal();
+        spec.backend = "quantum".into();
+        let errors = spec.validate();
+        let e = errors.iter().find(|e| e.path == "$.backend").expect("backend error");
+        assert!(e.message.contains("quantum"), "{e}");
+        assert!(e.message.contains("analytic or event"), "{e}");
+        // Both documented values validate.
+        for ok in ["analytic", "event"] {
+            let mut spec = minimal();
+            spec.backend = ok.into();
+            assert!(spec.validate().is_empty(), "{ok} must validate");
+        }
+    }
+
+    #[test]
+    fn absent_backend_defaults_to_analytic() {
+        let json = minimal().to_json().replace("  \"backend\": \"analytic\",\n", "");
+        let spec = ScenarioSpec::from_json(&json).expect("parses without backend");
+        assert_eq!(spec.backend, "analytic");
+        assert_eq!(parse_backend(&spec.backend), Ok(ExecBackend::Analytic));
+    }
+
+    #[test]
+    fn non_positive_sample_interval_is_rejected_with_path() {
+        for bad in [0.0, -2.0] {
+            let mut spec = minimal();
+            spec.campaign.sample_interval_s = bad;
+            let errors = spec.validate();
+            let e = errors
+                .iter()
+                .find(|e| e.path == "$.campaign.sample_interval_s")
+                .unwrap_or_else(|| panic!("interval {bad} must be rejected: {errors:?}"));
+            assert!(e.message.contains("positive"), "{e}");
+        }
+        // Non-finite intervals (unreachable through JSON, reachable through
+        // the API) are rejected by the same finite-and-positive predicate.
+        let mut spec = minimal();
+        spec.campaign.sample_interval_s = f64::NAN;
+        assert!(spec.validate().iter().any(|e| e.path == "$.campaign.sample_interval_s"));
     }
 
     #[test]

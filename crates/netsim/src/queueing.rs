@@ -1,10 +1,13 @@
-//! Analytic queueing results.
+//! Queueing: analytic results and the event-driven FIFO server.
 //!
 //! Link queues in the simulator are sampled stochastically; this module
 //! provides the closed-form M/M/1, M/D/1 and M/G/1 results used both to
 //! parameterise those samples and to *verify* them in tests (sampled mean
-//! waits must match Pollaczek–Khinchine).
+//! waits must match Pollaczek–Khinchine). For packet-level execution it
+//! also provides [`FifoServer`], the single-server FIFO queue discipline
+//! the discrete-event campaign backend attaches to every link.
 
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Offered load of a single-server queue.
@@ -90,6 +93,59 @@ pub fn mm1_tail(load: Load, n: u32) -> f64 {
     load.rho().powi(n as i32 + 1)
 }
 
+/// A work-conserving single-server FIFO queue over simulated time.
+///
+/// The event-driven campaign backend keeps one per link: each packet that
+/// arrives while the server is busy waits exactly until the in-flight
+/// packets before it have been serialised — queueing among simulated
+/// packets is *emergent* rather than sampled. (Background cross-traffic
+/// too light to simulate per-packet stays analytic via [`mg1_wait`].)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoServer {
+    busy_until: SimTime,
+    served: u64,
+    total_wait: SimDuration,
+}
+
+impl FifoServer {
+    /// An idle server at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a packet arriving at `arrival` needing `service` time on the
+    /// server; returns its departure time. FIFO: service starts at
+    /// `max(arrival, busy_until)`.
+    pub fn admit(&mut self, arrival: SimTime, service: SimDuration) -> SimTime {
+        let start = arrival.max(self.busy_until);
+        let departure = start + service;
+        self.busy_until = departure;
+        self.served += 1;
+        self.total_wait += start.since(arrival);
+        departure
+    }
+
+    /// Time the server is occupied until (departure of the last admitted
+    /// packet).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Number of packets admitted so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean waiting time in queue over all admitted packets, seconds.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_wait.as_secs_f64() / self.served as f64
+        }
+    }
+}
+
 /// Erlang-B blocking probability for `c` servers and offered load `a`
 /// (erlangs), computed with the stable recurrence.
 pub fn erlang_b(c: u32, a: f64) -> f64 {
@@ -156,6 +212,46 @@ mod tests {
         assert_eq!(erlang_b(5, 0.0), 0.0);
         // Zero servers → certain blocking.
         assert_eq!(erlang_b(0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn fifo_server_is_work_conserving_and_ordered() {
+        let mut q = FifoServer::new();
+        // First packet: no wait, departs at arrival + service.
+        let d1 = q.admit(SimTime::from_secs(1), SimDuration::from_millis(10));
+        assert_eq!(d1, SimTime::from_secs_f64(1.010));
+        // Second arrives while busy: waits for the first.
+        let d2 = q.admit(SimTime::from_secs_f64(1.005), SimDuration::from_millis(10));
+        assert_eq!(d2, SimTime::from_secs_f64(1.020));
+        // Third arrives after the queue drained: idle server, no wait.
+        let d3 = q.admit(SimTime::from_secs(2), SimDuration::from_millis(5));
+        assert_eq!(d3, SimTime::from_secs_f64(2.005));
+        assert_eq!(q.served(), 3);
+        // Only the second packet waited (5 ms): mean = 5/3 ms.
+        assert!((q.mean_wait_s() - 0.005 / 3.0).abs() < 1e-12);
+    }
+
+    /// Driving the FIFO server with M/M/1 arrivals must reproduce the
+    /// closed-form mean wait — the event discipline and the analytic
+    /// formulas are two views of the same queue.
+    #[test]
+    fn fifo_server_matches_mm1_wait() {
+        let load = Load::new(6.0, 10.0);
+        let arr = Exponential::with_rate(load.lambda);
+        let srv = Exponential::with_rate(load.mu);
+        let mut rng = SimRng::from_seed(99);
+        let mut q = FifoServer::new();
+        let mut t = 0.0f64;
+        for _ in 0..400_000 {
+            t += arr.sample(&mut rng);
+            q.admit(SimTime::from_secs_f64(t), SimDuration::from_secs_f64(srv.sample(&mut rng)));
+        }
+        let w_th = mm1_wait(load);
+        assert!(
+            (q.mean_wait_s() - w_th).abs() / w_th < 0.05,
+            "sim {} vs theory {w_th}",
+            q.mean_wait_s()
+        );
     }
 
     /// Event-free validation of the M/M/1 formula by direct Lindley

@@ -136,6 +136,38 @@ fn poisoned_worker_propagates_and_pool_stays_usable() {
 }
 
 #[test]
+fn poisoned_worker_leaves_event_backend_usable_and_deterministic() {
+    // Same contract as the analytic runner: a worker panic inside the
+    // pool propagates to the caller, and the pool then serves the
+    // packet-level event backend normally — bitwise-deterministically.
+    use rayon::prelude::*;
+    use sixg::measure::campaign::CampaignConfig;
+    use sixg::measure::event_backend::{run_event_parallel, EventCampaign};
+    use sixg::measure::parallel::with_thread_count;
+
+    with_thread_count(4, || {
+        let poisoned = std::panic::catch_unwind(|| {
+            (0..96u32)
+                .into_par_iter()
+                .map(|i| if i == 41 { panic!("injected worker failure at {i}") } else { i })
+                .collect::<Vec<u32>>()
+        });
+        assert!(poisoned.is_err(), "worker panic must propagate to the caller");
+
+        let s = scenario();
+        let config = CampaignConfig::default();
+        let seq = EventCampaign::new(s, config).run();
+        let par = run_event_parallel(s, config);
+        for cell in s.grid.cells() {
+            let (a, b) = (seq.stats(cell), par.stats(cell));
+            assert_eq!(a.count, b.count, "cell {cell}");
+            assert_eq!(a.mean_ms.to_bits(), b.mean_ms.to_bits(), "cell {cell}");
+            assert_eq!(a.std_ms.to_bits(), b.std_ms.to_bits(), "cell {cell}");
+        }
+    });
+}
+
+#[test]
 fn op_ascus_peering_is_purely_additive() {
     // Adding the peering never breaks pre-existing reachability.
     let before = scenario();

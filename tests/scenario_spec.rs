@@ -153,6 +153,48 @@ fn overlapping_skip_entries_are_rejected() {
 }
 
 #[test]
+fn unknown_backend_is_rejected_with_path() {
+    let errors = break_spec("klagenfurt", "\"backend\": \"analytic\"", "\"backend\": \"quantum\"");
+    assert!(errors.iter().any(|e| e.contains("$.backend") && e.contains("quantum")), "{errors:?}");
+    // And the error names the accepted values, so it is actionable.
+    assert!(errors.iter().any(|e| e.contains("analytic or event")), "{errors:?}");
+}
+
+#[test]
+fn zero_sample_interval_is_rejected_with_path() {
+    let errors =
+        break_spec("klagenfurt", "\"sample_interval_s\": 2.0", "\"sample_interval_s\": 0.0");
+    assert!(
+        errors.iter().any(|e| e.contains("$.campaign.sample_interval_s") && e.contains("positive")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn event_backend_spec_compiles_and_runs_deterministically() {
+    // Flip the committed Klagenfurt spec to the event backend: it must
+    // validate, compile, and produce identical fields at pool sizes 1/4.
+    let text = std::fs::read_to_string(spec_path("klagenfurt")).expect("readable");
+    let flipped = text.replace("\"backend\": \"analytic\"", "\"backend\": \"event\"");
+    assert_ne!(text, flipped, "fixture drift: backend field missing from committed spec");
+    let spec = ScenarioSpec::from_json(&flipped).expect("parses");
+    assert!(spec.validate().is_empty());
+    assert_eq!(spec.backend, "event");
+
+    let scenario = Scenario::from_spec(&spec).expect("compiles");
+    let config = CampaignConfig { passes: 2, ..Default::default() };
+    let backend = sixg::measure::spec::parse_backend(&spec.backend).expect("parses");
+    let a =
+        with_thread_count(1, || sixg::measure::parallel::run_backend(&scenario, config, backend));
+    let b =
+        with_thread_count(4, || sixg::measure::parallel::run_backend(&scenario, config, backend));
+    for cell in scenario.grid.cells() {
+        assert_eq!(a.stats(cell).mean_ms.to_bits(), b.stats(cell).mean_ms.to_bits(), "{cell}");
+        assert_eq!(a.stats(cell).count, b.stats(cell).count, "{cell}");
+    }
+}
+
+#[test]
 fn type_errors_carry_json_paths() {
     let errors = break_spec("megacity", "\"cols\": 10", "\"cols\": \"ten\"");
     assert!(
