@@ -1,11 +1,13 @@
-//! `sixg-cli` — run, validate and list declarative scenario specs.
+//! `sixg-cli` — run, sweep, validate and list declarative scenario specs.
 //!
 //! Any `ScenarioSpec` JSON file on disk becomes a runnable, parallel,
-//! deterministic measurement campaign:
+//! deterministic measurement campaign, and any `SweepSpec` file becomes a
+//! whole campaign matrix:
 //!
 //! ```text
 //! sixg-cli run specs/klagenfurt.json          # campaign + heatmaps + gap
 //! sixg-cli run specs/megacity.json --passes 2 # override the seed policy
+//! sixg-cli sweep specs/sweeps/klagenfurt_cadence.json   # the E20 matrix
 //! sixg-cli validate specs/*.json              # all violations, JSON paths
 //! sixg-cli list [specs/]                      # inventory of spec files
 //! ```
@@ -14,7 +16,17 @@
 //! rayon thread pool and reports the Figure-2/3-style heatmaps, the
 //! grand mean, and the requirement gap against the spec's reference
 //! workload class — for `specs/klagenfurt.json` the printed grand mean and
-//! exceedance are the `repro_all` numbers, to the digit.
+//! exceedance are the `repro_all` numbers, to the digit. `sweep` compiles
+//! the sweep's axis cross product into an ordered variant list, runs the
+//! whole matrix as one interleaved work list, and prints the per-variant
+//! deltas against the base spec.
+//!
+//! **Exit codes.** `0` success; `1` the input was reachable but wrong
+//! (spec/sweep parse or validation failures, unknown workload classes,
+//! output-write failures); `2` usage errors — unknown subcommand, missing
+//! operand, unreadable file, malformed flag — with the usage text on
+//! stderr. Scripts can therefore tell "your spec is invalid" from "you
+//! called me wrong".
 
 use sixg_core::gap::GapReport;
 use sixg_core::requirements::{ApplicationClass, RequirementProfile};
@@ -23,6 +35,7 @@ use sixg_measure::parallel::{run_backend, with_thread_count};
 use sixg_measure::report::{render_grid, CampaignSummary, FieldStat};
 use sixg_measure::scenario::Scenario;
 use sixg_measure::spec::{parse_backend, ScenarioSpec};
+use sixg_measure::sweep::Sweep;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -31,11 +44,13 @@ sixg-cli — declarative scenario runner
 USAGE:
     sixg-cli run <spec.json> [--passes N] [--campaign-seed S] [--seed S]
                              [--backend analytic|event] [--threads T] [--json PATH]
+    sixg-cli sweep <sweep.json> [--threads T] [--json PATH]
     sixg-cli validate <spec.json>...
     sixg-cli list [dir]
 
 SUBCOMMANDS:
     run       compile the spec and run its campaign on the thread pool
+    sweep     run a SweepSpec's whole campaign matrix (axis cross product)
     validate  parse + validate specs; print every violation with its JSON path
     list      inventory the spec files in a directory (default: specs/)
 
@@ -48,12 +63,45 @@ RUN OPTIONS:
                        simulation with per-hop FIFO queues)
     --threads T        pin the rayon pool size (default: RAYON_NUM_THREADS)
     --json PATH        also write the campaign summary as JSON
+
+SWEEP OPTIONS:
+    --threads T        pin the rayon pool size
+    --json PATH        also write the SweepReport as JSON (deterministic:
+                       bitwise identical across pool sizes)
+
+EXIT CODES:
+    0  success
+    1  validation failure (invalid spec/sweep, unknown class, write error)
+    2  usage error (unknown subcommand, missing operand, unreadable file)
 ";
 
-fn class_by_name(name: &str) -> Result<ApplicationClass, String> {
+/// The CLI's two failure classes, mapped to distinct exit codes so scripts
+/// can tell "you called me wrong" (usage → 2, with the usage text) from
+/// "your input is invalid" (failure → 1).
+enum CliError {
+    /// Unknown subcommand, missing operand, unreadable file, bad flag.
+    Usage(String),
+    /// Parse/validation/run failures on reachable input.
+    Fail(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn fail(msg: impl Into<String>) -> Self {
+        CliError::Fail(msg.into())
+    }
+}
+
+fn class_by_name(name: &str) -> Result<ApplicationClass, CliError> {
     ApplicationClass::ALL.into_iter().find(|c| format!("{c:?}") == name).ok_or_else(|| {
         let known: Vec<String> = ApplicationClass::ALL.iter().map(|c| format!("{c:?}")).collect();
-        format!("unknown workload class {name:?} (expected one of {})", known.join(", "))
+        CliError::fail(format!(
+            "unknown workload class {name:?} (expected one of {})",
+            known.join(", ")
+        ))
     })
 }
 
@@ -61,22 +109,38 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
     match flag_value(args, flag) {
         None => Ok(None),
-        Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value {v:?} for {flag}")),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::usage(format!("invalid value {v:?} for {flag}"))),
     }
 }
 
-fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec file {path}: {e}"))?;
-    let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok(spec)
+/// First positional operand of a subcommand (flags don't count).
+fn operand<'a>(args: &'a [String], what: &str) -> Result<&'a str, CliError> {
+    args.first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage(format!("missing operand: {what}")))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args.first().filter(|a| !a.starts_with("--")).ok_or("run needs a spec file")?;
+/// Reads a file, classifying "not there / not readable" as a usage error
+/// (exit 2) — distinct from "there but invalid" (exit 1).
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read file {path}: {e}")))
+}
+
+fn load_spec(path: &str) -> Result<ScenarioSpec, CliError> {
+    let text = read_file(path)?;
+    ScenarioSpec::from_json(&text).map_err(|e| CliError::fail(format!("{path}: {e}")))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let path = operand(args, "run needs a spec file")?;
     let mut spec = load_spec(path)?;
 
     let errors = spec.validate();
@@ -84,7 +148,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         for e in &errors {
             eprintln!("{path}: {e}");
         }
-        return Err(format!("{path}: {} validation error(s)", errors.len()));
+        return Err(CliError::fail(format!("{path}: {} validation error(s)", errors.len())));
     }
 
     if let Some(seed) = parse_flag::<u64>(args, "--seed")? {
@@ -96,10 +160,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(seed) = parse_flag::<u64>(args, "--campaign-seed")? {
         spec.campaign.seed = seed;
     }
-    if let Some(backend) = flag_value(args, "--backend") {
-        spec.backend = backend.to_string();
+    // A malformed --backend value is a usage error (exit 2, like any bad
+    // flag); the spec's own backend tag was already checked by validate()
+    // above, so this parse cannot fail for spec-borne values.
+    if let Some(flag) = flag_value(args, "--backend") {
+        parse_backend(flag).map_err(CliError::Usage)?;
+        spec.backend = flag.to_string();
     }
-    let backend = parse_backend(&spec.backend)?;
+    let backend = parse_backend(&spec.backend).map_err(CliError::Fail)?;
     let threads = parse_flag::<usize>(args, "--threads")?;
 
     // The spec's reference class must resolve before the campaign runs.
@@ -115,7 +183,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if !spec.description.is_empty() {
         println!("{}", spec.description);
     }
-    let scenario = Scenario::from_spec(&spec).map_err(|e| format!("{path}: {e}"))?;
+    let scenario =
+        Scenario::from_spec(&spec).map_err(|e| CliError::fail(format!("{path}: {e}")))?;
     println!(
         "\ngrid {}×{} ({} cells, {} traversed) · {} hops · {} peers · seed {:#x}",
         scenario.grid.cols,
@@ -183,20 +252,108 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             pairs.push(("exceedance_pct".into(), serde_json::Value::F64(gap.exceedance_pct)));
         }
         let text = serde_json::to_string_pretty(&doc).expect("summary serialises");
-        std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        std::fs::write(out, text)
+            .map_err(|e| CliError::fail(format!("cannot write {out}: {e}")))?;
         println!("\nwrote {out}");
     }
     Ok(())
 }
 
-fn cmd_validate(paths: &[String]) -> Result<(), String> {
-    if paths.is_empty() {
-        return Err("validate needs at least one spec file".into());
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let path = operand(args, "sweep needs a sweep file")?;
+    // One read: an unreadable sweep file is a usage error (exit 2), while
+    // everything past it — sweep parse, base resolution relative to the
+    // sweep file's directory, validation — is a content failure (exit 1).
+    let text = read_file(path)?;
+    let dir = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
+    let threads = parse_flag::<usize>(args, "--threads")?;
+    let sweep =
+        Sweep::from_json_in_dir(&text, dir).map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+
+    println!("=== sweep: {} ===", sweep.spec.name);
+    if !sweep.spec.description.is_empty() {
+        println!("{}", sweep.spec.description);
     }
+    println!(
+        "base {} · {} axes · {} variants · requirement {} ms",
+        sweep.base.name,
+        sweep.spec.axes.len(),
+        sweep.spec.variant_count(),
+        sweep.spec.requirement_ms
+    );
+
+    let run = match threads {
+        Some(t) => with_thread_count(t, || sweep.run()),
+        None => sweep.run(),
+    }
+    .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    let report = &run.report;
+
+    println!(
+        "\n{:<58} {:>8} {:>9} {:>10} {:>9} {:>10}",
+        "variant", "backend", "samples", "mean (ms)", "Δ (ms)", "exceed (%)"
+    );
+    let row = |v: &sixg_measure::sweep::VariantReport| {
+        println!(
+            "{:<58} {:>8} {:>9} {:>10.4} {:>+9.4} {:>10.2}",
+            v.label,
+            v.backend,
+            v.total_samples,
+            v.grand_mean_ms,
+            v.delta_grand_mean_ms,
+            v.exceedance_pct
+        );
+    };
+    row(&report.base);
+    for v in &report.variants {
+        row(v);
+    }
+
+    let violations = run.crossval_violations();
+    if violations.is_empty() {
+        println!("\ncross-validation: every analytic/event pair agrees within tolerance");
+    } else {
+        for v in &violations {
+            eprintln!("cross-validation violation: {v}");
+        }
+    }
+
+    if let Some(out) = flag_value(args, "--json") {
+        std::fs::write(out, report.to_json())
+            .map_err(|e| CliError::fail(format!("cannot write {out}: {e}")))?;
+        println!("wrote {out}");
+    }
+
+    // A failed cross-validation is a failed sweep: the matrix ran, the
+    // backends disagree — exit 1 so pipelines gating on this command
+    // cannot stay green on a real divergence (the report is still
+    // printed and written above for diagnosis).
+    if !violations.is_empty() {
+        return Err(CliError::fail(format!(
+            "{path}: {} cross-validation violation(s) — backends disagree",
+            violations.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_validate(paths: &[String]) -> Result<(), CliError> {
+    if paths.is_empty() {
+        return Err(CliError::usage("validate needs at least one spec file"));
+    }
+    // The whole batch is always validated: an unreadable entry must not
+    // mask validation results for the files after it. Unreadable files
+    // dominate the final classification (usage, exit 2) over invalid
+    // ones (exit 1).
     let mut bad = 0usize;
+    let mut unreadable = 0usize;
     for path in paths {
         match load_spec(path) {
-            Err(e) => {
+            Err(CliError::Usage(e)) => {
+                unreadable += 1;
+                eprintln!("INVALID {e}");
+            }
+            Err(CliError::Fail(e)) => {
                 bad += 1;
                 eprintln!("INVALID {e}");
             }
@@ -220,23 +377,29 @@ fn cmd_validate(paths: &[String]) -> Result<(), String> {
             }
         }
     }
+    if unreadable > 0 {
+        return Err(CliError::usage(format!(
+            "{unreadable} of {} spec file(s) unreadable ({bad} invalid)",
+            paths.len()
+        )));
+    }
     if bad > 0 {
-        return Err(format!("{bad} of {} spec file(s) invalid", paths.len()));
+        return Err(CliError::fail(format!("{bad} of {} spec file(s) invalid", paths.len())));
     }
     Ok(())
 }
 
-fn cmd_list(args: &[String]) -> Result<(), String> {
+fn cmd_list(args: &[String]) -> Result<(), CliError> {
     let dir = args.first().map(String::as_str).unwrap_or("specs");
     let mut entries: Vec<_> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .map_err(|e| CliError::usage(format!("cannot read directory {dir}: {e}")))?
         .filter_map(Result::ok)
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     entries.sort();
     if entries.is_empty() {
-        return Err(format!("no spec files (*.json) in {dir}"));
+        return Err(CliError::fail(format!("no spec files (*.json) in {dir}")));
     }
     println!(
         "{:<28} {:>7} {:>7} {:>6} {:>6}  description",
@@ -273,18 +436,24 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
-        Some("--help" | "-h" | "help") | None => {
+        Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+        None => Err(CliError::usage("missing subcommand")),
+        Some(other) => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Fail(e)) => {
             eprintln!("sixg-cli: {e}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("sixg-cli: {e}\n\n{USAGE}");
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,181 @@
+//! The `sixg-cli` exit-code contract, tested against the real binary.
+//!
+//! `0` success; `1` reachable-but-invalid input (spec/sweep validation
+//! failures); `2` usage errors (unknown subcommand, missing operand,
+//! unreadable file, bad flag value) with the usage text on stderr. The
+//! distinction lets CI and scripts tell a broken invocation from a broken
+//! spec.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const CLI: &str = env!("CARGO_BIN_EXE_sixg-cli");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(CLI).args(args).output().expect("sixg-cli spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("sixg-cli must exit, not be signalled")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn specs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+/// A scratch file that cleans up after itself.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn with_content(name: &str, content: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("sixg-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).expect("write temp spec");
+        Self(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    let out = run(&["--help"]);
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn missing_subcommand_is_a_usage_error() {
+    let out = run(&[]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("missing subcommand"), "{err}");
+    assert!(err.contains("USAGE"), "usage text must reach stderr: {err}");
+}
+
+#[test]
+fn unknown_subcommand_exits_two_with_usage_on_stderr() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("unknown subcommand"), "{err}");
+    assert!(err.contains("frobnicate"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn missing_operand_exits_two() {
+    for sub in ["run", "sweep", "validate"] {
+        let out = run(&[sub]);
+        assert_eq!(code(&out), 2, "{sub} without operand");
+        assert!(stderr(&out).contains("USAGE"), "{sub}: usage text expected");
+    }
+}
+
+#[test]
+fn missing_file_exits_two_with_usage() {
+    for sub in ["run", "sweep"] {
+        let out = run(&[sub, "/nonexistent/never-there.json"]);
+        assert_eq!(code(&out), 2, "{sub} on a missing file");
+        let err = stderr(&out);
+        assert!(err.contains("cannot read"), "{sub}: {err}");
+        assert!(err.contains("USAGE"), "{sub}: {err}");
+    }
+}
+
+#[test]
+fn bad_flag_value_exits_two() {
+    let spec = specs_dir().join("klagenfurt.json");
+    let out = run(&["run", spec.to_str().unwrap(), "--passes", "many"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("invalid value"), "{}", stderr(&out));
+    // A typo'd --backend is the same class of mistake: a bad flag, not an
+    // invalid spec.
+    let out = run(&["run", spec.to_str().unwrap(), "--backend", "evnt"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("evnt"), "{}", stderr(&out));
+}
+
+/// An unreadable entry in a validate batch must not mask the files after
+/// it: the rest of the batch is still validated, and the final exit code
+/// is 2 (usage) because of the unreadable path.
+#[test]
+fn validate_batch_continues_past_unreadable_files() {
+    let spec = specs_dir().join("klagenfurt.json");
+    let out = run(&["validate", "/nonexistent/never-there.json", spec.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("ok"),
+        "the readable spec after the missing one must still be validated: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("unreadable"), "{}", stderr(&out));
+}
+
+#[test]
+fn invalid_spec_exits_one_not_two() {
+    // Parseable JSON, but fails validation (no hops / grid 0×0).
+    let bad = TempFile::with_content(
+        "invalid.json",
+        r#"{"name": "bad", "seed": 1,
+            "grid": {"origin_lat": 0.0, "origin_lon": 0.0, "cols": 0, "rows": 0, "cell_km": 1.0},
+            "density": {"core_col": 0.0, "core_row": 0.0, "peak": 100.0, "decay_cells": 1.0},
+            "targets": {"kind": "projected", "floor_ms": 50.0, "gradient_ms": 1.0,
+                        "hotspot_ms": 1.0, "hotspot": "A1"},
+            "hops": [], "links": [], "as_relations": [],
+            "ue": {"gateway": "gw"},
+            "measurement": {"anchor": "gw", "reference_cell": "A1"}}"#,
+    );
+    for sub in ["run", "validate"] {
+        let out = run(&[sub, bad.path()]);
+        assert_eq!(code(&out), 1, "{sub} on an invalid spec");
+        assert!(!stderr(&out).contains("USAGE"), "{sub}: validation failure is not a usage error");
+    }
+}
+
+#[test]
+fn unparseable_json_exits_one() {
+    let bad = TempFile::with_content("unparseable.json", "{\"name\": ");
+    let out = run(&["validate", bad.path()]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("invalid JSON"), "{}", stderr(&out));
+}
+
+#[test]
+fn invalid_sweep_exits_one() {
+    // Resolvable base, but the override path does not resolve in it.
+    let sweep = TempFile::with_content(
+        "sweep-bad-path.json",
+        &format!(
+            r#"{{"name": "bad-sweep", "base": "{}",
+                "axes": [{{"kind": "override", "path": "$.campaign.cadence_s",
+                           "values": [1.0]}}]}}"#,
+            specs_dir().join("klagenfurt.json").display()
+        ),
+    );
+    let out = run(&["sweep", sweep.path()]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("$.axes[0].path"), "{err}");
+    assert!(err.contains("cadence_s"), "{err}");
+}
+
+#[test]
+fn valid_spec_validates_with_exit_zero() {
+    let spec = specs_dir().join("klagenfurt.json");
+    let out = run(&["validate", spec.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+}

@@ -25,6 +25,10 @@
 //!   emergent, not sampled), cross-validated against the analytic path;
 //! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
 //!   extrema rank agreement) between a campaign and its targets;
+//! * [`sweep`] — the declarative parameter-sweep subsystem: a
+//!   [`sweep::SweepSpec`] (base spec + typed axes) whose cross product
+//!   compiles into an order-deterministic campaign matrix, executed as one
+//!   interleaved work list with streaming per-variant aggregation;
 //! * [`spec`] — the declarative scenario subsystem: a serde-backed
 //!   [`spec::ScenarioSpec`] (JSON, loadable from a file) describing a
 //!   campaign end to end, validated with path-anchored errors;
@@ -48,6 +52,7 @@ pub mod report;
 pub mod scenario;
 pub mod skopje;
 pub mod spec;
+pub mod sweep;
 pub mod validate;
 pub mod wired;
 
@@ -57,4 +62,5 @@ pub use event_backend::{run_event_parallel, EventCampaign};
 pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
 pub use spec::{ExecBackend, ScenarioSpec, SpecError};
+pub use sweep::{Sweep, SweepReport, SweepRun, SweepSpec};
 pub use wired::WiredCampaign;

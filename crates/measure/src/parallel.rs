@@ -23,23 +23,56 @@ pub fn run_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
     run_shards(scenario, &campaign.shards(), |shard, buf| campaign.collect_shard_into(shard, buf))
 }
 
-/// The shared parallel skeleton both execution backends use: sample every
-/// shard on the pool via `collect` (each shard owns its random stream, so
-/// execution order is free), writing into per-shard buffers preallocated
-/// once up front, then fold the batches back **in work-list order** so the
-/// floating-point accumulation sequence — and hence every bit of the
-/// result — matches the sequential runner.
+/// Work items sampled per streaming round before folding — the memory
+/// bound of [`run_items_streaming`]: at most this many sample buffers are
+/// alive at once, however long the work list is. Large enough that the
+/// pool stays saturated between the (cheap) fold barriers.
+pub(crate) const STREAM_CHUNK: usize = 1024;
+
+/// The shared streaming skeleton every parallel runner builds on: sample
+/// each work item on the pool via `collect` (each item owns its random
+/// stream, so execution order is free), in rounds of at most
+/// [`STREAM_CHUNK`] items whose buffers are reused from round to round,
+/// then fold every batch back **in work-list order** so the floating-point
+/// accumulation sequence — and hence every bit of the result — matches a
+/// sequential pass over the same list. Campaign runners instantiate `T =`
+/// [`Shard`]; the sweep runner instantiates `T = (variant, Shard)` and
+/// keeps whole campaign matrices inside the same fixed memory bound.
+pub(crate) fn run_items_streaming<T: Copy + Send + Sync>(
+    items: &[T],
+    collect: impl Fn(T, &mut Vec<f64>) + Sync,
+    mut fold: impl FnMut(T, &[f64]),
+) {
+    let mut batches: Vec<(Option<T>, Vec<f64>)> = Vec::new();
+    for chunk in items.chunks(STREAM_CHUNK) {
+        if batches.len() < chunk.len() {
+            batches.resize_with(chunk.len(), || (None, Vec::new()));
+        }
+        let round = &mut batches[..chunk.len()];
+        for (slot, &item) in round.iter_mut().zip(chunk) {
+            slot.0 = Some(item);
+        }
+        round.par_iter_mut().for_each(|(item, buf)| collect(item.expect("item set above"), buf));
+        for (item, buf) in round.iter() {
+            fold(item.expect("item set above"), buf);
+        }
+    }
+}
+
+/// The shard-level parallel skeleton both execution backends use:
+/// [`run_items_streaming`] over the campaign's own shard list, folding into
+/// one [`CellField`].
 pub(crate) fn run_shards(
     scenario: &Scenario,
     shards: &[Shard],
     collect: impl Fn(Shard, &mut Vec<f64>) + Sync,
 ) -> CellField {
-    let mut batches: Vec<(Shard, Vec<f64>)> =
-        shards.iter().map(|&shard| (shard, Vec::new())).collect();
-    batches.par_iter_mut().for_each(|(shard, buf)| collect(*shard, buf));
-
     let mut field = CellField::new(scenario.grid.clone());
-    field.accumulate_ordered(batches.into_iter().map(|(shard, buf)| (shard.cell, buf)));
+    run_items_streaming(shards, collect, |shard, buf| {
+        for &v in buf {
+            field.push(shard.cell, v);
+        }
+    });
     field
 }
 

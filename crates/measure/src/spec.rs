@@ -527,27 +527,28 @@ pub fn parse_name_style(s: &str) -> Result<NameStyle, String> {
 // Decoding: Value → spec, with JSON-path error context.
 // ---------------------------------------------------------------------------
 
-/// A [`Value`] cursor that remembers its JSON path for error messages.
-struct Ctx<'a> {
-    v: &'a Value,
-    path: String,
+/// A [`Value`] cursor that remembers its JSON path for error messages
+/// (shared with the sweep decoder in [`crate::sweep`]).
+pub(crate) struct Ctx<'a> {
+    pub(crate) v: &'a Value,
+    pub(crate) path: String,
 }
 
 impl<'a> Ctx<'a> {
-    fn root(v: &'a Value) -> Self {
+    pub(crate) fn root(v: &'a Value) -> Self {
         Self { v, path: "$".into() }
     }
 
-    fn err(&self, message: impl Into<String>) -> SpecError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> SpecError {
         SpecError::new(self.path.clone(), message)
     }
 
-    fn type_err(&self, want: &str) -> SpecError {
+    pub(crate) fn type_err(&self, want: &str) -> SpecError {
         self.err(format!("expected {want}, found {}", self.v.type_name()))
     }
 
     /// Required object member.
-    fn field(&self, name: &str) -> Result<Ctx<'a>, SpecError> {
+    pub(crate) fn field(&self, name: &str) -> Result<Ctx<'a>, SpecError> {
         if self.v.as_object().is_none() {
             return Err(self.type_err("object"));
         }
@@ -558,40 +559,40 @@ impl<'a> Ctx<'a> {
     }
 
     /// Optional object member; absent or `null` → `None`.
-    fn opt(&self, name: &str) -> Option<Ctx<'a>> {
+    pub(crate) fn opt(&self, name: &str) -> Option<Ctx<'a>> {
         match self.v.get(name) {
             Some(v) if !v.is_null() => Some(Ctx { v, path: format!("{}.{name}", self.path) }),
             _ => None,
         }
     }
 
-    fn f64(&self) -> Result<f64, SpecError> {
+    pub(crate) fn f64(&self) -> Result<f64, SpecError> {
         self.v.as_f64().ok_or_else(|| self.type_err("number"))
     }
 
-    fn u64(&self) -> Result<u64, SpecError> {
+    pub(crate) fn u64(&self) -> Result<u64, SpecError> {
         self.v.as_u64().ok_or_else(|| self.type_err("non-negative integer"))
     }
 
-    fn u32(&self) -> Result<u32, SpecError> {
+    pub(crate) fn u32(&self) -> Result<u32, SpecError> {
         let n = self.u64()?;
         u32::try_from(n).map_err(|_| self.err(format!("{n} does not fit in 32 bits")))
     }
 
-    fn u8(&self) -> Result<u8, SpecError> {
+    pub(crate) fn u8(&self) -> Result<u8, SpecError> {
         let n = self.u64()?;
         u8::try_from(n).map_err(|_| self.err(format!("{n} does not fit in 8 bits")))
     }
 
-    fn str(&self) -> Result<&'a str, SpecError> {
+    pub(crate) fn str(&self) -> Result<&'a str, SpecError> {
         self.v.as_str().ok_or_else(|| self.type_err("string"))
     }
 
-    fn string(&self) -> Result<String, SpecError> {
+    pub(crate) fn string(&self) -> Result<String, SpecError> {
         self.str().map(str::to_string)
     }
 
-    fn array(&self) -> Result<Vec<Ctx<'a>>, SpecError> {
+    pub(crate) fn array(&self) -> Result<Vec<Ctx<'a>>, SpecError> {
         let xs = self.v.as_array().ok_or_else(|| self.type_err("array"))?;
         Ok(xs
             .iter()
@@ -600,14 +601,14 @@ impl<'a> Ctx<'a> {
             .collect())
     }
 
-    fn f64_matrix(&self) -> Result<Vec<Vec<f64>>, SpecError> {
+    pub(crate) fn f64_matrix(&self) -> Result<Vec<Vec<f64>>, SpecError> {
         self.array()?
             .into_iter()
             .map(|row| row.array()?.into_iter().map(|x| x.f64()).collect())
             .collect()
     }
 
-    fn octets<const N: usize>(&self) -> Result<[u8; N], SpecError> {
+    pub(crate) fn octets<const N: usize>(&self) -> Result<[u8; N], SpecError> {
         let xs = self.array()?;
         if xs.len() != N {
             return Err(self.err(format!("expected {N} octets, found {}", xs.len())));
@@ -619,7 +620,7 @@ impl<'a> Ctx<'a> {
         Ok(out)
     }
 
-    fn dist(&self) -> Result<DistSpec, SpecError> {
+    pub(crate) fn dist(&self) -> Result<DistSpec, SpecError> {
         DistSpec::from_value(self.v).map_err(|m| self.err(m))
     }
 }

@@ -1,0 +1,1185 @@
+//! Declarative parameter sweeps: one spec file → a campaign matrix.
+//!
+//! The paper's headline numbers come from *sweeps* — cadence, density and
+//! topology variations around the measured baseline — yet a single
+//! [`ScenarioSpec`] describes exactly one campaign. A [`SweepSpec`] lifts
+//! that to a family: it names a **base** scenario spec plus a list of typed
+//! **axes**, and the cross product of the axes' values compiles — through
+//! the ordinary [`Scenario::from_spec`] pipeline — into an
+//! order-deterministic list of campaign variants:
+//!
+//! * [`AxisDef::Override`] — a JSON-path parameter override applied to the
+//!   base spec's value tree (`$.campaign.sample_interval_s`,
+//!   `$.links[3].extra.mean_ms`, `$.ue.bandwidth_bps`, …). The path must
+//!   resolve in the base spec; a path that doesn't is a validation error
+//!   anchored at the axis.
+//! * [`AxisDef::Backend`] — execution-backend selection: `analytic`,
+//!   `event`, or `both` (which expands, in order, to analytic then event).
+//! * [`AxisDef::Seeds`] — a contiguous campaign-seed range
+//!   (`start .. start + count`).
+//! * [`AxisDef::DensityScale`] — multiplies the base spec's density peak
+//!   (`$.density.peak`), scaling the population raster and with it the
+//!   dwell-time profile of the traversal.
+//!
+//! **Variant ordering contract.** Variants enumerate the axis cross
+//! product like an odometer with the *last* axis fastest: axis 0 varies
+//! slowest, the final axis increments on every consecutive variant. The
+//! order — and therefore every variant index, label and random stream — is
+//! a pure function of the sweep spec, which is what makes sweep reports
+//! reproducible bit for bit.
+//!
+//! **Execution.** [`Sweep::run`] flattens the base campaign plus every
+//! variant into one global `(run, pass, cell)` work list and drives it
+//! through the same streaming skeleton the single-campaign runners use
+//! ([`crate::parallel`]), so the thread pool stays saturated across
+//! variant boundaries and — because batches fold back in work-list order —
+//! the whole matrix is bitwise deterministic at every pool size. Results
+//! stream into per-variant [`CellField`] accumulators (Welford state, not
+//! sample buffers): memory is bounded by `variants × cells` accumulators
+//! plus one `STREAM_CHUNK` (1024-item) window of in-flight sample batches,
+//! never by the total sample count.
+//!
+//! Scenario compilation is deduplicated: variants that differ only in
+//! campaign parameters (seed, passes, cadence) or backend share one
+//! compiled — and calibrated — [`Scenario`].
+
+use crate::aggregate::CellField;
+use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
+use crate::event_backend::{crossval_tolerance_ms, EventCampaign, CROSSVAL_GRAND_MEAN_TOL};
+use crate::parallel::run_items_streaming;
+use crate::report::CellSummary;
+use crate::scenario::Scenario;
+use crate::spec::{parse_backend, CampaignDef, Ctx, ExecBackend, ScenarioSpec, SpecError};
+use serde::{Serialize, Value};
+
+/// Default latency requirement the sweep's exceedance figures are judged
+/// against, ms — the paper's AR-gaming bound (the "270 %" reference).
+pub const DEFAULT_REQUIREMENT_MS: f64 = 20.0;
+
+/// Hard cap on the size of one sweep matrix; a cross product beyond this
+/// is almost certainly a typo'd axis, and the validation error says so.
+pub const MAX_VARIANTS: usize = 4096;
+
+/// Backend selection of a [`AxisDef::Backend`] axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSelect {
+    /// Only the closed-form analytic backend.
+    Analytic,
+    /// Only the packet-level event backend.
+    Event,
+    /// Both, in the order analytic then event (the cross-validation pair).
+    Both,
+}
+
+impl BackendSelect {
+    /// The backends this selection expands to, in variant order.
+    pub fn backends(self) -> &'static [ExecBackend] {
+        match self {
+            BackendSelect::Analytic => &[ExecBackend::Analytic],
+            BackendSelect::Event => &[ExecBackend::Event],
+            BackendSelect::Both => &[ExecBackend::Analytic, ExecBackend::Event],
+        }
+    }
+
+    /// The spec-level tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendSelect::Analytic => "analytic",
+            BackendSelect::Event => "event",
+            BackendSelect::Both => "both",
+        }
+    }
+}
+
+/// One typed sweep axis (see the module docs for semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisDef {
+    /// JSON-path parameter override into the base spec's value tree.
+    Override {
+        /// The path, rooted at `$` (`$.campaign.sample_interval_s`).
+        path: String,
+        /// The values the parameter sweeps over, in variant order.
+        values: Vec<Value>,
+    },
+    /// Execution-backend selection.
+    Backend {
+        /// Which backend(s) to run.
+        select: BackendSelect,
+    },
+    /// Contiguous campaign-seed range `start .. start + count`.
+    Seeds {
+        /// First campaign seed.
+        start: u64,
+        /// Number of seeds.
+        count: u32,
+    },
+    /// Multiplies the base spec's `$.density.peak` by each factor.
+    DensityScale {
+        /// Scale factors, in variant order.
+        factors: Vec<f64>,
+    },
+}
+
+impl AxisDef {
+    /// Number of values this axis contributes to the cross product.
+    pub fn len(&self) -> usize {
+        match self {
+            AxisDef::Override { values, .. } => values.len(),
+            AxisDef::Backend { select } => select.backends().len(),
+            AxisDef::Seeds { count, .. } => *count as usize,
+            AxisDef::DensityScale { factors } => factors.len(),
+        }
+    }
+
+    /// True when the axis has no values (rejected by validation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spec element this axis targets — two axes with the same target
+    /// would fight over one parameter, so duplicates are rejected.
+    pub fn target(&self) -> &str {
+        match self {
+            AxisDef::Override { path, .. } => path,
+            AxisDef::Backend { .. } => "$.backend",
+            AxisDef::Seeds { .. } => "$.campaign.seed",
+            AxisDef::DensityScale { .. } => "$.density.peak",
+        }
+    }
+
+    /// Human-readable `target=value` label of one choice on this axis.
+    fn choice_label(&self, choice: usize) -> String {
+        match self {
+            AxisDef::Override { path, values } => {
+                format!("{path}={}", value_label(&values[choice]))
+            }
+            AxisDef::Backend { select } => {
+                format!("$.backend={}", select.backends()[choice])
+            }
+            AxisDef::Seeds { start, .. } => format!("$.campaign.seed={}", start + choice as u64),
+            AxisDef::DensityScale { factors } => format!("$.density.peak×{}", factors[choice]),
+        }
+    }
+}
+
+fn value_label(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "<value>".into())
+}
+
+impl Serialize for AxisDef {
+    fn to_value(&self) -> Value {
+        match self {
+            AxisDef::Override { path, values } => Value::Object(vec![
+                ("kind".into(), Value::String("override".into())),
+                ("path".into(), Value::String(path.clone())),
+                ("values".into(), Value::Array(values.clone())),
+            ]),
+            AxisDef::Backend { select } => Value::Object(vec![
+                ("kind".into(), Value::String("backend".into())),
+                ("select".into(), Value::String(select.as_str().into())),
+            ]),
+            AxisDef::Seeds { start, count } => Value::Object(vec![
+                ("kind".into(), Value::String("seeds".into())),
+                ("start".into(), Value::U64(*start)),
+                ("count".into(), Value::U64(*count as u64)),
+            ]),
+            AxisDef::DensityScale { factors } => Value::Object(vec![
+                ("kind".into(), Value::String("density_scale".into())),
+                ("factors".into(), Value::Array(factors.iter().map(|&f| Value::F64(f)).collect())),
+            ]),
+        }
+    }
+}
+
+/// The declarative sweep description: a base scenario spec plus the axes
+/// whose cross product becomes the campaign matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (`"klagenfurt_cadence"`).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Base scenario spec file, relative to the sweep file's directory
+    /// (resolved by [`Sweep::from_file`]; callers of [`Sweep::new`] supply
+    /// the base JSON themselves and may leave this as a label).
+    pub base: String,
+    /// Latency requirement the exceedance figures are judged against, ms.
+    pub requirement_ms: f64,
+    /// The sweep axes, slowest-varying first.
+    pub axes: Vec<AxisDef>,
+}
+
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::String(self.name.clone())),
+            ("description".into(), Value::String(self.description.clone())),
+            ("base".into(), Value::String(self.base.clone())),
+            ("requirement_ms".into(), Value::F64(self.requirement_ms)),
+            ("axes".into(), Value::Array(self.axes.iter().map(Serialize::to_value).collect())),
+        ])
+    }
+}
+
+fn decode_axis(c: &Ctx) -> Result<AxisDef, SpecError> {
+    match c.field("kind")?.str()? {
+        "override" => Ok(AxisDef::Override {
+            path: c.field("path")?.string()?,
+            values: c.field("values")?.array()?.into_iter().map(|x| x.v.clone()).collect(),
+        }),
+        "backend" => {
+            let sel = c.field("select")?;
+            Ok(AxisDef::Backend {
+                select: match sel.str()? {
+                    "analytic" => BackendSelect::Analytic,
+                    "event" => BackendSelect::Event,
+                    "both" => BackendSelect::Both,
+                    other => {
+                        return Err(sel.err(format!(
+                            "unknown backend selection {other:?} (expected analytic, event or both)"
+                        )))
+                    }
+                },
+            })
+        }
+        "seeds" => {
+            Ok(AxisDef::Seeds { start: c.field("start")?.u64()?, count: c.field("count")?.u32()? })
+        }
+        "density_scale" => Ok(AxisDef::DensityScale {
+            factors: c
+                .field("factors")?
+                .array()?
+                .into_iter()
+                .map(|x| x.f64())
+                .collect::<Result<_, _>>()?,
+        }),
+        other => Err(c.field("kind")?.err(format!(
+            "unknown axis kind {other:?} (expected override, backend, seeds or density_scale)"
+        ))),
+    }
+}
+
+impl SweepSpec {
+    /// Decodes a sweep spec from a parsed JSON value tree.
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let c = Ctx::root(v);
+        if c.v.as_object().is_none() {
+            return Err(c.type_err("object"));
+        }
+        Ok(Self {
+            name: c.field("name")?.string()?,
+            description: c.opt("description").map_or(Ok(String::new()), |x| x.string())?,
+            base: c.field("base")?.string()?,
+            requirement_ms: c
+                .opt("requirement_ms")
+                .map_or(Ok(DEFAULT_REQUIREMENT_MS), |x| x.f64())?,
+            axes: c.field("axes")?.array()?.iter().map(decode_axis).collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Parses a sweep spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let v = serde_json::from_str(text)
+            .map_err(|e| SpecError::new("$", format!("invalid JSON: {e}")))?;
+        Self::from_value(&v)
+    }
+
+    /// Serialises to pretty JSON (round-trips exactly).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep spec serialises")
+    }
+
+    /// Number of variants the cross product compiles to (1 for no axes —
+    /// the degenerate sweep is exactly the base campaign).
+    pub fn variant_count(&self) -> usize {
+        self.axes.iter().map(AxisDef::len).product()
+    }
+
+    /// Checks every sweep-level invariant; returns all violations (empty =
+    /// valid). Resolution of override paths against the *base* spec happens
+    /// in [`Sweep::new`], which has the base value tree in hand.
+    pub fn validate(&self) -> Vec<SpecError> {
+        let mut errors = Vec::new();
+        let mut err = |path: &str, message: String| errors.push(SpecError::new(path, message));
+
+        if self.name.is_empty() {
+            err("$.name", "sweep name must not be empty".into());
+        }
+        if self.base.is_empty() {
+            err("$.base", "sweep needs a base scenario spec".into());
+        }
+        if !(self.requirement_ms.is_finite() && self.requirement_ms > 0.0) {
+            err(
+                "$.requirement_ms",
+                format!("requirement must be positive, got {}", self.requirement_ms),
+            );
+        }
+
+        let mut targets: Vec<(usize, &str)> = Vec::new();
+        for (i, axis) in self.axes.iter().enumerate() {
+            let path = format!("$.axes[{i}]");
+            if axis.is_empty() {
+                err(&path, "axis has no values — a sweep axis needs at least one".into());
+            }
+            match axis {
+                AxisDef::Override { path: p, .. } => {
+                    if let Err(m) = parse_json_path(p) {
+                        err(&format!("{path}.path"), m);
+                    }
+                }
+                AxisDef::DensityScale { factors } => {
+                    for (j, &f) in factors.iter().enumerate() {
+                        if !(f.is_finite() && f > 0.0) {
+                            err(
+                                &format!("{path}.factors[{j}]"),
+                                format!("scale factor must be positive, got {f}"),
+                            );
+                        }
+                    }
+                }
+                AxisDef::Backend { .. } | AxisDef::Seeds { .. } => {}
+            }
+            let target = axis.target();
+            if let Some((j, _)) = targets.iter().find(|(_, t)| *t == target) {
+                err(
+                    &path,
+                    format!("duplicate axis target `{target}` (already swept by $.axes[{j}])"),
+                );
+            }
+            targets.push((i, target));
+        }
+
+        if self.variant_count() > MAX_VARIANTS {
+            err(
+                "$.axes",
+                format!(
+                    "cross product of {} variants exceeds the {MAX_VARIANTS}-variant cap — \
+                     split the sweep",
+                    self.variant_count()
+                ),
+            );
+        }
+        errors
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON-path override machinery.
+// ---------------------------------------------------------------------------
+
+/// One segment of a `$.a.b[3].c` override path.
+#[derive(Debug, Clone, PartialEq)]
+enum Seg {
+    Field(String),
+    Index(usize),
+}
+
+/// Parses an override path (`$`, then `.member` and `[index]` segments).
+fn parse_json_path(path: &str) -> Result<Vec<Seg>, String> {
+    let rest = path
+        .strip_prefix('$')
+        .ok_or_else(|| format!("override path must start with `$`, got {path:?}"))?;
+    let mut segs = Vec::new();
+    let mut chars = rest.char_indices().peekable();
+    while let Some((i, ch)) = chars.next() {
+        match ch {
+            '.' => {
+                let start = i + 1;
+                let mut end = rest.len();
+                for (j, c) in rest[start..].char_indices() {
+                    if c == '.' || c == '[' {
+                        end = start + j;
+                        break;
+                    }
+                }
+                if start == end {
+                    return Err(format!("empty member name in override path {path:?}"));
+                }
+                segs.push(Seg::Field(rest[start..end].to_string()));
+                while chars.peek().is_some_and(|&(j, _)| j < end) {
+                    chars.next();
+                }
+            }
+            '[' => {
+                let start = i + 1;
+                let end = rest[start..]
+                    .find(']')
+                    .map(|j| start + j)
+                    .ok_or_else(|| format!("unclosed `[` in override path {path:?}"))?;
+                let idx: usize = rest[start..end]
+                    .parse()
+                    .map_err(|_| format!("bad array index {:?} in {path:?}", &rest[start..end]))?;
+                segs.push(Seg::Index(idx));
+                while chars.peek().is_some_and(|&(j, _)| j <= end) {
+                    chars.next();
+                }
+            }
+            other => return Err(format!("unexpected {other:?} in override path {path:?}")),
+        }
+    }
+    if segs.is_empty() {
+        return Err(format!("override path {path:?} selects the whole spec — name a parameter"));
+    }
+    Ok(segs)
+}
+
+/// Resolves a parsed path to the value it names, mutably. Fails — naming
+/// the first unresolvable prefix — when the base spec has no such element;
+/// overrides *replace* existing parameters, they never invent new ones.
+fn resolve_mut<'v>(root: &'v mut Value, segs: &[Seg]) -> Result<&'v mut Value, String> {
+    let mut cur = root;
+    let mut at = String::from("$");
+    for seg in segs {
+        cur = match seg {
+            Seg::Field(name) => match cur {
+                Value::Object(pairs) => match pairs.iter_mut().find(|(k, _)| k == name) {
+                    Some((_, v)) => v,
+                    None => return Err(format!("base spec has no member `{name}` at {at}")),
+                },
+                other => {
+                    return Err(format!(
+                        "{at} is {} in the base spec, not an object",
+                        other.type_name()
+                    ))
+                }
+            },
+            Seg::Index(i) => match cur {
+                Value::Array(xs) => {
+                    let len = xs.len();
+                    match xs.get_mut(*i) {
+                        Some(v) => v,
+                        None => {
+                            return Err(format!("index {i} out of bounds at {at} (length {len})"))
+                        }
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "{at} is {} in the base spec, not an array",
+                        other.type_name()
+                    ))
+                }
+            },
+        };
+        match seg {
+            Seg::Field(name) => {
+                at.push('.');
+                at.push_str(name);
+            }
+            Seg::Index(i) => at.push_str(&format!("[{i}]")),
+        }
+    }
+    Ok(cur)
+}
+
+// ---------------------------------------------------------------------------
+// Compiled sweeps.
+// ---------------------------------------------------------------------------
+
+/// One compiled variant of the matrix: the spec with its axis choices
+/// applied, ready to run.
+#[derive(Debug, Clone)]
+pub struct SweepVariant {
+    /// Human-readable label (`"$.campaign.sample_interval_s=1 · …"`).
+    pub label: String,
+    /// Per-axis `target=value` labels, in axis order.
+    pub settings: Vec<String>,
+    /// Per-axis choice indices, in axis order (the odometer digits).
+    pub choices: Vec<usize>,
+    /// The variant's full scenario spec.
+    pub spec: ScenarioSpec,
+    /// Execution backend of this variant.
+    pub backend: ExecBackend,
+    /// Campaign configuration (the variant spec's seed policy).
+    pub config: CampaignConfig,
+}
+
+/// A validated sweep: the sweep spec plus its parsed base scenario.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// The sweep description.
+    pub spec: SweepSpec,
+    /// The parsed base scenario spec.
+    pub base: ScenarioSpec,
+    /// The base spec's raw value tree (override axes mutate clones of it).
+    base_value: Value,
+}
+
+impl Sweep {
+    /// Builds a sweep from a sweep spec and the base scenario's JSON text.
+    ///
+    /// Validates the sweep spec, the base spec, *and* every override path
+    /// against the base — an axis whose path does not resolve is reported
+    /// here, anchored at `$.axes[i].path`.
+    pub fn new(spec: SweepSpec, base_json: &str) -> Result<Self, SpecError> {
+        if let Some(e) = spec.validate().into_iter().next() {
+            return Err(e);
+        }
+        let base_value = serde_json::from_str(base_json)
+            .map_err(|e| SpecError::new("$", format!("base spec is invalid JSON: {e}")))?;
+        let base = ScenarioSpec::from_value(&base_value)?;
+        if let Some(e) = base.validate().into_iter().next() {
+            return Err(SpecError::new(
+                e.path,
+                format!("base spec `{}`: {}", spec.base, e.message),
+            ));
+        }
+        let mut probe = base_value.clone();
+        for (i, axis) in spec.axes.iter().enumerate() {
+            if let AxisDef::Override { path, .. } = axis {
+                let segs = parse_json_path(path).expect("validated above");
+                if let Err(m) = resolve_mut(&mut probe, &segs) {
+                    return Err(SpecError::new(
+                        format!("$.axes[{i}].path"),
+                        format!("override path {path} does not resolve: {m}"),
+                    ));
+                }
+            }
+        }
+        Ok(Self { spec, base, base_value })
+    }
+
+    /// Builds a sweep from sweep-file JSON text, resolving its `base`
+    /// reference relative to `dir` — the single-read path for callers
+    /// that already have the sweep text in hand (the CLI reads the file
+    /// once to classify IO errors, then hands the text here).
+    pub fn from_json_in_dir(
+        text: &str,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Self, SpecError> {
+        let spec = SweepSpec::from_json(text)?;
+        let base_path = dir.as_ref().join(&spec.base);
+        let base_json = std::fs::read_to_string(&base_path).map_err(|e| {
+            SpecError::new("$.base", format!("cannot read base spec {}: {e}", base_path.display()))
+        })?;
+        Self::new(spec, &base_json)
+    }
+
+    /// Loads a sweep file, resolving its `base` relative to the sweep
+    /// file's own directory.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SpecError::new("$", format!("cannot read sweep file {}: {e}", path.display()))
+        })?;
+        Self::from_json_in_dir(&text, path.parent().unwrap_or(std::path::Path::new(".")))
+    }
+
+    /// Compiles the axis cross product into the ordered variant list (see
+    /// the module docs for the ordering contract).
+    pub fn variants(&self) -> Result<Vec<SweepVariant>, SpecError> {
+        let axes = &self.spec.axes;
+        let counts: Vec<usize> = axes.iter().map(AxisDef::len).collect();
+        let total = self.spec.variant_count();
+        let mut out = Vec::with_capacity(total);
+        for v in 0..total {
+            // Odometer decomposition: last axis fastest.
+            let mut choices = vec![0usize; axes.len()];
+            let mut rem = v;
+            for ai in (0..axes.len()).rev() {
+                choices[ai] = rem % counts[ai];
+                rem /= counts[ai];
+            }
+
+            // Generic JSON-path overrides mutate the base value tree …
+            let mut tree = self.base_value.clone();
+            for (axis, &choice) in axes.iter().zip(&choices) {
+                if let AxisDef::Override { path, values } = axis {
+                    let segs = parse_json_path(path).expect("validated path");
+                    let slot = resolve_mut(&mut tree, &segs).expect("resolved in Sweep::new");
+                    *slot = values[choice].clone();
+                }
+            }
+            let mut spec = ScenarioSpec::from_value(&tree)?;
+
+            // … typed axes mutate the decoded spec directly.
+            for (axis, &choice) in axes.iter().zip(&choices) {
+                match axis {
+                    AxisDef::Override { .. } => {}
+                    AxisDef::Backend { select } => {
+                        spec.backend = select.backends()[choice].as_str().into();
+                    }
+                    AxisDef::Seeds { start, .. } => {
+                        spec.campaign.seed = start + choice as u64;
+                    }
+                    AxisDef::DensityScale { factors } => {
+                        spec.density.peak *= factors[choice];
+                    }
+                }
+            }
+
+            let settings: Vec<String> = axes
+                .iter()
+                .zip(&choices)
+                .map(|(axis, &choice)| axis.choice_label(choice))
+                .collect();
+            let label =
+                if settings.is_empty() { "base".to_string() } else { settings.join(" · ") };
+
+            if let Some(e) = spec.validate().into_iter().next() {
+                return Err(SpecError::new(e.path, format!("variant `{label}`: {}", e.message)));
+            }
+            let backend = parse_backend(&spec.backend).expect("validated backend");
+            let config = CampaignConfig {
+                seed: spec.campaign.seed,
+                sample_interval_s: spec.campaign.sample_interval_s,
+                passes: spec.campaign.passes,
+            };
+            out.push(SweepVariant { label, settings, choices, spec, backend, config });
+        }
+        Ok(out)
+    }
+
+    /// Runs the whole matrix — base campaign plus every variant — on the
+    /// thread pool and folds the results into a streaming [`SweepReport`].
+    pub fn run(&self) -> Result<SweepRun, SpecError> {
+        let variants = self.variants()?;
+
+        // Scenario compilation, deduplicated on everything except campaign
+        // parameters and backend (which `compile` does not consume): a
+        // cadence × backend × seed sweep calibrates its site exactly once.
+        let mut canon: Vec<ScenarioSpec> = Vec::new();
+        let mut scenarios: Vec<Scenario> = Vec::new();
+        let mut scen_of_run: Vec<usize> = Vec::new();
+        let intern = |spec: &ScenarioSpec,
+                      canon: &mut Vec<ScenarioSpec>,
+                      scenarios: &mut Vec<Scenario>|
+         -> Result<usize, SpecError> {
+            let mut key = spec.clone();
+            key.campaign = CampaignDef::default();
+            key.backend = "analytic".into();
+            if let Some(i) = canon.iter().position(|k| *k == key) {
+                return Ok(i);
+            }
+            canon.push(key);
+            scenarios.push(Scenario::from_spec(spec)?);
+            Ok(scenarios.len() - 1)
+        };
+
+        // Run 0 is the base spec, exactly as `sixg-cli run` would execute
+        // it; runs 1..=N are the variants in odometer order.
+        let base_backend = parse_backend(&self.base.backend).expect("validated base");
+        let base_config = CampaignConfig {
+            seed: self.base.campaign.seed,
+            sample_interval_s: self.base.campaign.sample_interval_s,
+            passes: self.base.campaign.passes,
+        };
+        let mut backends = vec![base_backend];
+        let mut configs = vec![base_config];
+        scen_of_run.push(intern(&self.base, &mut canon, &mut scenarios)?);
+        for v in &variants {
+            scen_of_run.push(intern(&v.spec, &mut canon, &mut scenarios)?);
+            backends.push(v.backend);
+            configs.push(v.config);
+        }
+
+        enum Runner<'a> {
+            Analytic(MobileCampaign<'a>),
+            Event(EventCampaign<'a>),
+        }
+        impl Runner<'_> {
+            fn shards(&self) -> Vec<Shard> {
+                match self {
+                    Runner::Analytic(c) => c.shards(),
+                    Runner::Event(c) => c.shards(),
+                }
+            }
+            fn collect_shard_into(&self, shard: Shard, buf: &mut Vec<f64>) {
+                match self {
+                    Runner::Analytic(c) => c.collect_shard_into(shard, buf),
+                    Runner::Event(c) => c.collect_shard_into(shard, buf),
+                }
+            }
+        }
+
+        let runners: Vec<Runner> = scen_of_run
+            .iter()
+            .zip(backends.iter().zip(&configs))
+            .map(|(&si, (&backend, &config))| match backend {
+                ExecBackend::Analytic => {
+                    Runner::Analytic(MobileCampaign::new(&scenarios[si], config))
+                }
+                ExecBackend::Event => Runner::Event(EventCampaign::new(&scenarios[si], config)),
+            })
+            .collect();
+
+        // The global work list: every run's (pass, cell) shards, run-major
+        // — one list, one pool pass, no drain between variants.
+        let mut items: Vec<(u32, Shard)> = Vec::new();
+        for (ri, runner) in runners.iter().enumerate() {
+            items.extend(runner.shards().into_iter().map(|s| (ri as u32, s)));
+        }
+
+        let mut fields: Vec<CellField> =
+            scen_of_run.iter().map(|&si| CellField::new(scenarios[si].grid.clone())).collect();
+        run_items_streaming(
+            &items,
+            |(ri, shard), buf| runners[ri as usize].collect_shard_into(shard, buf),
+            |(ri, shard), buf| {
+                let field = &mut fields[ri as usize];
+                for &v in buf {
+                    field.push(shard.cell, v);
+                }
+            },
+        );
+
+        // Fold the fields into the report.
+        let req = self.spec.requirement_ms;
+        let mut field_iter = fields.into_iter();
+        let base_field = field_iter.next().expect("base run present");
+        let base_report = VariantReport::from_field(
+            "base".into(),
+            Vec::new(),
+            base_backend,
+            base_config,
+            &base_field,
+            req,
+            None,
+        );
+        let base_ref = (base_report.grand_mean_ms, base_report.exceedance_pct);
+        let variant_fields: Vec<CellField> = field_iter.collect();
+        let variant_reports: Vec<VariantReport> = variants
+            .iter()
+            .zip(&variant_fields)
+            .map(|(v, field)| {
+                VariantReport::from_field(
+                    v.label.clone(),
+                    v.settings.clone(),
+                    v.backend,
+                    v.config,
+                    field,
+                    req,
+                    Some(base_ref),
+                )
+            })
+            .collect();
+
+        let backend_axis = self.spec.axes.iter().position(|a| matches!(a, AxisDef::Backend { .. }));
+        Ok(SweepRun {
+            report: SweepReport {
+                sweep: self.spec.name.clone(),
+                base_spec: self.base.name.clone(),
+                requirement_ms: req,
+                variant_count: variants.len(),
+                base: base_report,
+                variants: variant_reports,
+            },
+            base_field,
+            variant_fields,
+            variant_backends: variants.iter().map(|v| v.backend).collect(),
+            variant_choices: variants.iter().map(|v| v.choices.clone()).collect(),
+            variant_labels: variants.iter().map(|v| v.label.clone()).collect(),
+            backend_axis,
+        })
+    }
+}
+
+/// Aggregates of one executed campaign of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct VariantReport {
+    /// Variant label (`"base"` for the base run).
+    pub label: String,
+    /// Per-axis `target=value` settings.
+    pub settings: Vec<String>,
+    /// Execution backend tag.
+    pub backend: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Grid traversals.
+    pub passes: u32,
+    /// Sampling cadence, seconds.
+    pub sample_interval_s: f64,
+    /// Total samples collected.
+    pub total_samples: u64,
+    /// Grand mean over reported cells, ms.
+    pub grand_mean_ms: f64,
+    /// Reported mean extrema, ms.
+    pub mean_min_ms: f64,
+    /// Reported mean maximum, ms.
+    pub mean_max_ms: f64,
+    /// Reported σ extrema, ms.
+    pub std_min_ms: f64,
+    /// Reported σ maximum, ms.
+    pub std_max_ms: f64,
+    /// Grand-mean exceedance over the sweep's requirement, percent.
+    pub exceedance_pct: f64,
+    /// Grand-mean delta against the base run, ms (0 for the base itself).
+    pub delta_grand_mean_ms: f64,
+    /// Exceedance delta against the base run, percentage points.
+    pub delta_exceedance_pct: f64,
+    /// Per-cell statistics of reported cells.
+    pub cells: Vec<CellSummary>,
+}
+
+impl VariantReport {
+    fn from_field(
+        label: String,
+        settings: Vec<String>,
+        backend: ExecBackend,
+        config: CampaignConfig,
+        field: &CellField,
+        requirement_ms: f64,
+        base: Option<(f64, f64)>,
+    ) -> Self {
+        let grand_mean_ms = field.grand_mean_ms();
+        let exceedance_pct = (grand_mean_ms - requirement_ms) / requirement_ms * 100.0;
+        let (mean_min_ms, mean_max_ms) =
+            field.mean_extrema().map_or((0.0, 0.0), |(a, b)| (a.mean_ms, b.mean_ms));
+        let (std_min_ms, std_max_ms) =
+            field.std_extrema().map_or((0.0, 0.0), |(a, b)| (a.std_ms, b.std_ms));
+        let (base_gm, base_ex) = base.unwrap_or((grand_mean_ms, exceedance_pct));
+        Self {
+            label,
+            settings,
+            backend: backend.to_string(),
+            seed: config.seed,
+            passes: config.passes,
+            sample_interval_s: config.sample_interval_s,
+            total_samples: field.total_samples(),
+            grand_mean_ms,
+            mean_min_ms,
+            mean_max_ms,
+            std_min_ms,
+            std_max_ms,
+            exceedance_pct,
+            delta_grand_mean_ms: grand_mean_ms - base_gm,
+            delta_exceedance_pct: exceedance_pct - base_ex,
+            cells: field
+                .reported()
+                .into_iter()
+                .map(|s| CellSummary {
+                    cell: s.cell.label(),
+                    count: s.count,
+                    mean_ms: s.mean_ms,
+                    std_ms: s.std_ms,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The streaming sweep record: per-variant aggregates plus cross-variant
+/// deltas against the base spec. Contains no wall times, so the serialised
+/// form is bitwise identical across pool sizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Sweep name.
+    pub sweep: String,
+    /// Base scenario name.
+    pub base_spec: String,
+    /// Requirement the exceedance figures use, ms.
+    pub requirement_ms: f64,
+    /// Number of variants in the matrix (excluding the base run).
+    pub variant_count: usize,
+    /// The base run (the unmodified base spec).
+    pub base: VariantReport,
+    /// The variants, in odometer order.
+    pub variants: Vec<VariantReport>,
+}
+
+impl SweepReport {
+    /// Serialises to pretty JSON (deterministic: no timestamps, no wall
+    /// times — bitwise identical across runs and pool sizes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep report serialises")
+    }
+}
+
+/// An executed sweep: the report plus the per-run fields (Welford
+/// accumulators, not samples) for downstream analysis.
+pub struct SweepRun {
+    /// The streaming report.
+    pub report: SweepReport,
+    /// The base run's field.
+    pub base_field: CellField,
+    /// Per-variant fields, in odometer order.
+    pub variant_fields: Vec<CellField>,
+    variant_backends: Vec<ExecBackend>,
+    variant_choices: Vec<Vec<usize>>,
+    variant_labels: Vec<String>,
+    backend_axis: Option<usize>,
+}
+
+impl SweepRun {
+    /// Cross-validates every analytic/event variant pair that differs
+    /// *only* in the backend axis, with the workspace tolerance
+    /// ([`crossval_tolerance_ms`] per cell, [`CROSSVAL_GRAND_MEAN_TOL`]
+    /// on grand means). Returns one human-readable line per violation;
+    /// empty means every swept parameter point cross-validates. Sweeps
+    /// without a backend axis have no pairs and trivially pass.
+    pub fn crossval_violations(&self) -> Vec<String> {
+        let Some(bi) = self.backend_axis else { return Vec::new() };
+        let paired = |a: &[usize], b: &[usize]| {
+            a.iter().zip(b).enumerate().all(|(i, (x, y))| i == bi || x == y)
+        };
+        let mut out = Vec::new();
+        for (i, &ba) in self.variant_backends.iter().enumerate() {
+            if ba != ExecBackend::Analytic {
+                continue;
+            }
+            for (j, &bb) in self.variant_backends.iter().enumerate() {
+                if bb != ExecBackend::Event
+                    || !paired(&self.variant_choices[i], &self.variant_choices[j])
+                {
+                    continue;
+                }
+                let (fa, fe) = (&self.variant_fields[i], &self.variant_fields[j]);
+                let pair = format!("`{}` vs `{}`", self.variant_labels[i], self.variant_labels[j]);
+                for cell in fa.grid().cells() {
+                    let (a, e) = (fa.stats(cell), fe.stats(cell));
+                    if a.is_masked() && e.is_masked() {
+                        continue;
+                    }
+                    if a.count != e.count {
+                        out.push(format!(
+                            "{pair}: cell {cell} sample counts differ ({} vs {})",
+                            a.count, e.count
+                        ));
+                        continue;
+                    }
+                    let tol = crossval_tolerance_ms(&a, &e);
+                    let delta = (a.mean_ms - e.mean_ms).abs();
+                    if delta > tol {
+                        out.push(format!(
+                            "{pair}: cell {cell} |Δmean| {delta:.4} ms exceeds tolerance \
+                             {tol:.4} ms (analytic {:.4}, event {:.4})",
+                            a.mean_ms, e.mean_ms
+                        ));
+                    }
+                }
+                let (ga, ge) = (fa.grand_mean_ms(), fe.grand_mean_ms());
+                if ga > 0.0 && (ga - ge).abs() / ga > CROSSVAL_GRAND_MEAN_TOL {
+                    out.push(format!(
+                        "{pair}: grand means {ga:.4} vs {ge:.4} ms differ by more than {:.1} %",
+                        CROSSVAL_GRAND_MEAN_TOL * 100.0
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{run_backend, with_thread_count};
+
+    /// A Klagenfurt base trimmed to `passes` traversals, as JSON.
+    fn base_json(passes: u32) -> String {
+        let mut spec = ScenarioSpec::klagenfurt();
+        spec.campaign.passes = passes;
+        spec.to_json()
+    }
+
+    fn sweep_spec(axes: Vec<AxisDef>) -> SweepSpec {
+        SweepSpec {
+            name: "test-sweep".into(),
+            description: String::new(),
+            base: "inline".into(),
+            requirement_ms: DEFAULT_REQUIREMENT_MS,
+            axes,
+        }
+    }
+
+    #[test]
+    fn sweep_spec_json_round_trips() {
+        let spec = sweep_spec(vec![
+            AxisDef::Override {
+                path: "$.campaign.sample_interval_s".into(),
+                values: vec![Value::F64(1.0), Value::F64(4.0)],
+            },
+            AxisDef::Backend { select: BackendSelect::Both },
+            AxisDef::Seeds { start: 1, count: 3 },
+            AxisDef::DensityScale { factors: vec![1.0, 1.5] },
+        ]);
+        let json = spec.to_json();
+        let back = SweepSpec::from_json(&json).expect("round trip parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.variant_count(), 2 * 2 * 3 * 2);
+    }
+
+    #[test]
+    fn duplicate_axis_targets_are_rejected() {
+        // A seeds axis and an override of $.campaign.seed fight over the
+        // same parameter.
+        let spec = sweep_spec(vec![
+            AxisDef::Seeds { start: 1, count: 2 },
+            AxisDef::Override { path: "$.campaign.seed".into(), values: vec![Value::U64(9)] },
+        ]);
+        let errors = spec.validate();
+        let e = errors.iter().find(|e| e.path == "$.axes[1]").expect("duplicate reported");
+        assert!(e.message.contains("duplicate axis target"), "{e}");
+        assert!(e.message.contains("$.campaign.seed"), "{e}");
+        // Two backend axes collide the same way.
+        let spec = sweep_spec(vec![
+            AxisDef::Backend { select: BackendSelect::Both },
+            AxisDef::Backend { select: BackendSelect::Analytic },
+        ]);
+        assert!(spec.validate().iter().any(|e| e.message.contains("duplicate axis target")));
+    }
+
+    #[test]
+    fn unresolvable_override_path_is_a_validation_error() {
+        let spec = sweep_spec(vec![AxisDef::Override {
+            path: "$.campaign.cadence_s".into(),
+            values: vec![Value::F64(1.0)],
+        }]);
+        let err = Sweep::new(spec, &base_json(1)).unwrap_err();
+        assert_eq!(err.path, "$.axes[0].path");
+        assert!(err.message.contains("$.campaign.cadence_s"), "{err}");
+        assert!(err.message.contains("no member `cadence_s`"), "{err}");
+        // Out-of-bounds array index, same contract.
+        let spec = sweep_spec(vec![AxisDef::Override {
+            path: "$.links[99].utilisation".into(),
+            values: vec![Value::F64(0.5)],
+        }]);
+        let err = Sweep::new(spec, &base_json(1)).unwrap_err();
+        assert_eq!(err.path, "$.axes[0].path");
+        assert!(err.message.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn malformed_override_paths_are_rejected() {
+        for bad in ["campaign.seed", "$", "$.", "$.links[x]", "$.links[0"] {
+            let spec = sweep_spec(vec![AxisDef::Override {
+                path: bad.into(),
+                values: vec![Value::U64(1)],
+            }]);
+            let errors = spec.validate();
+            assert!(
+                errors.iter().any(|e| e.path == "$.axes[0].path"),
+                "path {bad:?} must be rejected: {errors:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_axis_and_oversized_product_are_rejected() {
+        let spec = sweep_spec(vec![AxisDef::Override {
+            path: "$.campaign.seed".into(),
+            values: Vec::new(),
+        }]);
+        assert!(spec.validate().iter().any(|e| e.message.contains("no values")));
+        let spec = sweep_spec(vec![
+            AxisDef::Seeds { start: 0, count: 100 },
+            AxisDef::Override {
+                path: "$.campaign.passes".into(),
+                values: (0..100u64).map(Value::U64).collect(),
+            },
+        ]);
+        assert!(spec.validate().iter().any(|e| e.message.contains("cap")));
+    }
+
+    /// The degenerate sweep — no axes — is exactly one variant, and both
+    /// the base run and that variant are bitwise identical to a plain
+    /// single-campaign run of the base spec.
+    #[test]
+    fn empty_axes_degenerate_sweep_equals_plain_run_bitwise() {
+        let sweep = Sweep::new(sweep_spec(Vec::new()), &base_json(1)).expect("valid sweep");
+        let run = sweep.run().expect("runs");
+        assert_eq!(run.report.variant_count, 1);
+        assert_eq!(run.report.variants[0].label, "base");
+
+        let scenario = Scenario::from_spec(&sweep.base).expect("compiles");
+        let config = CampaignConfig {
+            seed: sweep.base.campaign.seed,
+            sample_interval_s: sweep.base.campaign.sample_interval_s,
+            passes: sweep.base.campaign.passes,
+        };
+        let plain = run_backend(&scenario, config, ExecBackend::Analytic);
+        for cell in scenario.grid.cells() {
+            let want = plain.stats(cell);
+            for field in [&run.base_field, &run.variant_fields[0]] {
+                let got = field.stats(cell);
+                assert_eq!(want.count, got.count, "cell {cell} count");
+                assert_eq!(want.mean_ms.to_bits(), got.mean_ms.to_bits(), "cell {cell} mean");
+                assert_eq!(want.std_ms.to_bits(), got.std_ms.to_bits(), "cell {cell} std");
+            }
+        }
+        assert_eq!(run.report.variants[0].delta_grand_mean_ms, 0.0);
+    }
+
+    /// The ordering contract: axes enumerate like an odometer with the
+    /// last axis fastest.
+    #[test]
+    fn variant_order_is_last_axis_fastest() {
+        let sweep = Sweep::new(
+            sweep_spec(vec![
+                AxisDef::Override {
+                    path: "$.campaign.sample_interval_s".into(),
+                    values: vec![Value::F64(1.0), Value::F64(2.0)],
+                },
+                AxisDef::Seeds { start: 7, count: 2 },
+            ]),
+            &base_json(1),
+        )
+        .expect("valid sweep");
+        let variants = sweep.variants().expect("compiles");
+        let labels: Vec<&str> = variants.iter().map(|v| v.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "$.campaign.sample_interval_s=1.0 · $.campaign.seed=7",
+                "$.campaign.sample_interval_s=1.0 · $.campaign.seed=8",
+                "$.campaign.sample_interval_s=2.0 · $.campaign.seed=7",
+                "$.campaign.sample_interval_s=2.0 · $.campaign.seed=8",
+            ]
+        );
+        assert_eq!(variants[0].choices, vec![0, 0]);
+        assert_eq!(variants[1].choices, vec![0, 1]);
+        assert_eq!(variants[3].config.seed, 8);
+        assert_eq!(variants[3].config.sample_interval_s, 2.0);
+    }
+
+    /// The whole matrix is bitwise deterministic across pool sizes: the
+    /// serialised report (which contains no wall times) must be textually
+    /// identical at 1 and 4 threads.
+    #[test]
+    fn sweep_report_is_bitwise_identical_across_pool_sizes() {
+        let make = || {
+            Sweep::new(
+                sweep_spec(vec![
+                    AxisDef::Override {
+                        path: "$.campaign.sample_interval_s".into(),
+                        values: vec![Value::F64(2.0), Value::F64(4.0)],
+                    },
+                    AxisDef::Seeds { start: 1, count: 2 },
+                ]),
+                &base_json(1),
+            )
+            .expect("valid sweep")
+        };
+        let a = with_thread_count(1, || make().run().expect("runs").report.to_json());
+        let b = with_thread_count(4, || make().run().expect("runs").report.to_json());
+        assert_eq!(a, b, "sweep report must not depend on the pool size");
+    }
+
+    /// A cadence × backend sweep cross-validates at every swept cadence,
+    /// and the typed axes actually land in the variant specs.
+    #[test]
+    fn backend_axis_pairs_crossvalidate_and_axes_apply() {
+        let sweep = Sweep::new(
+            sweep_spec(vec![
+                AxisDef::Backend { select: BackendSelect::Both },
+                AxisDef::DensityScale { factors: vec![1.0, 1.25] },
+            ]),
+            &base_json(2),
+        )
+        .expect("valid sweep");
+        let variants = sweep.variants().expect("compiles");
+        assert_eq!(variants.len(), 4);
+        assert_eq!(variants[0].backend, ExecBackend::Analytic);
+        assert_eq!(variants[2].backend, ExecBackend::Event);
+        let base_peak = sweep.base.density.peak;
+        assert_eq!(variants[1].spec.density.peak, base_peak * 1.25);
+
+        let run = sweep.run().expect("runs");
+        let violations = run.crossval_violations();
+        assert!(violations.is_empty(), "{violations:?}");
+        // Scenario dedup: a backend axis shares the compiled scenario, so
+        // paired variants have identical sample counts.
+        assert_eq!(run.report.variants[0].total_samples, run.report.variants[2].total_samples);
+    }
+}
