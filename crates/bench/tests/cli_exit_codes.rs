@@ -179,3 +179,113 @@ fn valid_spec_validates_with_exit_zero() {
     assert_eq!(code(&out), 0, "{}", stderr(&out));
     assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
 }
+
+/// The committed transit-flap spec text, with one substring swapped — the
+/// doctoring surface of the malformed-faults tests below.
+fn doctored_flap(name: &str, from: &str, to: &str) -> TempFile {
+    let text = std::fs::read_to_string(specs_dir().join("klagenfurt_flap.json"))
+        .expect("committed flap spec");
+    assert!(text.contains(from), "flap spec no longer contains {from:?}");
+    TempFile::with_content(name, &text.replace(from, to))
+}
+
+#[test]
+fn fault_on_unknown_link_exits_one_with_path() {
+    // Anchored on the fault's own `link` array — a bare hop-name swap
+    // would rename the hop declaration too and stay valid.
+    let bad = doctored_flap(
+        "fault-unknown-link.json",
+        "\"link\": [\n        \"cdn77-core-vie\"",
+        "\"link\": [\n        \"no-such-hop\"",
+    );
+    let out = run(&["validate", bad.path()]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("$.faults[0].link"), "{err}");
+    assert!(err.contains("no-such-hop"), "{err}");
+}
+
+#[test]
+fn fault_with_negative_failure_time_exits_one_with_path() {
+    let bad = doctored_flap("fault-negative-at.json", "\"at_s\": 900.0", "\"at_s\": -1.0");
+    for sub in ["run", "validate"] {
+        let out = run(&[sub, bad.path()]);
+        assert_eq!(code(&out), 1, "{sub} on a negative failure time");
+        let err = stderr(&out);
+        assert!(err.contains("$.faults[0].at_s"), "{sub}: {err}");
+        assert!(err.contains("finite and non-negative"), "{sub}: {err}");
+    }
+}
+
+#[test]
+fn fault_with_nan_failure_time_exits_one_with_path() {
+    // `nan` is not valid JSON, so a NaN-bearing spec dies in the parser
+    // with exit 1 — same code, different message — while a spec-borne
+    // `null` at_s is a decode error pointing at the faults array.
+    let bad = doctored_flap("fault-nan-at.json", "\"at_s\": 900.0", "\"at_s\": nan");
+    let out = run(&["validate", bad.path()]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("invalid JSON"), "{}", stderr(&out));
+
+    let bad = doctored_flap("fault-null-at.json", "\"at_s\": 900.0", "\"at_s\": null");
+    let out = run(&["validate", bad.path()]);
+    assert_eq!(code(&out), 1);
+    assert!(!stderr(&out).contains("USAGE"), "{}", stderr(&out));
+}
+
+#[test]
+fn fault_recovering_before_failure_exits_one_with_path() {
+    let bad = doctored_flap(
+        "fault-early-recovery.json",
+        "\"recover_at_s\": 2500.0",
+        "\"recover_at_s\": 200.0",
+    );
+    let out = run(&["validate", bad.path()]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("$.faults[0].recover_at_s"), "{err}");
+    assert!(err.contains("after the failure"), "{err}");
+}
+
+#[test]
+fn faults_on_the_analytic_backend_exit_one_with_path() {
+    let bad =
+        doctored_flap("fault-analytic.json", "\"backend\": \"event\"", "\"backend\": \"analytic\"");
+    let out = run(&["run", bad.path()]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("$.faults"), "{err}");
+    assert!(err.contains("event"), "{err}");
+}
+
+const REPRO_FAULTS: &str = env!("CARGO_BIN_EXE_repro_faults");
+
+#[test]
+fn repro_faults_gate_failure_exits_one() {
+    // An eternal outage from t = 0 leaves no untouched cell to certify
+    // recovery against — the recovery gate must fail, not pass vacuously.
+    let eternal = doctored_flap(
+        "fault-eternal.json",
+        "\"at_s\": 900.0,\n      \"recover_at_s\": 2500.0",
+        "\"at_s\": 0.0,\n      \"recover_at_s\": null",
+    );
+    let out = Command::new(REPRO_FAULTS)
+        .args(["--flap-spec", eternal.path(), "--passes", "1"])
+        .output()
+        .expect("repro_faults spawns");
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("no untouched cell"), "{err}");
+    assert!(err.contains("convergence gate violation"), "{err}");
+}
+
+#[test]
+fn repro_faults_rejects_invalid_flap_spec_as_usage_error() {
+    let bad = doctored_flap("fault-bad-for-repro.json", "\"at_s\": 900.0", "\"at_s\": -1.0");
+    let out = Command::new(REPRO_FAULTS)
+        .args(["--flap-spec", bad.path()])
+        .output()
+        .expect("repro_faults spawns");
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("$.faults[0].at_s"), "{}", stderr(&out));
+}

@@ -70,7 +70,7 @@ pub fn crossval_tolerance_ms(a: &crate::CellStats, e: &crate::CellStats) -> f64 
 /// Stream-key phase label of the event backend (the analytic backend uses
 /// `"campaign"`; a distinct label keeps the two backends' draws
 /// statistically independent while sharing the keying discipline).
-const PHASE_LABEL: &str = "campaign-event";
+pub(crate) const PHASE_LABEL: &str = "campaign-event";
 
 /// One hop traversal of a probe: occupy `link`'s FIFO server for
 /// `service`, then arrive at the next hop `after` later (propagation +

@@ -1,0 +1,587 @@
+//! Fault-bearing campaigns: link fail/recover schedules over a live
+//! control plane.
+//!
+//! The plain event backend ([`crate::event_backend`]) routes every probe
+//! over the scenario's *static* Gao–Rexford fixed point. This runner
+//! executes the same campaign — same shard list, same
+//! `(seed, pass, cell, sample)` stream keys, same per-probe draw order —
+//! but applies the spec's validated [`FaultDef`](crate::spec::FaultDef)
+//! schedule mid-campaign and
+//! lets the routes *emerge* from the message-level BGP speakers of
+//! [`sixg_netsim::routing::dynamic`]:
+//!
+//! * each shard knows its start offset on the per-pass traversal clock
+//!   ([`FaultShard::t0_s`]), so a fault at `at_s` seconds into the pass
+//!   lands in exactly one shard's window and tombstones the link there
+//!   (earlier shards see the link up, later shards start from the
+//!   already-converged post-fault fixed point);
+//! * when a link dies or recovers, the BGP sessions it carried go down/up
+//!   and the speakers exchange withdraw/update messages (at
+//!   [`CONTROL_DELAY`](sixg_netsim::routing::dynamic::CONTROL_DELAY) per
+//!   hop) *on the same event calendar the probes fly
+//!   on* — a probe launched during the transient asks the source AS's RIB
+//!   at launch time and measures whatever the half-converged control plane
+//!   gives it;
+//! * a probe whose RIB entry cannot be stitched over live links (a
+//!   blackhole: the withdraw has not reached the source yet, or no backup
+//!   route exists) is dropped — no sample, a smaller per-cell count,
+//!   exactly like a lost ping.
+//!
+//! Determinism: every stochastic quantity of probe `i` still comes from
+//! its own stream (`key.with(i)`), so the sample a probe produces depends
+//! only on the route it resolves at launch — not on any other probe's
+//! draws. A fault-free run is therefore bitwise identical to the plain
+//! event backend, and post-recovery shards of a faulted run are bitwise
+//! identical to an unfaulted run of the same spec (the `repro_faults`
+//! gate). Shards rebuild their converged control plane independently, so
+//! the parallel runner stays bitwise equal to the sequential one at every
+//! pool size.
+
+use crate::aggregate::CellField;
+use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
+use crate::event_backend::{PHASE_LABEL, PROBE_BYTES};
+use crate::parallel::run_items_streaming;
+use crate::scenario::Scenario;
+use sixg_geo::CellId;
+use sixg_netsim::dist::{Component, DistSpec, LogNormal, Sample};
+use sixg_netsim::engine::Engine;
+use sixg_netsim::latency::{mean_queue_ms, propagation_ms, transmission_ms, PROCESSING_CV};
+use sixg_netsim::queueing::FifoServer;
+use sixg_netsim::radio::AccessModel;
+use sixg_netsim::rng::SimRng;
+use sixg_netsim::routing::dynamic::{
+    session_down, session_up, sessions_from_topology, ControlPlane, HasControlPlane,
+};
+use sixg_netsim::routing::PathComputer;
+use sixg_netsim::time::{SimDuration, SimTime};
+use sixg_netsim::topology::{Asn, LinkId, LinkParams, Topology};
+use std::collections::BTreeMap;
+
+/// One campaign shard plus its start offset on the per-pass traversal
+/// clock — the extra coordinate the fault timeline is resolved against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultShard {
+    /// The (pass, cell, dwell) work item, exactly the plain backends'.
+    pub shard: Shard,
+    /// Seconds into the pass at which this shard's dwell window starts
+    /// (cumulative dwell of the pass's earlier visits).
+    pub t0_s: f64,
+}
+
+/// A link state change on the per-pass campaign clock, after merging
+/// (possibly overlapping) fault intervals per link.
+#[derive(Debug, Clone, Copy)]
+struct LinkChange {
+    at_s: f64,
+    link: LinkId,
+    up: bool,
+}
+
+/// One hop traversal of a probe (the event backend's leg, verbatim).
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    link: LinkId,
+    service: SimDuration,
+    after: SimDuration,
+}
+
+/// A probe in flight. Unlike the plain backend's, its result slot is an
+/// `Option`: a blackholed probe never produces a sample.
+struct Probe {
+    id: usize,
+    launched: SimTime,
+    next: usize,
+    legs: Vec<Leg>,
+    air_ms: f64,
+}
+
+/// The per-shard world: the BGP control plane, one FIFO server per link,
+/// one optional result slot per probe. `'static`, so control-plane message
+/// events and probe legs share one calendar.
+struct FaultWorld {
+    cp: ControlPlane,
+    links: Vec<FifoServer>,
+    results: Vec<Option<f64>>,
+}
+
+impl HasControlPlane for FaultWorld {
+    fn control_plane(&self) -> &ControlPlane {
+        &self.cp
+    }
+    fn control_plane_mut(&mut self) -> &mut ControlPlane {
+        &mut self.cp
+    }
+}
+
+/// Advances a probe one leg; on the last leg, records the RTL sample.
+fn advance(eng: &mut Engine<FaultWorld>, world: &mut FaultWorld, mut probe: Probe) {
+    match probe.legs.get(probe.next).copied() {
+        None => {
+            let wire_ms = eng.now().since(probe.launched).as_millis_f64();
+            world.results[probe.id] = Some(wire_ms + probe.air_ms);
+        }
+        Some(leg) => {
+            probe.next += 1;
+            let depart = world.links[leg.link.0 as usize].admit(eng.now(), leg.service);
+            let arrival = depart + leg.after;
+            eng.schedule_at(arrival, move |e, w| advance(e, w, probe));
+        }
+    }
+}
+
+/// The fault-aware event campaign runner over a spec-compiled
+/// [`Scenario`]. Compiles the spec's fault schedule once (link names →
+/// ids, overlapping intervals merged); each shard then replays the slice
+/// of the timeline that intersects its dwell window.
+pub struct FaultCampaign<'a> {
+    campaign: MobileCampaign<'a>,
+    extras: Vec<Component>,
+    /// Merged link state changes, ordered by (time, link).
+    changes: Vec<LinkChange>,
+    /// Pristine parameters of every faulted link (restore needs them —
+    /// tombstoning poisons the stored bandwidth).
+    params: BTreeMap<LinkId, LinkParams>,
+}
+
+impl<'a> FaultCampaign<'a> {
+    /// Creates a fault-aware campaign over a scenario. The scenario's spec
+    /// is already validated, so every fault names a declared link.
+    pub fn new(scenario: &'a Scenario, config: CampaignConfig) -> Self {
+        let extras = scenario.link_extra_specs().iter().map(DistSpec::build).collect();
+        let mut params = BTreeMap::new();
+        let mut edges: BTreeMap<LinkId, Vec<(f64, i32)>> = BTreeMap::new();
+        for fault in &scenario.spec.faults {
+            let idx = scenario
+                .spec
+                .fault_link_index(fault)
+                .expect("validated faults reference declared links");
+            let link = LinkId(idx as u32);
+            params.insert(link, scenario.topo.links()[idx].params);
+            edges.entry(link).or_default().push((fault.at_s, 1));
+            if let Some(r) = fault.recover_at_s {
+                edges.entry(link).or_default().push((r, -1));
+            }
+        }
+        // Merge overlapping intervals per link: the link is down while any
+        // fault holds it down, and only the edges of the union become
+        // state changes.
+        let mut changes = Vec::new();
+        for (link, mut evs) in edges {
+            evs.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+            let mut active = 0i32;
+            for (at_s, delta) in evs {
+                let was_down = active > 0;
+                active += delta;
+                let is_down = active > 0;
+                if was_down != is_down {
+                    changes.push(LinkChange { at_s, link, up: !is_down });
+                }
+            }
+        }
+        changes.sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.link.cmp(&b.link)));
+        Self { campaign: MobileCampaign::new(scenario, config), extras, changes, params }
+    }
+
+    /// Whether `link` is down at `t_s` seconds into a pass (state changes
+    /// strictly before `t_s`; a change *at* `t_s` belongs to the window
+    /// starting there).
+    fn link_down_at(&self, link: LinkId, t_s: f64) -> bool {
+        let mut down = false;
+        for c in &self.changes {
+            if c.link == link && c.at_s < t_s {
+                down = !c.up;
+            }
+        }
+        down
+    }
+
+    /// The outage windows `(down_s, recover_s)` of the merged timeline
+    /// (`None` = the link stays down for the rest of every pass).
+    pub fn outages(&self) -> Vec<(f64, Option<f64>)> {
+        let mut out = Vec::new();
+        let mut open: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for c in &self.changes {
+            if c.up {
+                if let Some(start) = open.remove(&c.link) {
+                    out.push((start, Some(c.at_s)));
+                }
+            } else {
+                open.insert(c.link, c.at_s);
+            }
+        }
+        out.extend(open.into_values().map(|start| (start, None)));
+        out
+    }
+
+    /// Cells whose every dwell window, across all passes, is disjoint from
+    /// every outage window extended by `margin_s` of reconvergence slack —
+    /// the cells a faulted run must reproduce bitwise against an unfaulted
+    /// one (the `repro_faults` recovery gate).
+    pub fn untouched_cells(&self, margin_s: f64) -> Vec<CellId> {
+        let outages = self.outages();
+        let mut touched: BTreeMap<CellId, bool> = BTreeMap::new();
+        for fs in self.shards() {
+            let hit = outages.iter().any(|&(down, recover)| {
+                let end = recover.map_or(f64::INFINITY, |r| r + margin_s);
+                fs.t0_s < end && down < fs.t0_s + fs.shard.dwell_s
+            });
+            *touched.entry(fs.shard.cell).or_insert(false) |= hit;
+        }
+        touched.into_iter().filter_map(|(cell, hit)| (!hit).then_some(cell)).collect()
+    }
+
+    /// The campaign work list with per-pass start offsets — the same
+    /// shards, in the same order, as the plain backends'.
+    pub fn shards(&self) -> Vec<FaultShard> {
+        let mut out = Vec::new();
+        for pass in 0..self.campaign.config().passes {
+            let mut t0_s = 0.0;
+            for v in self.campaign.traversal(pass).visits {
+                out.push(FaultShard {
+                    shard: Shard { pass, cell: v.cell, dwell_s: v.dwell_s },
+                    t0_s,
+                });
+                t0_s += v.dwell_s;
+            }
+        }
+        out
+    }
+
+    /// Applies one link state change at the current calendar time:
+    /// tombstone/restore the link in the shard-local topology, then take
+    /// down / bring up every BGP session whose last physical link it was.
+    fn apply_change(
+        &self,
+        topo: &mut Topology,
+        eng: &mut Engine<FaultWorld>,
+        world: &mut FaultWorld,
+        change: LinkChange,
+    ) {
+        let graph = &self.campaign.scenario().as_graph;
+        let before = sessions_from_topology(topo, graph);
+        if change.up {
+            topo.restore_link(change.link, self.params[&change.link]);
+        } else {
+            topo.remove_link(change.link);
+        }
+        let after = sessions_from_topology(topo, graph);
+        for &(a, b) in before.difference(&after) {
+            session_down(eng, world, Asn(a), Asn(b));
+        }
+        for &(a, b) in after.difference(&before) {
+            session_up(eng, world, Asn(a), Asn(b));
+        }
+    }
+
+    /// Event-simulated samples of one shard, in probe order. Blackholed
+    /// probes produce no sample, so the buffer can be shorter than the
+    /// shard's cadence count.
+    pub fn collect_shard_into(&self, fs: FaultShard, out: &mut Vec<f64>) {
+        let s = self.campaign.scenario();
+        let targets = self.campaign.targets();
+        let access = s.access_for(fs.shard.cell);
+        let interval_s = self.campaign.config().sample_interval_s;
+        let interval = SimDuration::from_secs_f64(interval_s);
+        let n = self.campaign.samples_for_dwell(fs.shard.dwell_s);
+        let key = self.campaign.shard_key(PHASE_LABEL, fs.shard.pass, fs.shard.cell);
+        let ue = s.ue[&fs.shard.cell];
+        let src_as = s.topo.node(ue).asn;
+
+        // Shard-local topology with the pre-window fault state installed,
+        // and the control plane already at that state's fixed point (a
+        // transient from an earlier shard's window has had whole seconds
+        // of calendar to settle — reconvergence takes milliseconds).
+        let mut topo = s.topo.clone();
+        for &link in self.params.keys() {
+            if self.link_down_at(link, fs.t0_s) {
+                topo.remove_link(link);
+            }
+        }
+        let mut eng: Engine<FaultWorld> = Engine::new();
+        let mut world = FaultWorld {
+            cp: ControlPlane::converged_from_topology(&topo, &s.as_graph),
+            links: vec![FifoServer::new(); s.topo.link_count()],
+            results: vec![None; n],
+        };
+
+        // The timeline slice that can still affect this shard's probes:
+        // changes from the window start up to the last launch, on the
+        // shard-local clock (t0 ↦ SimTime::ZERO).
+        let last_launch_s = (n - 1) as f64 * interval_s;
+        let mut transitions = self
+            .changes
+            .iter()
+            .filter(|c| c.at_s >= fs.t0_s && c.at_s - fs.t0_s <= last_launch_s)
+            .map(|c| (SimTime::ZERO + SimDuration::from_secs_f64(c.at_s - fs.t0_s), *c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .peekable();
+
+        let mut launch = SimTime::ZERO;
+        for i in 0..n {
+            while let Some(&(at, change)) = transitions.peek() {
+                if at > launch {
+                    break;
+                }
+                transitions.next();
+                eng.run_until(&mut world, at);
+                self.apply_change(&mut topo, &mut eng, &mut world, change);
+            }
+            eng.run_until(&mut world, launch);
+
+            // Probe `i`: the plain event backend's exact draw order — ti,
+            // per-leg extras/queue/processing, then air — but the route is
+            // whatever the source AS's RIB holds *now*, stitched over live
+            // links. Per-probe streams make the draws independent of every
+            // other probe's fate.
+            let mut rng = SimRng::for_stream(key.with(i as u64));
+            let ti = rng.below(targets.len() as u64) as usize;
+            let target = targets[ti];
+            let routed = world.cp.best_route(src_as, topo.node(target).asn).and_then(|as_path| {
+                PathComputer::new(&topo, &s.as_graph).route_along(ue, target, &as_path)
+            });
+            if let Some(path) = routed {
+                let mut legs = Vec::with_capacity(2 * path.hops.len());
+                for _direction in 0..2 {
+                    for &(into, link) in &path.hops {
+                        let service = transmission_ms(&topo, link, PROBE_BYTES);
+                        let extra = self.extras[link.0 as usize].sample(&mut rng).max(0.0);
+                        let qmean = mean_queue_ms(&topo, link);
+                        let queue =
+                            if qmean > 0.0 { -(1.0 - rng.unit()).ln() * qmean } else { 0.0 };
+                        let proc_mean = topo.node(into).kind.base_processing_ms();
+                        let proc =
+                            LogNormal::from_mean_cv(proc_mean, PROCESSING_CV).sample(&mut rng);
+                        legs.push(Leg {
+                            link,
+                            service: SimDuration::from_millis_f64(service),
+                            after: SimDuration::from_millis_f64(
+                                propagation_ms(&topo, link) + extra + queue + proc,
+                            ),
+                        });
+                    }
+                }
+                let air_ms = access.sample_rtt_ms(&mut rng);
+                let probe = Probe { id: i, launched: launch, next: 0, legs, air_ms };
+                advance(&mut eng, &mut world, probe);
+            }
+            launch += interval;
+        }
+        eng.run(&mut world);
+        debug_assert_eq!(eng.pending(), 0);
+
+        out.clear();
+        out.extend(world.results.iter().filter_map(|r| *r));
+    }
+
+    /// Runs the full campaign sequentially, shard by shard (bitwise
+    /// identical to [`run_faulted_parallel`]).
+    pub fn run(&self) -> CellField {
+        let mut field = CellField::new(self.campaign.scenario().grid.clone());
+        let mut buf = Vec::new();
+        for fs in self.shards() {
+            self.collect_shard_into(fs, &mut buf);
+            for &v in &buf {
+                field.push(fs.shard.cell, v);
+            }
+        }
+        field
+    }
+}
+
+/// Runs the fault-bearing campaign on the thread pool, merging per-shard
+/// batches in deterministic work-list order — bitwise equal to
+/// [`FaultCampaign::run`] at every pool size.
+pub fn run_faulted_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+    let fc = FaultCampaign::new(scenario, config);
+    let shards = fc.shards();
+    let mut field = CellField::new(scenario.grid.clone());
+    run_items_streaming(
+        &shards,
+        |fs, buf| fc.collect_shard_into(fs, buf),
+        |fs, buf| {
+            for &v in buf {
+                field.push(fs.shard.cell, v);
+            }
+        },
+    );
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event_backend::EventCampaign;
+    use crate::parallel::with_thread_count;
+    use crate::spec::{FaultDef, ScenarioSpec};
+
+    fn config() -> CampaignConfig {
+        CampaignConfig { seed: 2, passes: 1, sample_interval_s: 2.0 }
+    }
+
+    fn assert_fields_bitwise_equal(s: &Scenario, a: &CellField, b: &CellField, context: &str) {
+        for cell in s.grid.cells() {
+            let (x, y) = (a.stats(cell), b.stats(cell));
+            assert_eq!(x.count, y.count, "{context}: cell {cell} count");
+            assert_eq!(x.mean_ms.to_bits(), y.mean_ms.to_bits(), "{context}: cell {cell} mean");
+            assert_eq!(x.std_ms.to_bits(), y.std_ms.to_bits(), "{context}: cell {cell} std");
+        }
+    }
+
+    /// With an empty fault schedule the dynamic control plane converges to
+    /// the static fixed point before any probe flies, so the fault runner
+    /// is the plain event backend, bit for bit.
+    #[test]
+    fn fault_free_run_is_bitwise_the_plain_event_backend() {
+        let mut spec = ScenarioSpec::klagenfurt();
+        spec.backend = "event".into();
+        let s = Scenario::from_spec(&spec).expect("compiles");
+        let faulted = FaultCampaign::new(&s, config()).run();
+        let plain = EventCampaign::new(&s, config()).run();
+        assert_fields_bitwise_equal(&s, &faulted, &plain, "fault-free");
+    }
+
+    /// During the Klagenfurt transit flap the probes reconverge onto the
+    /// backup Vienna crossing and skip the Prague–Bucharest detour, so the
+    /// in-outage mean drops by the detour's propagation cost; a shard
+    /// whose window starts after recovery is bitwise the unfaulted run.
+    #[test]
+    fn flap_shifts_routes_in_outage_and_recovers_bitwise() {
+        let spec = ScenarioSpec::klagenfurt_flap();
+        let s = Scenario::from_spec(&spec).expect("compiles");
+        let fc = FaultCampaign::new(&s, config());
+        let ec = EventCampaign::new(&s, config());
+        let cell = s.reference_cell;
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+
+        // Entirely inside the outage (fault at 900 s, recovery at 2500 s).
+        let inside = FaultShard { shard: Shard { pass: 0, cell, dwell_s: 120.0 }, t0_s: 1200.0 };
+        let mut faulted = Vec::new();
+        fc.collect_shard_into(inside, &mut faulted);
+        let unfaulted = ec.collect_shard(inside.shard);
+        assert_eq!(faulted.len(), unfaulted.len(), "backup path drops no probe");
+        assert!(
+            mean(&faulted) < mean(&unfaulted) - 5.0,
+            "backup crossing must skip the Bucharest detour: faulted {} vs static {}",
+            mean(&faulted),
+            mean(&unfaulted)
+        );
+
+        // Entirely after recovery: bitwise the unfaulted samples.
+        let after = FaultShard { shard: Shard { pass: 0, cell, dwell_s: 120.0 }, t0_s: 3000.0 };
+        fc.collect_shard_into(after, &mut faulted);
+        let clean = ec.collect_shard(after.shard);
+        assert_eq!(faulted.len(), clean.len());
+        for (i, (f, c)) in faulted.iter().zip(&clean).enumerate() {
+            assert_eq!(f.to_bits(), c.to_bits(), "post-recovery probe {i}");
+        }
+    }
+
+    /// An unrecovered fault on the operator's only egress blackholes every
+    /// probe launched at or after the failure: the withdraw reaches the
+    /// source immediately (it is session-local), the RIB empties, and the
+    /// dropped probes shrink the sample count instead of panicking.
+    #[test]
+    fn unrecovered_egress_fault_blackholes_later_probes() {
+        let mut spec = ScenarioSpec::klagenfurt();
+        spec.backend = "event".into();
+        spec.faults = vec![FaultDef {
+            link: ["op-cgnat-klu".into(), "dp-edge-vie".into()],
+            at_s: 100.0,
+            recover_at_s: None,
+        }];
+        let s = Scenario::from_spec(&spec).expect("compiles");
+        let fc = FaultCampaign::new(&s, config());
+        let fs = FaultShard {
+            shard: Shard { pass: 0, cell: s.reference_cell, dwell_s: 300.0 },
+            t0_s: 0.0,
+        };
+        let mut out = Vec::new();
+        fc.collect_shard_into(fs, &mut out);
+        // 150 launches at 2 s cadence; those at t ≥ 100 s (i ≥ 50) drop.
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|v| v.is_finite() && *v > 0.0));
+
+        // A shard starting entirely after the unrecovered fault is a full
+        // blackhole: zero samples.
+        let dark = FaultShard {
+            shard: Shard { pass: 0, cell: s.reference_cell, dwell_s: 60.0 },
+            t0_s: 500.0,
+        };
+        fc.collect_shard_into(dark, &mut out);
+        assert!(out.is_empty(), "blackholed shard produced {} samples", out.len());
+    }
+
+    /// The determinism contract extends to faulted runs: sequential and
+    /// parallel are bitwise equal at pool sizes 1, 2 and 4.
+    #[test]
+    fn faulted_parallel_equals_sequential_bitwise() {
+        let spec = ScenarioSpec::klagenfurt_flap();
+        let s = Scenario::from_spec(&spec).expect("compiles");
+        let seq = FaultCampaign::new(&s, config()).run();
+        for &threads in &[1usize, 2, 4] {
+            let par = with_thread_count(threads, || run_faulted_parallel(&s, config()));
+            assert_fields_bitwise_equal(&s, &seq, &par, &format!("{threads} threads"));
+        }
+    }
+
+    /// The untouched-cell classifier: every cell is dirtied by an eternal
+    /// fault, none by an empty schedule, and the flap spec leaves both
+    /// pre-fault and post-recovery cells clean in every pass.
+    #[test]
+    fn untouched_cells_classify_the_timeline() {
+        let spec = ScenarioSpec::klagenfurt_flap();
+        let s = Scenario::from_spec(&spec).expect("compiles");
+        let fc = FaultCampaign::new(&s, config());
+        assert_eq!(fc.outages(), vec![(900.0, Some(2500.0))]);
+        let untouched = fc.untouched_cells(5.0);
+        assert!(!untouched.is_empty(), "flap must leave clean cells");
+        assert!(untouched.len() < s.included.len(), "flap must dirty some cells");
+        // The traversal always starts at B1, well before the 900 s fault.
+        assert!(untouched.contains(&CellId::parse("B1").unwrap()));
+
+        let mut eternal = spec.clone();
+        eternal.faults = vec![FaultDef {
+            link: ["op-cgnat-klu".into(), "dp-edge-vie".into()],
+            at_s: 0.0,
+            recover_at_s: None,
+        }];
+        let se = Scenario::from_spec(&eternal).expect("compiles");
+        assert!(FaultCampaign::new(&se, config()).untouched_cells(5.0).is_empty());
+
+        let mut none = spec;
+        none.faults = Vec::new();
+        let sn = Scenario::from_spec(&none).expect("compiles");
+        let fc = FaultCampaign::new(&sn, config());
+        assert_eq!(fc.untouched_cells(5.0).len(), sn.included.len());
+        assert!(fc.outages().is_empty());
+    }
+
+    /// Overlapping fault intervals on one link merge into the union: the
+    /// link recovers only when the last fault holding it down recovers.
+    #[test]
+    fn overlapping_faults_merge_into_union_outage() {
+        let mut spec = ScenarioSpec::klagenfurt();
+        spec.backend = "event".into();
+        spec.faults = vec![
+            FaultDef {
+                link: ["cdn77-core-vie".into(), "zetservers-prg".into()],
+                at_s: 100.0,
+                recover_at_s: Some(300.0),
+            },
+            FaultDef {
+                link: ["zetservers-prg".into(), "cdn77-core-vie".into()],
+                at_s: 200.0,
+                recover_at_s: Some(500.0),
+            },
+        ];
+        let s = Scenario::from_spec(&spec).expect("compiles");
+        let fc = FaultCampaign::new(&s, config());
+        assert_eq!(fc.outages(), vec![(100.0, Some(500.0))]);
+        let link = LinkId(2);
+        assert!(!fc.link_down_at(link, 99.0));
+        assert!(fc.link_down_at(link, 250.0));
+        assert!(fc.link_down_at(link, 350.0), "merged interval spans the inner recovery");
+        assert!(!fc.link_down_at(link, 501.0));
+    }
+}

@@ -31,7 +31,7 @@
 //! scenario's campaign output to the bit.
 
 use crate::spec::{
-    AsRelationDef, CalibrationDef, CampaignDef, DensityDef, GridDef, HopDef, LinkDef,
+    AsRelationDef, CalibrationDef, CampaignDef, DensityDef, FaultDef, GridDef, HopDef, LinkDef,
     MeasurementDef, OrgDef, PeerDef, PositionDef, ScenarioSpec, TargetDef, UeDef, WorkloadMixDef,
     WorkloadShareDef,
 };
@@ -59,9 +59,16 @@ pub const ASCUS_AS: Asn = Asn(8445);
 pub const CAMPUS_AS: Asn = Asn(5383);
 /// Exoscale-like Vienna cloud (the 7–12 ms wired reference of \[3\]).
 pub const CLOUD_AS: Asn = Asn(61098);
+/// Backup Vienna transit crossing of the flap scenario (documentation
+/// range, RFC 5398). Lexicographically above AS57344, so with both
+/// crossings up the static tiebreak keeps the measured detour.
+pub const BACKUP_AS: Asn = Asn(64496);
 
 /// The committed spec file this module wraps.
 pub const KLAGENFURT_SPEC_JSON: &str = include_str!("../../../specs/klagenfurt.json");
+
+/// The committed transit-flap spec (`repro_faults`'s default campaign).
+pub const KLAGENFURT_FLAP_SPEC_JSON: &str = include_str!("../../../specs/klagenfurt_flap.json");
 
 impl TargetField {
     /// The published per-cell field encoding the paper's Figures 2 and 3.
@@ -271,6 +278,7 @@ impl ScenarioSpec {
                 // adds fixed processing).
                 link("ascus-bras-vie", "cloud-vie", 100e9, 0.30, 2.0),
             ],
+            faults: Vec::new(),
             orgs: vec![
                 OrgDef {
                     asn: CLOUD_AS.0,
@@ -336,6 +344,57 @@ impl ScenarioSpec {
             },
         }
     }
+
+    /// The Klagenfurt transit-flap spec (`specs/klagenfurt_flap.json`):
+    /// the measured infrastructure plus a backup Vienna crossing
+    /// (AS64496, documentation range), with the Vienna→Prague peering
+    /// wave — the detour's first long-haul segment — failing 900 s into
+    /// every pass and recovering at 2500 s.
+    ///
+    /// Statically the backup changes nothing: both candidate AS paths
+    /// through Vienna have equal length and the zet constellation
+    /// (AS57344) wins the lexicographic tiebreak, so the committed golden
+    /// routes are untouched. Dynamically, the fault takes the
+    /// AS60068–AS57344 session down mid-campaign and the BGP speakers
+    /// reconverge onto the backup crossing — probes launched during the
+    /// outage skip the Prague–Bucharest detour and measure the shift; the
+    /// `repro_faults` gates pin the recovery back to the unfaulted run.
+    pub fn klagenfurt_flap() -> Self {
+        let mut spec = Self::klagenfurt();
+        spec.name = "klagenfurt_flap".into();
+        spec.description = "Klagenfurt with a backup Vienna transit crossing (AS64496) and a \
+                            per-pass fail/recover flap of the Vienna-Prague peering wave, \
+                            exercising message-level BGP reconvergence mid-campaign"
+            .into();
+        spec.backend = "event".into();
+        spec.campaign.passes = 8;
+        spec.hops.push(hop(
+            "backup-vie",
+            "BorderRouter",
+            BACKUP_AS,
+            geo(48.201, 16.359),
+            [185, 211, 219, 200],
+            "ae0.backup-1.ix.vie.at.as64496.net",
+        ));
+        spec.links.push(link("cdn77-core-vie", "backup-vie", 10e9, 0.40, 0.1));
+        spec.links.push(link("backup-vie", "mx204-vie", 10e9, 0.40, 0.1));
+        spec.as_relations.push(AsRelationDef {
+            kind: "peering".into(),
+            a: DATAPACKET_AS.0,
+            b: BACKUP_AS.0,
+        });
+        spec.as_relations.push(AsRelationDef {
+            kind: "transit".into(),
+            a: BACKUP_AS.0,
+            b: IX_AS.0,
+        });
+        spec.faults = vec![FaultDef {
+            link: ["cdn77-core-vie".into(), "zetservers-prg".into()],
+            at_s: 900.0,
+            recover_at_s: Some(2500.0),
+        }];
+        spec
+    }
 }
 
 /// The committed Klagenfurt spec, parsed once.
@@ -344,6 +403,15 @@ pub fn klagenfurt_spec() -> &'static ScenarioSpec {
     SPEC.get_or_init(|| {
         ScenarioSpec::from_json(KLAGENFURT_SPEC_JSON)
             .expect("committed specs/klagenfurt.json parses")
+    })
+}
+
+/// The committed Klagenfurt transit-flap spec, parsed once.
+pub fn klagenfurt_flap_spec() -> &'static ScenarioSpec {
+    static SPEC: OnceLock<ScenarioSpec> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        ScenarioSpec::from_json(KLAGENFURT_FLAP_SPEC_JSON)
+            .expect("committed specs/klagenfurt_flap.json parses")
     })
 }
 
@@ -383,6 +451,29 @@ mod tests {
         // serialised; regenerate with the spec_files regenerator test in
         // tests/scenario_spec.rs after intentional model changes.
         assert_eq!(*klagenfurt_spec(), ScenarioSpec::klagenfurt());
+        assert_eq!(*klagenfurt_flap_spec(), ScenarioSpec::klagenfurt_flap());
+    }
+
+    #[test]
+    fn flap_spec_is_valid_and_static_routes_are_untouched() {
+        let spec = klagenfurt_flap_spec();
+        assert!(spec.validate().is_empty());
+        // The backup crossing must not steal any static route: with both
+        // Vienna crossings up, the zet constellation wins the tiebreak and
+        // every cached path is exactly the measured Klagenfurt one.
+        let flap = Scenario::from_spec(spec).expect("compiles");
+        let base = scenario();
+        assert_eq!(flap.routes.len(), base.routes.len());
+        // Node ids shift (the backup hop sits between the spec hops and
+        // the generated UE/peer nodes), so compare by node name.
+        let names = |s: &Scenario, path: &sixg_netsim::routing::RoutedPath| {
+            path.hops.iter().map(|&(n, _)| s.topo.node(n).name.clone()).collect::<Vec<_>>()
+        };
+        for (key, path) in &base.routes {
+            let f = &flap.routes[key];
+            assert_eq!(f.as_path.asns, path.as_path.asns, "AS path of {key:?}");
+            assert_eq!(names(&flap, f), names(&base, path), "router path of {key:?}");
+        }
     }
 
     #[test]

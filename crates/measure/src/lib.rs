@@ -23,6 +23,10 @@
 //!   backend: the same shard list and stream-keying discipline, but every
 //!   sample is a probe packet through per-hop FIFO queues (congestion is
 //!   emergent, not sampled), cross-validated against the analytic path;
+//! * [`faults`] — fault-bearing campaigns: the spec's link fail/recover
+//!   schedule applied mid-campaign over the message-level BGP speakers of
+//!   [`sixg_netsim::routing::dynamic`], so probes launched during a flap
+//!   measure real convergence transients (detour shifts, blackholes);
 //! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
 //!   extrema rank agreement) between a campaign and its targets;
 //! * [`sweep`] — the declarative parameter-sweep subsystem: a
@@ -45,6 +49,7 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod event_backend;
+pub mod faults;
 pub mod klagenfurt;
 pub mod megacity;
 pub mod parallel;
@@ -59,6 +64,7 @@ pub mod wired;
 pub use aggregate::{CellField, CellStats};
 pub use campaign::{CampaignConfig, MobileCampaign};
 pub use event_backend::{run_event_parallel, EventCampaign};
+pub use faults::{run_faulted_parallel, FaultCampaign};
 pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
 pub use spec::{ExecBackend, ScenarioSpec, SpecError};

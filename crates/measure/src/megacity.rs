@@ -142,6 +142,7 @@ impl ScenarioSpec {
                     DistSpec::LogNormal { mean_ms: 0.6, cv: 0.5 },
                 ),
             ],
+            faults: Vec::new(),
             orgs: vec![
                 OrgDef {
                     asn: MEGA_IX_AS.0,

@@ -104,7 +104,12 @@ pub(crate) fn run_shards_sequential(
 pub fn run_backend(scenario: &Scenario, config: CampaignConfig, backend: ExecBackend) -> CellField {
     match backend {
         ExecBackend::Analytic => run_parallel(scenario, config),
-        ExecBackend::Event => crate::event_backend::run_event_parallel(scenario, config),
+        ExecBackend::Event if scenario.spec.faults.is_empty() => {
+            crate::event_backend::run_event_parallel(scenario, config)
+        }
+        // A fault schedule needs the live control plane: same shard list
+        // and stream keys, but routes come from the BGP speakers' RIBs.
+        ExecBackend::Event => crate::faults::run_faulted_parallel(scenario, config),
     }
 }
 

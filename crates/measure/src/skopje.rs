@@ -125,6 +125,7 @@ impl ScenarioSpec {
                 link("carrier-fra", "mk-isp-skp", 10e9, 0.60, 0.6),
                 link("mk-isp-skp", "unt-anchor", 1e9, 0.20, 0.0),
             ],
+            faults: Vec::new(),
             orgs: Vec::new(),
             as_relations: vec![
                 AsRelationDef { kind: "transit".into(), a: TRANSIT_VIE_AS.0, b: MK_OP_AS.0 },

@@ -246,6 +246,26 @@ pub struct LinkDef {
     pub extra: DistSpec,
 }
 
+/// One scheduled link fault of the campaign timeline.
+///
+/// Times are seconds into each pass's traversal clock (the same clock the
+/// dwell schedule and probe launches run on). The event backend applies
+/// the schedule mid-campaign: the link tombstones at `at_s`, the BGP
+/// speakers of [`sixg_netsim::routing::dynamic`] reconverge by exchanging
+/// withdraw/update messages, and probes launched during the transient
+/// measure the detour shift (or the blackhole) for real. Fault schedules
+/// therefore require `"backend": "event"`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultDef {
+    /// The faulted link as its two endpoint hop names (order-insensitive;
+    /// must match a declared `$.links` entry).
+    pub link: [String; 2],
+    /// Failure time, seconds into each pass.
+    pub at_s: f64,
+    /// Recovery time, seconds into each pass (absent = stays down).
+    pub recover_at_s: Option<f64>,
+}
+
 /// Per-AS reverse-DNS organisation profile.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct OrgDef {
@@ -451,6 +471,8 @@ pub struct ScenarioSpec {
     pub hops: Vec<HopDef>,
     /// Links between hops, in insertion order.
     pub links: Vec<LinkDef>,
+    /// Scheduled link fail/recover events (event backend only).
+    pub faults: Vec<FaultDef>,
     /// Per-AS naming profiles.
     pub orgs: Vec<OrgDef>,
     /// AS business relationships.
@@ -703,6 +725,19 @@ fn decode_link(c: &Ctx) -> Result<LinkDef, SpecError> {
     })
 }
 
+fn decode_fault(c: &Ctx) -> Result<FaultDef, SpecError> {
+    let link = c.field("link")?;
+    let ends = link.array()?;
+    if ends.len() != 2 {
+        return Err(link.err(format!("expected two endpoint hop names, found {}", ends.len())));
+    }
+    Ok(FaultDef {
+        link: [ends[0].string()?, ends[1].string()?],
+        at_s: c.field("at_s")?.f64()?,
+        recover_at_s: c.opt("recover_at_s").map(|x| x.f64()).transpose()?,
+    })
+}
+
 fn decode_org(c: &Ctx) -> Result<OrgDef, SpecError> {
     Ok(OrgDef {
         asn: c.field("asn")?.u32()?,
@@ -811,6 +846,9 @@ impl ScenarioSpec {
             },
             hops: c.field("hops")?.array()?.iter().map(decode_hop).collect::<Result<_, _>>()?,
             links: c.field("links")?.array()?.iter().map(decode_link).collect::<Result<_, _>>()?,
+            faults: c
+                .opt("faults")
+                .map_or(Ok(Vec::new()), |x| x.array()?.iter().map(decode_fault).collect())?,
             orgs: c
                 .opt("orgs")
                 .map_or(Ok(Vec::new()), |x| x.array()?.iter().map(decode_org).collect())?,
@@ -848,6 +886,15 @@ impl ScenarioSpec {
     /// format). Round-trips exactly: `from_json(to_json(spec)) == spec`.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("spec serialises")
+    }
+
+    /// Index into [`Self::links`] of the link a fault references
+    /// (order-insensitive endpoints), if declared. Spec links compile to
+    /// `LinkId(index)` in declaration order, so this index doubles as the
+    /// runtime link id of the faulted link.
+    pub fn fault_link_index(&self, fault: &FaultDef) -> Option<usize> {
+        let [a, b] = &fault.link;
+        self.links.iter().position(|l| (l.a == *a && l.b == *b) || (l.a == *b && l.b == *a))
     }
 
     /// Checks every cross-field invariant; returns all violations (empty =
@@ -1103,6 +1150,40 @@ impl ScenarioSpec {
             }
         }
 
+        // Fault schedule: declared links, sane timing, event backend only.
+        if !self.faults.is_empty() && parse_backend(&self.backend) == Ok(ExecBackend::Analytic) {
+            err(
+                "$.faults",
+                "fault schedules replay on the event calendar; set $.backend to \"event\"".into(),
+            );
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            let path = format!("$.faults[{i}]");
+            let [a, b] = &fault.link;
+            if a == b {
+                err(&format!("{path}.link"), format!("self-loop on hop {a:?}"));
+            } else if self.fault_link_index(fault).is_none() {
+                err(
+                    &format!("{path}.link"),
+                    format!("no declared link joins {a:?} and {b:?}; reference a $.links entry"),
+                );
+            }
+            if !fault.at_s.is_finite() || fault.at_s < 0.0 {
+                err(
+                    &format!("{path}.at_s"),
+                    format!("failure time must be finite and non-negative, got {}", fault.at_s),
+                );
+            }
+            if let Some(r) = fault.recover_at_s {
+                if !r.is_finite() || r <= fault.at_s {
+                    err(
+                        &format!("{path}.recover_at_s"),
+                        format!("recovery at {r} must come after the failure at {}", fault.at_s),
+                    );
+                }
+            }
+        }
+
         // Orgs and AS relations.
         for (i, org) in self.orgs.iter().enumerate() {
             if let Err(m) = parse_name_style(&org.style) {
@@ -1284,6 +1365,7 @@ mod tests {
                 utilisation: 0.3,
                 extra: DistSpec::Constant { ms: 0.2 },
             }],
+            faults: Vec::new(),
             orgs: vec![OrgDef {
                 asn: 200,
                 domain: "example.net".into(),
@@ -1408,7 +1490,12 @@ mod tests {
     #[ignore = "generator: overwrites the committed specs/*.json files"]
     fn regenerate_spec_files() {
         let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
-        for spec in [ScenarioSpec::klagenfurt(), ScenarioSpec::skopje(), ScenarioSpec::megacity()] {
+        for spec in [
+            ScenarioSpec::klagenfurt(),
+            ScenarioSpec::klagenfurt_flap(),
+            ScenarioSpec::skopje(),
+            ScenarioSpec::megacity(),
+        ] {
             let path = format!("{dir}/{}.json", spec.name);
             std::fs::write(&path, spec.to_json() + "\n").expect("write spec file");
             println!("wrote {path}");
@@ -1480,5 +1567,71 @@ mod tests {
             errors.iter().any(|e| e.path == "$.hops[0].kind" && e.message.contains("Router")),
             "{errors:?}"
         );
+    }
+
+    fn flapping(a: &str, b: &str, at_s: f64, recover_at_s: Option<f64>) -> ScenarioSpec {
+        let mut spec = minimal();
+        spec.backend = "event".into();
+        spec.faults = vec![FaultDef { link: [a.into(), b.into()], at_s, recover_at_s }];
+        spec
+    }
+
+    #[test]
+    fn fault_schedule_validates_and_round_trips() {
+        let spec = flapping("anchor", "gw", 4.0, Some(9.5));
+        let errors = spec.validate();
+        assert!(errors.is_empty(), "{errors:?}");
+        // Endpoints are order-insensitive and resolve to the declared link.
+        assert_eq!(spec.fault_link_index(&spec.faults[0]), Some(0));
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("round-trip");
+        assert_eq!(back, spec);
+        // A schedule with no recovery round-trips through `null` too.
+        let down = flapping("gw", "anchor", 1.0, None);
+        assert_eq!(ScenarioSpec::from_json(&down.to_json()).expect("round-trip"), down);
+    }
+
+    #[test]
+    fn fault_on_undeclared_link_is_rejected_with_path() {
+        let errors = flapping("gw", "missing-core", 4.0, None).validate();
+        let e = errors.iter().find(|e| e.path == "$.faults[0].link").expect("link error");
+        assert!(e.message.contains("missing-core"), "{e}");
+        assert!(e.message.contains("$.links"), "{e}");
+    }
+
+    #[test]
+    fn fault_self_loop_is_rejected() {
+        let errors = flapping("gw", "gw", 4.0, None).validate();
+        let e = errors.iter().find(|e| e.path == "$.faults[0].link").expect("link error");
+        assert!(e.message.contains("self-loop"), "{e}");
+    }
+
+    #[test]
+    fn fault_failure_time_must_be_finite_and_non_negative() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let errors = flapping("gw", "anchor", bad, None).validate();
+            let e = errors.iter().find(|e| e.path == "$.faults[0].at_s").expect("at_s error");
+            assert!(e.message.contains("finite and non-negative"), "{e}");
+        }
+    }
+
+    #[test]
+    fn fault_recovery_must_follow_failure() {
+        for bad in [3.0, 4.0, f64::NAN] {
+            let errors = flapping("gw", "anchor", 4.0, Some(bad)).validate();
+            let e = errors
+                .iter()
+                .find(|e| e.path == "$.faults[0].recover_at_s")
+                .expect("recover_at_s error");
+            assert!(e.message.contains("after the failure"), "{e}");
+        }
+    }
+
+    #[test]
+    fn faults_require_the_event_backend() {
+        let mut spec = flapping("gw", "anchor", 4.0, Some(9.0));
+        spec.backend = "analytic".into();
+        let errors = spec.validate();
+        let e = errors.iter().find(|e| e.path == "$.faults").expect("backend error");
+        assert!(e.message.contains("event"), "{e}");
     }
 }

@@ -89,7 +89,15 @@ impl<'a> PathComputer<'a> {
         let as_path = self
             .as_graph
             .as_path_where(src_as, dst_as, |a, b| phys.contains(&(a.0.min(b.0), a.0.max(b.0))))?;
+        self.route_along(src, dst, &as_path)
+    }
 
+    /// Stitches a router-level path that realises a *given* AS-level route
+    /// (hot-potato crossings plus intra-AS SPF), or `None` when the live
+    /// topology cannot realise it. The dynamic control plane
+    /// ([`super::dynamic`]) selects AS paths from its RIBs mid-convergence
+    /// and resolves them to router hops through this.
+    pub fn route_along(&self, src: NodeId, dst: NodeId, as_path: &AsPath) -> Option<RoutedPath> {
         let mut hops: Vec<(NodeId, LinkId)> = Vec::new();
         let mut current = src;
 
@@ -102,11 +110,12 @@ impl<'a> PathComputer<'a> {
         }
 
         // Final intra-AS segment to the destination.
+        let dst_as = self.topo.node(dst).asn;
         let admit = |n: NodeId| self.topo.node(n).asn == dst_as;
         let (tail, _) = spf::shortest_path(self.topo, current, dst, admit)?;
         hops.extend(tail);
 
-        Some(RoutedPath { src, hops, as_path })
+        Some(RoutedPath { src, hops, as_path: as_path.clone() })
     }
 
     /// Expected one-way latency of the routed path, ms (`None` if no route).

@@ -212,6 +212,32 @@ impl Topology {
         self.links[id.0 as usize].params.bandwidth_bps.is_nan()
     }
 
+    /// Restores a previously removed link with fresh parameters (fault
+    /// schedules recover links mid-campaign). Panics if the link is live
+    /// or the parameters are invalid. Adjacency entries are re-inserted at
+    /// their id-sorted position, so a remove/restore round trip leaves the
+    /// adjacency lists — and every iteration order derived from them —
+    /// exactly as built.
+    pub fn restore_link(&mut self, id: LinkId, params: LinkParams) {
+        assert!(self.link_removed(id), "link {id:?} is not removed");
+        assert!(
+            (0.0..1.0).contains(&params.utilisation),
+            "utilisation must be in [0,1): {}",
+            params.utilisation
+        );
+        assert!(params.bandwidth_bps > 0.0, "bandwidth must be positive");
+        let (a, b) = {
+            let l = &self.links[id.0 as usize];
+            (l.a, l.b)
+        };
+        self.links[id.0 as usize].params = params;
+        for (from, to) in [(a, b), (b, a)] {
+            let adj = &mut self.adjacency[from.0 as usize];
+            let pos = adj.partition_point(|&(_, l)| l < id);
+            adj.insert(pos, (to, id));
+        }
+    }
+
     /// Node accessor.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]
@@ -336,6 +362,32 @@ mod tests {
         assert!(t.link_removed(id));
         assert_eq!(t.link_count(), 1);
         assert_eq!(t.neighbours(b).count(), 1);
+    }
+
+    #[test]
+    fn restore_link_round_trips_adjacency_order() {
+        let (mut t, a, b, c) = tiny();
+        let before: Vec<Vec<(NodeId, LinkId)>> =
+            [a, b, c].iter().map(|n| t.neighbours(*n).collect()).collect();
+        let id = t.neighbours(b).find(|(n, _)| *n == c).unwrap().1;
+        let params = t.link(id).params;
+        t.remove_link(id);
+        assert!(t.link_removed(id));
+        t.restore_link(id, params);
+        assert!(!t.link_removed(id));
+        assert_eq!(t.link_count(), 2);
+        let after: Vec<Vec<(NodeId, LinkId)>> =
+            [a, b, c].iter().map(|n| t.neighbours(*n).collect()).collect();
+        assert_eq!(before, after, "adjacency order must survive a flap");
+    }
+
+    #[test]
+    #[should_panic(expected = "not removed")]
+    fn restoring_live_link_panics() {
+        let (mut t, _, b, c) = tiny();
+        let id = t.neighbours(b).find(|(n, _)| *n == c).unwrap().1;
+        let params = t.link(id).params;
+        t.restore_link(id, params);
     }
 
     #[test]

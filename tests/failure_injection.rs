@@ -168,6 +168,43 @@ fn poisoned_worker_leaves_event_backend_usable_and_deterministic() {
 }
 
 #[test]
+fn poisoned_worker_leaves_fault_campaigns_usable_and_deterministic() {
+    // The fault-bearing runner drives a live BGP control plane per shard;
+    // a worker panic mid-campaign must not leave any speaker, calendar or
+    // pool state behind: the panic propagates, the pool stays reusable,
+    // and a subsequent clean run is bitwise identical to one the
+    // poisoning never disturbed.
+    use rayon::prelude::*;
+    use sixg::measure::campaign::CampaignConfig;
+    use sixg::measure::faults::run_faulted_parallel;
+    use sixg::measure::parallel::with_thread_count;
+    use sixg::measure::scenario::Scenario;
+    use sixg::measure::spec::ScenarioSpec;
+
+    let s = Scenario::from_spec(&ScenarioSpec::klagenfurt_flap()).expect("compiles");
+    let config = CampaignConfig { seed: 2, passes: 1, sample_interval_s: 2.0 };
+    let undisturbed = with_thread_count(4, || run_faulted_parallel(&s, config));
+
+    with_thread_count(4, || {
+        let poisoned = std::panic::catch_unwind(|| {
+            (0..96u32)
+                .into_par_iter()
+                .map(|i| if i == 17 { panic!("injected worker failure at {i}") } else { i })
+                .collect::<Vec<u32>>()
+        });
+        assert!(poisoned.is_err(), "worker panic must propagate to the caller");
+
+        let after = run_faulted_parallel(&s, config);
+        for cell in s.grid.cells() {
+            let (a, b) = (undisturbed.stats(cell), after.stats(cell));
+            assert_eq!(a.count, b.count, "cell {cell}");
+            assert_eq!(a.mean_ms.to_bits(), b.mean_ms.to_bits(), "cell {cell}");
+            assert_eq!(a.std_ms.to_bits(), b.std_ms.to_bits(), "cell {cell}");
+        }
+    });
+}
+
+#[test]
 fn op_ascus_peering_is_purely_additive() {
     // Adding the peering never breaks pre-existing reachability.
     let before = scenario();

@@ -22,8 +22,11 @@
 use sixg::core::gap::GapReport;
 use sixg::core::requirements::campaign_reference_requirement;
 use sixg::measure::campaign::{CampaignConfig, MobileCampaign};
+use sixg::measure::faults::run_faulted_parallel;
 use sixg::measure::klagenfurt::KlagenfurtScenario;
 use sixg::measure::parallel::{run_parallel, seed_sweep, with_thread_count};
+use sixg::measure::scenario::Scenario;
+use sixg::measure::spec::ScenarioSpec;
 use std::sync::OnceLock;
 
 /// The shared reproduction seed (same as `sixg_bench::REPRO_SEED`).
@@ -83,6 +86,20 @@ fn compute_goldens() -> Vec<(&'static str, f64)> {
         };
         out.push((name, p.grand_mean_ms));
     }
+
+    // E22 / repro_faults: the transit-flap fault campaign over the live
+    // control plane (one pass keeps the suite fast; the in-outage detour
+    // shift makes these bits sensitive to every layer from the BGP
+    // message order down to the per-probe draws).
+    let flap = Scenario::from_spec(&ScenarioSpec::klagenfurt_flap()).expect("flap spec compiles");
+    let flap_field = run_faulted_parallel(
+        &flap,
+        CampaignConfig { seed: DENSE_SEED, passes: 1, sample_interval_s: 2.0 },
+    );
+    let flap_gap = GapReport::analyse(&flap_field, &campaign_reference_requirement());
+    out.push(("flap_grand_mean_ms", flap_field.grand_mean_ms()));
+    out.push(("flap_total_samples", flap_field.total_samples() as f64));
+    out.push(("flap_exceedance_pct", flap_gap.exceedance_pct));
     out
 }
 
@@ -107,6 +124,9 @@ const EXPECTED: &[(&str, u64, f64)] = &[
     ("sweep_seed1_grand_mean_ms", 0x40529927eebae418, 74.39306228877138),
     ("sweep_seed2_grand_mean_ms", 0x4052cd9dc5085bff, 75.2127544957766),
     ("sweep_seed3_grand_mean_ms", 0x40529ba4257cf03c, 74.4318937034704),
+    ("flap_grand_mean_ms", 0x40503151bc888d22, 64.77061379752243),
+    ("flap_total_samples", 0x40a0560000000000, 2091.0),
+    ("flap_exceedance_pct", 0x406bfb4c575560d5, 223.85306898761215),
     // GOLDEN-TABLE-END
 ];
 
