@@ -35,7 +35,10 @@ use sixg_measure::parallel::{run_backend, with_thread_count};
 use sixg_measure::report::{render_grid, CampaignSummary, FieldStat};
 use sixg_measure::scenario::Scenario;
 use sixg_measure::spec::{parse_backend, ScenarioSpec};
-use sixg_measure::sweep::Sweep;
+use sixg_measure::store::{
+    merge_stores, run_checkpointed, CheckpointConfig, CheckpointError, CheckpointOutcome,
+};
+use sixg_measure::sweep::{Sweep, SweepRun};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -45,12 +48,17 @@ USAGE:
     sixg-cli run <spec.json> [--passes N] [--campaign-seed S] [--seed S]
                              [--backend analytic|event] [--threads T] [--json PATH]
     sixg-cli sweep <sweep.json> [--threads T] [--json PATH]
+                                [--checkpoint DIR [--shard I/N] [--interval K]
+                                 [--kill-after K]]
+    sixg-cli merge <sweep.json> --store DIR [--store DIR]... [--json PATH]
     sixg-cli validate <spec.json>...
     sixg-cli list [dir]
 
 SUBCOMMANDS:
     run       compile the spec and run its campaign on the thread pool
     sweep     run a SweepSpec's whole campaign matrix (axis cross product)
+    merge     fold complete, disjoint shard checkpoint stores into the full
+              SweepReport (bitwise identical to an unsharded run)
     validate  parse + validate specs; print every violation with its JSON path
     list      inventory the spec files in a directory (default: specs/)
 
@@ -68,6 +76,20 @@ SWEEP OPTIONS:
     --threads T        pin the rayon pool size
     --json PATH        also write the SweepReport as JSON (deterministic:
                        bitwise identical across pool sizes)
+    --checkpoint DIR   spill completed variants to a resumable on-disk store
+                       in DIR; lifts the in-memory variant cap, and a killed
+                       run resumes bitwise-identically from the store
+    --shard I/N        with --checkpoint: run only shard I of N (disjoint
+                       run ranges; fold the shard stores with `merge`)
+    --interval K       with --checkpoint: work items folded between
+                       checkpoint commits (default 1024)
+    --kill-after K     with --checkpoint: abort the process once K items
+                       are folded and the cursor is committed (testing hook
+                       for the kill/resume contract)
+
+MERGE OPTIONS:
+    --store DIR        a shard checkpoint store to merge (repeat per shard)
+    --json PATH        also write the merged SweepReport as JSON
 
 EXIT CODES:
     0  success
@@ -259,6 +281,38 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Every `--flag`'s value, in order (for repeatable flags like `--store`).
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Parses `--shard I/N` (shard index / shard count).
+fn parse_shard(value: &str) -> Result<(u32, u32), CliError> {
+    let parsed = value.split_once('/').and_then(|(i, n)| {
+        let i: u32 = i.parse().ok()?;
+        let n: u32 = n.parse().ok()?;
+        (n >= 1 && i < n).then_some((i, n))
+    });
+    parsed.ok_or_else(|| {
+        CliError::usage(format!("invalid value {value:?} for --shard (expected I/N with I < N)"))
+    })
+}
+
+/// Maps a checkpoint failure onto the CLI's exit-code contract: both a
+/// broken sweep and a broken store are reachable-but-invalid input (1).
+fn checkpoint_err(path: &str, e: CheckpointError) -> CliError {
+    match e {
+        CheckpointError::Spec(e) => CliError::fail(format!("{path}: {e}")),
+        // StoreError displays as "<store path>: <message>" already.
+        CheckpointError::Store(e) => CliError::fail(e.to_string()),
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let path = operand(args, "sweep needs a sweep file")?;
     // One read: an unreadable sweep file is a usage error (exit 2), while
@@ -267,8 +321,32 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let text = read_file(path)?;
     let dir = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
     let threads = parse_flag::<usize>(args, "--threads")?;
-    let sweep =
-        Sweep::from_json_in_dir(&text, dir).map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    let checkpoint = flag_value(args, "--checkpoint");
+    let shard = flag_value(args, "--shard").map(parse_shard).transpose()?;
+    let interval = parse_flag::<usize>(args, "--interval")?;
+    let kill_after = parse_flag::<u64>(args, "--kill-after")?;
+    if checkpoint.is_none() {
+        for (flag, present) in [
+            ("--shard", shard.is_some()),
+            ("--interval", interval.is_some()),
+            ("--kill-after", kill_after.is_some()),
+        ] {
+            if present {
+                return Err(CliError::usage(format!("{flag} requires --checkpoint")));
+            }
+        }
+    }
+    if interval == Some(0) {
+        return Err(CliError::usage("invalid value \"0\" for --interval (must be at least 1)"));
+    }
+
+    // Checkpointed runs spill to disk, so the in-memory variant cap does
+    // not apply to them.
+    let sweep = match checkpoint {
+        Some(_) => Sweep::from_json_in_dir_unbounded(&text, dir),
+        None => Sweep::from_json_in_dir(&text, dir),
+    }
+    .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
 
     println!("=== sweep: {} ===", sweep.spec.name);
     if !sweep.spec.description.is_empty() {
@@ -282,11 +360,81 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         sweep.spec.requirement_ms
     );
 
-    let run = match threads {
-        Some(t) => with_thread_count(t, || sweep.run()),
-        None => sweep.run(),
+    let Some(store_dir) = checkpoint else {
+        let run = match threads {
+            Some(t) => with_thread_count(t, || sweep.run()),
+            None => sweep.run(),
+        }
+        .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+        return report_sweep_run(path, &run, args);
+    };
+
+    let (shard_index, shard_count) = shard.unwrap_or((0, 1));
+    let mut cfg = CheckpointConfig::new(store_dir);
+    cfg.shard_index = shard_index;
+    cfg.shard_count = shard_count;
+    if let Some(k) = interval {
+        cfg.interval = k;
     }
-    .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    cfg.stop_after_items = kill_after;
+    println!("checkpoint store: {store_dir} (shard {shard_index}/{shard_count})");
+
+    let outcome = match threads {
+        Some(t) => with_thread_count(t, || run_checkpointed(&sweep, &cfg)),
+        None => run_checkpointed(&sweep, &cfg),
+    }
+    .map_err(|e| checkpoint_err(path, e))?;
+    match outcome {
+        CheckpointOutcome::Complete(run) => report_sweep_run(path, &run, args),
+        CheckpointOutcome::ShardComplete { shard_index, shard_count, done_items } => {
+            println!(
+                "shard {shard_index}/{shard_count} complete: {done_items} items spilled to \
+                 {store_dir} — fold the shards with `sixg-cli merge`"
+            );
+            Ok(())
+        }
+        CheckpointOutcome::Interrupted { done_items, total_items } => {
+            // The testing hook behaves like a real kill: the cursor is
+            // committed, then the process dies without an exit status a
+            // script could mistake for success.
+            eprintln!(
+                "sixg-cli: killed at checkpoint cursor {done_items}/{total_items} \
+                 (--kill-after) — rerun with --checkpoint {store_dir} to resume"
+            );
+            std::process::abort();
+        }
+    }
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), CliError> {
+    let path = operand(args, "merge needs a sweep file")?;
+    let text = read_file(path)?;
+    let dir = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
+    let stores = flag_values(args, "--store");
+    if stores.is_empty() {
+        return Err(CliError::usage("merge needs at least one --store DIR"));
+    }
+    // Mega-sweeps beyond the in-memory cap are exactly what sharded stores
+    // are for, so merge loads the sweep uncapped.
+    let sweep = Sweep::from_json_in_dir_unbounded(&text, dir)
+        .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+
+    println!("=== merge: {} ===", sweep.spec.name);
+    println!(
+        "base {} · {} variants · {} shard store(s)",
+        sweep.base.name,
+        sweep.spec.variant_count(),
+        stores.len()
+    );
+    let run = merge_stores(&sweep, &stores).map_err(|e| checkpoint_err(path, e))?;
+    report_sweep_run(path, &run, args)
+}
+
+/// Prints the per-variant table, cross-validation verdict and optional
+/// `--json` report for an executed sweep — shared by `sweep` (in-memory
+/// and checkpointed) and `merge`, so all three surface identical output
+/// for identical accumulator state.
+fn report_sweep_run(path: &str, run: &SweepRun, args: &[String]) -> Result<(), CliError> {
     let report = &run.report;
 
     println!(
@@ -437,6 +585,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("--help" | "-h" | "help") => {

@@ -289,3 +289,223 @@ fn repro_faults_rejects_invalid_flap_spec_as_usage_error() {
     assert_eq!(code(&out), 2, "{}", stderr(&out));
     assert!(stderr(&out).contains("$.faults[0].at_s"), "{}", stderr(&out));
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointed sweeps: the kill/resume/merge contract through the binary.
+// ---------------------------------------------------------------------------
+
+/// A scratch directory holding a tiny sweep (klagenfurt base trimmed to one
+/// pass, 2 cadences × 1 seed = 2 variants) plus room for checkpoint
+/// stores, cleaned up on drop.
+struct SweepDir(PathBuf);
+
+impl SweepDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sixg-cli-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create sweep dir");
+        let mut base = sixg_measure::spec::ScenarioSpec::klagenfurt();
+        base.campaign.passes = 1;
+        std::fs::write(dir.join("base.json"), base.to_json()).expect("write base");
+        std::fs::write(
+            dir.join("sweep.json"),
+            r#"{"name": "cli-torture", "base": "base.json",
+                "axes": [{"kind": "override", "path": "$.campaign.sample_interval_s",
+                           "values": [2.0, 4.0]},
+                          {"kind": "seeds", "start": 7, "count": 1}]}"#,
+        )
+        .expect("write sweep");
+        Self(dir)
+    }
+
+    fn sweep(&self) -> String {
+        self.0.join("sweep.json").display().to_string()
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).display().to_string()
+    }
+}
+
+impl Drop for SweepDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// `--kill-after` dies mid-run without a clean exit status (like a real
+/// kill), and rerunning with the same store resumes into a report bitwise
+/// identical to a never-killed in-memory run.
+#[test]
+fn sweep_checkpoint_resumes_bitwise_after_kill() {
+    let d = SweepDir::new("kill-resume");
+    let out = run(&["sweep", &d.sweep(), "--json", &d.path("clean.json")]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    let out = run(&[
+        "sweep",
+        &d.sweep(),
+        "--checkpoint",
+        &d.path("store"),
+        "--interval",
+        "7",
+        "--kill-after",
+        "40",
+    ]);
+    // A killed run aborts: no exit code a script could mistake for success
+    // (`code()` would panic here — the process dies by signal).
+    assert!(!out.status.success(), "--kill-after must not exit cleanly");
+    let err = stderr(&out);
+    assert!(err.contains("killed at checkpoint cursor 40/"), "{err}");
+
+    let out = run(&[
+        "sweep",
+        &d.sweep(),
+        "--checkpoint",
+        &d.path("store"),
+        "--interval",
+        "7",
+        "--json",
+        &d.path("resumed.json"),
+    ]);
+    assert_eq!(code(&out), 0, "resume must succeed: {}", stderr(&out));
+    let clean = std::fs::read(d.path("clean.json")).expect("clean report");
+    let resumed = std::fs::read(d.path("resumed.json")).expect("resumed report");
+    assert_eq!(clean, resumed, "resumed report must be bitwise identical");
+}
+
+/// Two disjoint shard stores fold back into the in-memory report, byte
+/// for byte, through `sixg-cli merge`.
+#[test]
+fn sweep_shard_merge_round_trips_bitwise() {
+    let d = SweepDir::new("shard-merge");
+    let out = run(&["sweep", &d.sweep(), "--json", &d.path("clean.json")]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    for i in 0..2 {
+        let shard = format!("{i}/2");
+        let store = d.path(&format!("s{i}"));
+        let out = run(&["sweep", &d.sweep(), "--checkpoint", &store, "--shard", &shard]);
+        assert_eq!(code(&out), 0, "shard {i}: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains(&format!("shard {i}/2 complete")), "{stdout}");
+    }
+
+    let out = run(&[
+        "merge",
+        &d.sweep(),
+        "--store",
+        &d.path("s0"),
+        "--store",
+        &d.path("s1"),
+        "--json",
+        &d.path("merged.json"),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let clean = std::fs::read(d.path("clean.json")).expect("clean report");
+    let merged = std::fs::read(d.path("merged.json")).expect("merged report");
+    assert_eq!(clean, merged, "merged report must be bitwise identical");
+}
+
+/// A truncated blob fails resume AND merge with exit 1 and the offending
+/// file's path on stderr — corrupt stores are rejected, never repaired
+/// silently or adopted partially.
+#[test]
+fn corrupt_store_exits_one_with_the_blob_path() {
+    let d = SweepDir::new("corrupt");
+    let out = run(&["sweep", &d.sweep(), "--checkpoint", &d.path("store")]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    let blob = d.0.join("store").join("run_00001.blob");
+    let bytes = std::fs::read(&blob).expect("spilled blob");
+    std::fs::write(&blob, &bytes[..bytes.len() / 2]).expect("truncate blob");
+
+    // Resume path: the completed store re-reads every blob.
+    let out = run(&["sweep", &d.sweep(), "--checkpoint", &d.path("store")]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("run_00001.blob"), "error must name the file: {err}");
+    assert!(!err.contains("USAGE"), "a corrupt store is not a usage error: {err}");
+
+    // Merge path: same rejection, same anchoring.
+    let out = run(&["merge", &d.sweep(), "--store", &d.path("store")]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    assert!(stderr(&out).contains("run_00001.blob"), "{}", stderr(&out));
+}
+
+/// A store written for a different sweep is rejected at the manifest with
+/// exit 1 (spec-hash binding).
+#[test]
+fn foreign_store_exits_one_with_hash_mismatch() {
+    let d = SweepDir::new("foreign");
+    let out = run(&["sweep", &d.sweep(), "--checkpoint", &d.path("store")]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    // Same axes, different cadence values ⇒ different content hash.
+    std::fs::write(
+        d.0.join("other.json"),
+        r#"{"name": "cli-torture", "base": "base.json",
+            "axes": [{"kind": "override", "path": "$.campaign.sample_interval_s",
+                       "values": [1.0, 4.0]},
+                      {"kind": "seeds", "start": 7, "count": 1}]}"#,
+    )
+    .expect("write other sweep");
+    let out = run(&["sweep", &d.path("other.json"), "--checkpoint", &d.path("store")]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("spec hash mismatch"), "{err}");
+    assert!(err.contains("manifest.json"), "{err}");
+}
+
+#[test]
+fn checkpoint_flag_misuse_exits_two() {
+    let d = SweepDir::new("usage");
+    for args in [
+        vec!["sweep", "SWEEP", "--shard", "0/2"],
+        vec!["sweep", "SWEEP", "--kill-after", "10"],
+        vec!["sweep", "SWEEP", "--interval", "64"],
+        vec!["sweep", "SWEEP", "--checkpoint", "STORE", "--shard", "2/2"],
+        vec!["sweep", "SWEEP", "--checkpoint", "STORE", "--shard", "zero/two"],
+        vec!["sweep", "SWEEP", "--checkpoint", "STORE", "--interval", "0"],
+        vec!["merge", "SWEEP"],
+        vec!["merge", "--store", "STORE"],
+    ] {
+        let store = d.path("store-usage");
+        let sweep_path = d.sweep();
+        let resolved: Vec<&str> = args
+            .iter()
+            .map(|a| match *a {
+                "SWEEP" => sweep_path.as_str(),
+                "STORE" => store.as_str(),
+                other => other,
+            })
+            .collect();
+        let shown = args.join(" ");
+        let out = run(&resolved);
+        assert_eq!(code(&out), 2, "`{shown}` must be a usage error: {}", stderr(&out));
+        assert!(stderr(&out).contains("USAGE"), "`{shown}`: {}", stderr(&out));
+        // Usage errors must fire before any work: no store may appear.
+        assert!(
+            !Path::new(&store).exists(),
+            "`{shown}` must not create a store (sweep file: {sweep_path})"
+        );
+    }
+}
+
+/// The in-memory cap error is a *validation* failure (exit 1) that names
+/// the `--checkpoint` escape hatch.
+#[test]
+fn over_cap_sweep_exits_one_naming_checkpoint() {
+    let d = SweepDir::new("cap");
+    std::fs::write(
+        d.0.join("mega.json"),
+        r#"{"name": "over-cap", "base": "base.json",
+            "axes": [{"kind": "seeds", "start": 0, "count": 5000}]}"#,
+    )
+    .expect("write over-cap sweep");
+    let out = run(&["sweep", &d.path("mega.json")]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("--checkpoint"), "the cap error must name the escape hatch: {err}");
+    assert!(!err.contains("USAGE"), "over-cap is not a usage error: {err}");
+}

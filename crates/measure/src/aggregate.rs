@@ -82,6 +82,18 @@ impl CellField {
     /// Welford accumulators pairwise (Chan's formula), which is numerically
     /// excellent but *not* bitwise identical to pushing the concatenated
     /// sample stream — use it where tolerance-based comparison suffices.
+    ///
+    /// **Disjoint-support contract.** There is one regime in which `merge`
+    /// *is* bitwise exact: when, for every cell, at most one of the two
+    /// operands holds samples. In that case the Welford merge degenerates to
+    /// either a no-op (other side empty) or a verbatim copy of the non-empty
+    /// accumulator (this side empty), so no floating-point arithmetic runs
+    /// at all and every bit is preserved. Sweep shards own disjoint *run*
+    /// ranges and therefore disjoint per-run accumulators, which is exactly
+    /// why `sixg-cli merge` over shard stores bit-reproduces the
+    /// single-machine report. Merging disjoint-support fields is consequently
+    /// also order-independent — any merge tree over any permutation of the
+    /// shards yields identical bits.
     pub fn merge(&mut self, other: &CellField) {
         assert_eq!(self.grid.cols, other.grid.cols, "grid shape mismatch");
         assert_eq!(self.grid.rows, other.grid.rows, "grid shape mismatch");
@@ -139,6 +151,19 @@ impl CellField {
     /// Total sample count over all cells.
     pub fn total_samples(&self) -> u64 {
         self.acc.iter().map(|w| w.count()).sum()
+    }
+
+    /// The raw per-cell accumulators, row-major — the exact internal state,
+    /// exposed so the checkpoint store can persist a field bit for bit.
+    pub fn accumulators(&self) -> &[Welford] {
+        &self.acc
+    }
+
+    /// Rebuilds a field from [`Self::accumulators`] output verbatim.
+    /// `acc.len()` must equal `grid.len()`.
+    pub fn from_accumulators(grid: GridSpec, acc: Vec<Welford>) -> Self {
+        assert_eq!(acc.len(), grid.len(), "accumulator count must match grid size");
+        Self { grid, acc }
     }
 }
 
@@ -255,5 +280,164 @@ mod tests {
     fn push_outside_panics() {
         let mut f = CellField::new(grid());
         f.push(CellId::new(20, 20), 1.0);
+    }
+
+    #[test]
+    fn accumulator_round_trip_is_bitwise() {
+        let mut f = CellField::new(grid());
+        for i in 0..500u64 {
+            let cell = CellId::new((i % 6) as u8, (i % 7) as u8);
+            f.push(cell, 40.0 + (i as f64 * 0.13).sin() * 25.0);
+        }
+        let rebuilt = CellField::from_accumulators(f.grid().clone(), f.accumulators().to_vec());
+        for (a, b) in f.accumulators().iter().zip(rebuilt.accumulators()) {
+            assert_eq!(a.raw_parts().0, b.raw_parts().0);
+            assert_eq!(a.raw_parts().1.to_bits(), b.raw_parts().1.to_bits());
+            assert_eq!(a.raw_parts().2.to_bits(), b.raw_parts().2.to_bits());
+            assert_eq!(a.raw_parts().3.to_bits(), b.raw_parts().3.to_bits());
+            assert_eq!(a.raw_parts().4.to_bits(), b.raw_parts().4.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator count")]
+    fn from_accumulators_rejects_shape_mismatch() {
+        let _ = CellField::from_accumulators(grid(), vec![Welford::new(); 3]);
+    }
+}
+
+/// The disjoint-support merge contract (see [`CellField::merge`]), pinned by
+/// property tests: any partition of a sample stream into per-cell-disjoint
+/// shards merges back to the unpartitioned field bit for bit, in any merge
+/// order. This is the algebra `sixg-cli merge` relies on.
+#[cfg(test)]
+mod merge_contract {
+    use super::*;
+    use proptest::prelude::*;
+    use sixg_geo::GeoPoint;
+    use sixg_netsim::rng::splitmix64;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(GeoPoint::new(46.65, 14.25), 6, 7, 1.0)
+    }
+
+    /// The exact bit pattern of every accumulator in the field.
+    fn bits(f: &CellField) -> Vec<(u64, u64, u64, u64, u64)> {
+        f.accumulators()
+            .iter()
+            .map(|w| {
+                let (n, mean, m2, min, max) = w.raw_parts();
+                (n, mean.to_bits(), m2.to_bits(), min.to_bits(), max.to_bits())
+            })
+            .collect()
+    }
+
+    /// Deterministic sample stream: `(cell, value)` pairs derived from `seed`.
+    fn stream(seed: u64, len: usize) -> Vec<(CellId, f64)> {
+        (0..len as u64)
+            .map(|i| {
+                let h = splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let cell = CellId::new((h % 6) as u8, ((h >> 8) % 7) as u8);
+                let v = 30.0 + ((h >> 16) % 10_000) as f64 * 0.01;
+                (cell, v)
+            })
+            .collect()
+    }
+
+    /// Splits the stream into `k` fields with per-cell-disjoint support:
+    /// every cell's samples land in exactly one shard, chosen by `owner`.
+    fn partition(
+        samples: &[(CellId, f64)],
+        k: usize,
+        owner: impl Fn(CellId) -> usize,
+    ) -> Vec<CellField> {
+        let mut parts = vec![CellField::new(grid()); k];
+        for &(cell, v) in samples {
+            parts[owner(cell)].push(cell, v);
+        }
+        parts
+    }
+
+    /// Merges `parts` (in the given index order) into a fresh empty field.
+    fn merge_in_order(parts: &[CellField], order: &[usize]) -> CellField {
+        let mut out = CellField::new(grid());
+        for &i in order {
+            out.merge(&parts[i]);
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn disjoint_kway_partition_merges_bitwise(
+            seed in any::<u64>(),
+            k in 2usize..7,
+            len in 1usize..300,
+        ) {
+            let samples = stream(seed, len);
+            let mut whole = CellField::new(grid());
+            for &(cell, v) in &samples {
+                whole.push(cell, v);
+            }
+            let parts = partition(&samples, k, |c| {
+                splitmix64(seed ^ ((c.col as u64) << 8) ^ c.row as u64) as usize % k
+            });
+            let forward: Vec<usize> = (0..k).collect();
+            prop_assert_eq!(bits(&merge_in_order(&parts, &forward)), bits(&whole));
+        }
+
+        #[test]
+        fn disjoint_merge_is_order_independent(
+            seed in any::<u64>(),
+            k in 2usize..7,
+            len in 1usize..300,
+            rot in 0usize..7,
+        ) {
+            let samples = stream(seed, len);
+            let parts = partition(&samples, k, |c| {
+                splitmix64(seed ^ ((c.col as u64) << 8) ^ c.row as u64) as usize % k
+            });
+            let forward: Vec<usize> = (0..k).collect();
+            let reversed: Vec<usize> = (0..k).rev().collect();
+            let rotated: Vec<usize> = (0..k).map(|i| (i + rot) % k).collect();
+            let reference = bits(&merge_in_order(&parts, &forward));
+            prop_assert_eq!(bits(&merge_in_order(&parts, &reversed)), reference.clone());
+            prop_assert_eq!(bits(&merge_in_order(&parts, &rotated)), reference);
+        }
+
+        #[test]
+        fn skewed_two_way_split_merges_bitwise(
+            seed in any::<u64>(),
+            len in 1usize..300,
+            skew in 1u64..10,
+        ) {
+            // One shard owns ~`skew`/10 of the cells — the degenerate splits
+            // (one shard nearly empty) must round-trip just like even ones.
+            let samples = stream(seed, len);
+            let mut whole = CellField::new(grid());
+            for &(cell, v) in &samples {
+                whole.push(cell, v);
+            }
+            let parts = partition(&samples, 2, |c| {
+                usize::from(splitmix64(seed ^ ((c.col as u64) << 8) ^ c.row as u64) % 10 >= skew)
+            });
+            prop_assert_eq!(bits(&merge_in_order(&parts, &[0, 1])), bits(&whole));
+            prop_assert_eq!(bits(&merge_in_order(&parts, &[1, 0])), bits(&whole));
+        }
+
+        #[test]
+        fn merging_empty_fields_is_identity(seed in any::<u64>(), len in 1usize..200) {
+            let samples = stream(seed, len);
+            let mut whole = CellField::new(grid());
+            for &(cell, v) in &samples {
+                whole.push(cell, v);
+            }
+            let reference = bits(&whole);
+            whole.merge(&CellField::new(grid()));
+            prop_assert_eq!(bits(&whole), reference.clone());
+            let mut from_empty = CellField::new(grid());
+            from_empty.merge(&whole);
+            prop_assert_eq!(bits(&from_empty), reference);
+        }
     }
 }

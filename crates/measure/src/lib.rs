@@ -33,6 +33,11 @@
 //!   [`sweep::SweepSpec`] (base spec + typed axes) whose cross product
 //!   compiles into an order-deterministic campaign matrix, executed as one
 //!   interleaved work list with streaming per-variant aggregation;
+//! * [`store`] — checkpointed sweep execution: completed per-variant
+//!   accumulators spill to a content-addressed on-disk store with a
+//!   `(run, pass, cell)` resume cursor, so killed mega-sweeps (beyond the
+//!   in-memory variant cap) resume bitwise-identically, and disjoint
+//!   shard stores merge back into the exact single-machine report;
 //! * [`spec`] — the declarative scenario subsystem: a serde-backed
 //!   [`spec::ScenarioSpec`] (JSON, loadable from a file) describing a
 //!   campaign end to end, validated with path-anchored errors;
@@ -57,6 +62,7 @@ pub mod report;
 pub mod scenario;
 pub mod skopje;
 pub mod spec;
+pub mod store;
 pub mod sweep;
 pub mod validate;
 pub mod wired;
@@ -68,5 +74,9 @@ pub use faults::{run_faulted_parallel, FaultCampaign};
 pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
 pub use spec::{ExecBackend, ScenarioSpec, SpecError};
+pub use store::{
+    merge_stores, run_checkpointed, shard_run_range, sweep_content_hash, CheckpointConfig,
+    CheckpointError, CheckpointOutcome, CheckpointStore, StoreError, StoreMeta,
+};
 pub use sweep::{Sweep, SweepReport, SweepRun, SweepSpec};
 pub use wired::WiredCampaign;

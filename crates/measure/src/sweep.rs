@@ -46,6 +46,7 @@
 use crate::aggregate::CellField;
 use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
 use crate::event_backend::{crossval_tolerance_ms, EventCampaign, CROSSVAL_GRAND_MEAN_TOL};
+use crate::faults::{FaultCampaign, FaultShard};
 use crate::parallel::run_items_streaming;
 use crate::report::CellSummary;
 use crate::scenario::Scenario;
@@ -298,7 +299,20 @@ impl SweepSpec {
     /// Checks every sweep-level invariant; returns all violations (empty =
     /// valid). Resolution of override paths against the *base* spec happens
     /// in [`Sweep::new`], which has the base value tree in hand.
+    ///
+    /// Applies the in-memory [`MAX_VARIANTS`] cap; checkpointed execution
+    /// lifts it via [`Self::validate_with_cap`] (`None`).
     pub fn validate(&self) -> Vec<SpecError> {
+        self.validate_with_cap(Some(MAX_VARIANTS))
+    }
+
+    /// [`Self::validate`] with an explicit variant cap. `None` removes the
+    /// cap entirely — the regime of checkpointed sweeps, where accumulators
+    /// spill to disk instead of living in one address space. Every *other*
+    /// invariant (axis shapes, override paths, duplicate targets) is checked
+    /// identically, so an over-cap sweep that passes here is a valid sweep
+    /// that merely needs `--checkpoint`, not a broken one.
+    pub fn validate_with_cap(&self, cap: Option<usize>) -> Vec<SpecError> {
         let mut errors = Vec::new();
         let mut err = |path: &str, message: String| errors.push(SpecError::new(path, message));
 
@@ -349,15 +363,18 @@ impl SweepSpec {
             targets.push((i, target));
         }
 
-        if self.variant_count() > MAX_VARIANTS {
-            err(
-                "$.axes",
-                format!(
-                    "cross product of {} variants exceeds the {MAX_VARIANTS}-variant cap — \
-                     split the sweep",
-                    self.variant_count()
-                ),
-            );
+        if let Some(cap) = cap {
+            if self.variant_count() > cap {
+                err(
+                    "$.axes",
+                    format!(
+                        "cross product of {} variants exceeds the {cap}-variant in-memory cap — \
+                         the sweep itself is valid; run it with `sixg-cli sweep --checkpoint DIR` \
+                         (which lifts the cap by spilling to disk) or split it",
+                        self.variant_count()
+                    ),
+                );
+            }
         }
         errors
     }
@@ -510,9 +527,26 @@ impl Sweep {
     ///
     /// Validates the sweep spec, the base spec, *and* every override path
     /// against the base — an axis whose path does not resolve is reported
-    /// here, anchored at `$.axes[i].path`.
+    /// here, anchored at `$.axes[i].path`. Applies the in-memory
+    /// [`MAX_VARIANTS`] cap; checkpointed callers use
+    /// [`Self::new_unbounded`].
     pub fn new(spec: SweepSpec, base_json: &str) -> Result<Self, SpecError> {
-        if let Some(e) = spec.validate().into_iter().next() {
+        Self::new_with_cap(spec, base_json, Some(MAX_VARIANTS))
+    }
+
+    /// [`Self::new`] without the variant cap — for checkpointed execution,
+    /// where per-variant accumulators spill to disk (`measure::store`)
+    /// instead of all living in memory at once.
+    pub fn new_unbounded(spec: SweepSpec, base_json: &str) -> Result<Self, SpecError> {
+        Self::new_with_cap(spec, base_json, None)
+    }
+
+    fn new_with_cap(
+        spec: SweepSpec,
+        base_json: &str,
+        cap: Option<usize>,
+    ) -> Result<Self, SpecError> {
+        if let Some(e) = spec.validate_with_cap(cap).into_iter().next() {
             return Err(e);
         }
         let base_value = serde_json::from_str(base_json)
@@ -547,12 +581,29 @@ impl Sweep {
         text: &str,
         dir: impl AsRef<std::path::Path>,
     ) -> Result<Self, SpecError> {
+        Self::from_json_in_dir_with_cap(text, dir, Some(MAX_VARIANTS))
+    }
+
+    /// [`Self::from_json_in_dir`] without the variant cap (checkpointed
+    /// execution).
+    pub fn from_json_in_dir_unbounded(
+        text: &str,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Self, SpecError> {
+        Self::from_json_in_dir_with_cap(text, dir, None)
+    }
+
+    fn from_json_in_dir_with_cap(
+        text: &str,
+        dir: impl AsRef<std::path::Path>,
+        cap: Option<usize>,
+    ) -> Result<Self, SpecError> {
         let spec = SweepSpec::from_json(text)?;
         let base_path = dir.as_ref().join(&spec.base);
         let base_json = std::fs::read_to_string(&base_path).map_err(|e| {
             SpecError::new("$.base", format!("cannot read base spec {}: {e}", base_path.display()))
         })?;
-        Self::new(spec, &base_json)
+        Self::new_with_cap(spec, &base_json, cap)
     }
 
     /// Loads a sweep file, resolving its `base` relative to the sweep
@@ -565,82 +616,95 @@ impl Sweep {
         Self::from_json_in_dir(&text, path.parent().unwrap_or(std::path::Path::new(".")))
     }
 
+    /// [`Self::from_file`] without the variant cap (checkpointed execution).
+    pub fn from_file_unbounded(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SpecError::new("$", format!("cannot read sweep file {}: {e}", path.display()))
+        })?;
+        Self::from_json_in_dir_with_cap(
+            &text,
+            path.parent().unwrap_or(std::path::Path::new(".")),
+            None,
+        )
+    }
+
+    /// Compiles variant `v` of the cross product (odometer order, last axis
+    /// fastest — see the module docs). A pure function of the sweep spec and
+    /// the index, so callers can stream the matrix without materialising it.
+    pub fn variant_at(&self, v: usize) -> Result<SweepVariant, SpecError> {
+        let axes = &self.spec.axes;
+        let counts: Vec<usize> = axes.iter().map(AxisDef::len).collect();
+
+        // Odometer decomposition: last axis fastest.
+        let mut choices = vec![0usize; axes.len()];
+        let mut rem = v;
+        for ai in (0..axes.len()).rev() {
+            choices[ai] = rem % counts[ai];
+            rem /= counts[ai];
+        }
+
+        // Generic JSON-path overrides mutate the base value tree …
+        let mut tree = self.base_value.clone();
+        for (axis, &choice) in axes.iter().zip(&choices) {
+            if let AxisDef::Override { path, values } = axis {
+                let segs = parse_json_path(path).expect("validated path");
+                let slot = resolve_mut(&mut tree, &segs).expect("resolved in Sweep::new");
+                *slot = values[choice].clone();
+            }
+        }
+        let mut spec = ScenarioSpec::from_value(&tree)?;
+
+        // … typed axes mutate the decoded spec directly.
+        for (axis, &choice) in axes.iter().zip(&choices) {
+            match axis {
+                AxisDef::Override { .. } => {}
+                AxisDef::Backend { select } => {
+                    spec.backend = select.backends()[choice].as_str().into();
+                }
+                AxisDef::Seeds { start, .. } => {
+                    spec.campaign.seed = start + choice as u64;
+                }
+                AxisDef::DensityScale { factors } => {
+                    spec.density.peak *= factors[choice];
+                }
+            }
+        }
+
+        let settings: Vec<String> =
+            axes.iter().zip(&choices).map(|(axis, &choice)| axis.choice_label(choice)).collect();
+        let label = if settings.is_empty() { "base".to_string() } else { settings.join(" · ") };
+
+        if let Some(e) = spec.validate().into_iter().next() {
+            return Err(SpecError::new(e.path, format!("variant `{label}`: {}", e.message)));
+        }
+        let backend = parse_backend(&spec.backend).expect("validated backend");
+        let config = CampaignConfig {
+            seed: spec.campaign.seed,
+            sample_interval_s: spec.campaign.sample_interval_s,
+            passes: spec.campaign.passes,
+        };
+        Ok(SweepVariant { label, settings, choices, spec, backend, config })
+    }
+
     /// Compiles the axis cross product into the ordered variant list (see
     /// the module docs for the ordering contract).
     pub fn variants(&self) -> Result<Vec<SweepVariant>, SpecError> {
-        let axes = &self.spec.axes;
-        let counts: Vec<usize> = axes.iter().map(AxisDef::len).collect();
-        let total = self.spec.variant_count();
-        let mut out = Vec::with_capacity(total);
-        for v in 0..total {
-            // Odometer decomposition: last axis fastest.
-            let mut choices = vec![0usize; axes.len()];
-            let mut rem = v;
-            for ai in (0..axes.len()).rev() {
-                choices[ai] = rem % counts[ai];
-                rem /= counts[ai];
-            }
-
-            // Generic JSON-path overrides mutate the base value tree …
-            let mut tree = self.base_value.clone();
-            for (axis, &choice) in axes.iter().zip(&choices) {
-                if let AxisDef::Override { path, values } = axis {
-                    let segs = parse_json_path(path).expect("validated path");
-                    let slot = resolve_mut(&mut tree, &segs).expect("resolved in Sweep::new");
-                    *slot = values[choice].clone();
-                }
-            }
-            let mut spec = ScenarioSpec::from_value(&tree)?;
-
-            // … typed axes mutate the decoded spec directly.
-            for (axis, &choice) in axes.iter().zip(&choices) {
-                match axis {
-                    AxisDef::Override { .. } => {}
-                    AxisDef::Backend { select } => {
-                        spec.backend = select.backends()[choice].as_str().into();
-                    }
-                    AxisDef::Seeds { start, .. } => {
-                        spec.campaign.seed = start + choice as u64;
-                    }
-                    AxisDef::DensityScale { factors } => {
-                        spec.density.peak *= factors[choice];
-                    }
-                }
-            }
-
-            let settings: Vec<String> = axes
-                .iter()
-                .zip(&choices)
-                .map(|(axis, &choice)| axis.choice_label(choice))
-                .collect();
-            let label =
-                if settings.is_empty() { "base".to_string() } else { settings.join(" · ") };
-
-            if let Some(e) = spec.validate().into_iter().next() {
-                return Err(SpecError::new(e.path, format!("variant `{label}`: {}", e.message)));
-            }
-            let backend = parse_backend(&spec.backend).expect("validated backend");
-            let config = CampaignConfig {
-                seed: spec.campaign.seed,
-                sample_interval_s: spec.campaign.sample_interval_s,
-                passes: spec.campaign.passes,
-            };
-            out.push(SweepVariant { label, settings, choices, spec, backend, config });
-        }
-        Ok(out)
+        (0..self.spec.variant_count()).map(|v| self.variant_at(v)).collect()
     }
 
-    /// Runs the whole matrix — base campaign plus every variant — on the
-    /// thread pool and folds the results into a streaming [`SweepReport`].
-    pub fn run(&self) -> Result<SweepRun, SpecError> {
-        let variants = self.variants()?;
-
+    /// Builds the execution plan: deduplicated compiled scenarios plus one
+    /// [`RunMeta`] per run — run 0 is the base spec exactly as `sixg-cli
+    /// run` would execute it, runs `1..=N` the variants in odometer order.
+    /// This is the shared front half of in-memory, checkpointed and merge
+    /// execution; variants stream through the interner one at a time, so
+    /// peak memory is O(unique scenarios + labels), not O(variants × spec).
+    pub(crate) fn plan(&self) -> Result<RunPlan, SpecError> {
         // Scenario compilation, deduplicated on everything except campaign
         // parameters and backend (which `compile` does not consume): a
         // cadence × backend × seed sweep calibrates its site exactly once.
         let mut canon: Vec<ScenarioSpec> = Vec::new();
         let mut scenarios: Vec<Scenario> = Vec::new();
-        let mut scen_of_run: Vec<usize> = Vec::new();
         let intern = |spec: &ScenarioSpec,
                       canon: &mut Vec<ScenarioSpec>,
                       scenarios: &mut Vec<Scenario>|
@@ -656,62 +720,45 @@ impl Sweep {
             Ok(scenarios.len() - 1)
         };
 
-        // Run 0 is the base spec, exactly as `sixg-cli run` would execute
-        // it; runs 1..=N are the variants in odometer order.
         let base_backend = parse_backend(&self.base.backend).expect("validated base");
         let base_config = CampaignConfig {
             seed: self.base.campaign.seed,
             sample_interval_s: self.base.campaign.sample_interval_s,
             passes: self.base.campaign.passes,
         };
-        let mut backends = vec![base_backend];
-        let mut configs = vec![base_config];
-        scen_of_run.push(intern(&self.base, &mut canon, &mut scenarios)?);
-        for v in &variants {
-            scen_of_run.push(intern(&v.spec, &mut canon, &mut scenarios)?);
-            backends.push(v.backend);
-            configs.push(v.config);
+        let total = self.spec.variant_count();
+        let mut runs = Vec::with_capacity(total + 1);
+        runs.push(RunMeta {
+            scen: intern(&self.base, &mut canon, &mut scenarios)?,
+            backend: base_backend,
+            config: base_config,
+            label: "base".into(),
+            settings: Vec::new(),
+            choices: Vec::new(),
+        });
+        for v in 0..total {
+            let var = self.variant_at(v)?;
+            runs.push(RunMeta {
+                scen: intern(&var.spec, &mut canon, &mut scenarios)?,
+                backend: var.backend,
+                config: var.config,
+                label: var.label,
+                settings: var.settings,
+                choices: var.choices,
+            });
         }
+        let backend_axis = self.spec.axes.iter().position(|a| matches!(a, AxisDef::Backend { .. }));
+        Ok(RunPlan { scenarios, runs, backend_axis })
+    }
 
-        enum Runner<'a> {
-            Analytic(MobileCampaign<'a>),
-            Event(EventCampaign<'a>),
-        }
-        impl Runner<'_> {
-            fn shards(&self) -> Vec<Shard> {
-                match self {
-                    Runner::Analytic(c) => c.shards(),
-                    Runner::Event(c) => c.shards(),
-                }
-            }
-            fn collect_shard_into(&self, shard: Shard, buf: &mut Vec<f64>) {
-                match self {
-                    Runner::Analytic(c) => c.collect_shard_into(shard, buf),
-                    Runner::Event(c) => c.collect_shard_into(shard, buf),
-                }
-            }
-        }
-
-        let runners: Vec<Runner> = scen_of_run
-            .iter()
-            .zip(backends.iter().zip(&configs))
-            .map(|(&si, (&backend, &config))| match backend {
-                ExecBackend::Analytic => {
-                    Runner::Analytic(MobileCampaign::new(&scenarios[si], config))
-                }
-                ExecBackend::Event => Runner::Event(EventCampaign::new(&scenarios[si], config)),
-            })
-            .collect();
-
-        // The global work list: every run's (pass, cell) shards, run-major
-        // — one list, one pool pass, no drain between variants.
-        let mut items: Vec<(u32, Shard)> = Vec::new();
-        for (ri, runner) in runners.iter().enumerate() {
-            items.extend(runner.shards().into_iter().map(|s| (ri as u32, s)));
-        }
-
+    /// Runs the whole matrix — base campaign plus every variant — on the
+    /// thread pool and folds the results into a streaming [`SweepReport`].
+    pub fn run(&self) -> Result<SweepRun, SpecError> {
+        let plan = self.plan()?;
+        let runners = plan.runners();
+        let items = plan.items(&runners);
         let mut fields: Vec<CellField> =
-            scen_of_run.iter().map(|&si| CellField::new(scenarios[si].grid.clone())).collect();
+            (0..plan.runs.len()).map(|r| CellField::new(plan.grid_of(r).clone())).collect();
         run_items_streaming(
             &items,
             |(ri, shard), buf| runners[ri as usize].collect_shard_into(shard, buf),
@@ -722,55 +769,191 @@ impl Sweep {
                 }
             },
         );
+        Ok(plan.build_sweep_run(self, fields))
+    }
+}
 
-        // Fold the fields into the report.
-        let req = self.spec.requirement_ms;
+/// One run of the compiled matrix (run 0 is the base campaign).
+#[derive(Debug, Clone)]
+pub(crate) struct RunMeta {
+    /// Index into [`RunPlan::scenarios`].
+    pub(crate) scen: usize,
+    /// Execution backend.
+    pub(crate) backend: ExecBackend,
+    /// Campaign configuration.
+    pub(crate) config: CampaignConfig,
+    /// Variant label (`"base"` for run 0).
+    pub(crate) label: String,
+    /// Per-axis `target=value` settings (empty for run 0).
+    pub(crate) settings: Vec<String>,
+    /// Per-axis odometer digits (empty for run 0).
+    pub(crate) choices: Vec<usize>,
+}
+
+/// The compiled execution plan of a sweep: scenarios, runs and the backend
+/// axis, from which every execution mode (in-memory, checkpointed, merge)
+/// derives the *same* work list and the *same* report construction.
+pub(crate) struct RunPlan {
+    /// Deduplicated compiled scenarios.
+    pub(crate) scenarios: Vec<Scenario>,
+    /// All runs, run 0 first.
+    pub(crate) runs: Vec<RunMeta>,
+    /// Index of the backend axis in the sweep spec, if any.
+    pub(crate) backend_axis: Option<usize>,
+}
+
+/// A campaign runner of either backend, borrowed from a [`RunPlan`].
+pub(crate) enum Runner<'a> {
+    /// Closed-form analytic sampler.
+    Analytic(MobileCampaign<'a>),
+    /// Packet-level discrete-event campaign.
+    Event(EventCampaign<'a>),
+    /// Event campaign over a spec with a fault schedule: routes come from
+    /// the live BGP control plane (same dispatch as
+    /// [`crate::parallel::run_backend`]).
+    Faulted(Box<FaultedRunner<'a>>),
+}
+
+/// A fault-bearing event runner. [`FaultCampaign`]'s work items carry the
+/// shard's absolute start time `t0_s` (derived from the traversal), which
+/// the sweep's `(run, Shard)` items do not — so it is recovered here from
+/// the `(pass, cell)` key, which the stream-keying discipline already
+/// requires to be unique per campaign.
+pub(crate) struct FaultedRunner<'a> {
+    campaign: FaultCampaign<'a>,
+    t0_by_shard: std::collections::BTreeMap<(u32, sixg_geo::CellId), f64>,
+}
+
+impl<'a> FaultedRunner<'a> {
+    fn new(scenario: &'a Scenario, config: CampaignConfig) -> Self {
+        let campaign = FaultCampaign::new(scenario, config);
+        let t0_by_shard = campaign
+            .shards()
+            .into_iter()
+            .map(|fs| ((fs.shard.pass, fs.shard.cell), fs.t0_s))
+            .collect();
+        Self { campaign, t0_by_shard }
+    }
+}
+
+impl Runner<'_> {
+    /// The runner's `(pass, cell)` shards, in accumulation order.
+    pub(crate) fn shards(&self) -> Vec<Shard> {
+        match self {
+            Runner::Analytic(c) => c.shards(),
+            Runner::Event(c) => c.shards(),
+            Runner::Faulted(f) => f.campaign.shards().into_iter().map(|fs| fs.shard).collect(),
+        }
+    }
+
+    /// Collects one shard's samples into `buf`.
+    pub(crate) fn collect_shard_into(&self, shard: Shard, buf: &mut Vec<f64>) {
+        match self {
+            Runner::Analytic(c) => c.collect_shard_into(shard, buf),
+            Runner::Event(c) => c.collect_shard_into(shard, buf),
+            Runner::Faulted(f) => {
+                let t0_s = f.t0_by_shard[&(shard.pass, shard.cell)];
+                f.campaign.collect_shard_into(FaultShard { shard, t0_s }, buf);
+            }
+        }
+    }
+}
+
+impl RunPlan {
+    /// Instantiates every run's campaign runner. The dispatch mirrors
+    /// [`crate::parallel::run_backend`]: an event run over a spec with a
+    /// fault schedule gets the live control plane, so fault axes (e.g.
+    /// sweeping `$.faults[0].recover_at_s`) measure real convergence
+    /// transients instead of silently ignoring the schedule.
+    pub(crate) fn runners(&self) -> Vec<Runner<'_>> {
+        self.runs
+            .iter()
+            .map(|r| {
+                let scenario = &self.scenarios[r.scen];
+                match r.backend {
+                    ExecBackend::Analytic => {
+                        Runner::Analytic(MobileCampaign::new(scenario, r.config))
+                    }
+                    ExecBackend::Event if scenario.spec.faults.is_empty() => {
+                        Runner::Event(EventCampaign::new(scenario, r.config))
+                    }
+                    ExecBackend::Event => {
+                        Runner::Faulted(Box::new(FaultedRunner::new(scenario, r.config)))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The global work list: every run's `(pass, cell)` shards, run-major —
+    /// one list, one pool pass, no drain between variants. This ordering
+    /// *is* the accumulation-order contract: any execution mode that folds
+    /// these items in list order reproduces identical bits.
+    pub(crate) fn items(&self, runners: &[Runner]) -> Vec<(u32, Shard)> {
+        let mut items: Vec<(u32, Shard)> = Vec::new();
+        for (ri, runner) in runners.iter().enumerate() {
+            items.extend(runner.shards().into_iter().map(|s| (ri as u32, s)));
+        }
+        items
+    }
+
+    /// The grid run `run` accumulates over.
+    pub(crate) fn grid_of(&self, run: usize) -> &sixg_geo::GridSpec {
+        &self.scenarios[self.runs[run].scen].grid
+    }
+
+    /// Folds completed per-run fields into the executed-sweep record — the
+    /// single report-construction path shared by [`Sweep::run`],
+    /// checkpointed completion and store merging: identical fields in,
+    /// identical report bits out.
+    pub(crate) fn build_sweep_run(&self, sweep: &Sweep, fields: Vec<CellField>) -> SweepRun {
+        assert_eq!(fields.len(), self.runs.len(), "one field per run");
+        let req = sweep.spec.requirement_ms;
         let mut field_iter = fields.into_iter();
         let base_field = field_iter.next().expect("base run present");
+        let base_meta = &self.runs[0];
         let base_report = VariantReport::from_field(
             "base".into(),
             Vec::new(),
-            base_backend,
-            base_config,
+            base_meta.backend,
+            base_meta.config,
             &base_field,
             req,
             None,
         );
         let base_ref = (base_report.grand_mean_ms, base_report.exceedance_pct);
         let variant_fields: Vec<CellField> = field_iter.collect();
-        let variant_reports: Vec<VariantReport> = variants
+        let variant_reports: Vec<VariantReport> = self.runs[1..]
             .iter()
             .zip(&variant_fields)
-            .map(|(v, field)| {
+            .map(|(m, field)| {
                 VariantReport::from_field(
-                    v.label.clone(),
-                    v.settings.clone(),
-                    v.backend,
-                    v.config,
+                    m.label.clone(),
+                    m.settings.clone(),
+                    m.backend,
+                    m.config,
                     field,
                     req,
                     Some(base_ref),
                 )
             })
             .collect();
-
-        let backend_axis = self.spec.axes.iter().position(|a| matches!(a, AxisDef::Backend { .. }));
-        Ok(SweepRun {
+        SweepRun {
             report: SweepReport {
-                sweep: self.spec.name.clone(),
-                base_spec: self.base.name.clone(),
+                sweep: sweep.spec.name.clone(),
+                base_spec: sweep.base.name.clone(),
                 requirement_ms: req,
-                variant_count: variants.len(),
+                variant_count: self.runs.len() - 1,
                 base: base_report,
                 variants: variant_reports,
             },
             base_field,
             variant_fields,
-            variant_backends: variants.iter().map(|v| v.backend).collect(),
-            variant_choices: variants.iter().map(|v| v.choices.clone()).collect(),
-            variant_labels: variants.iter().map(|v| v.label.clone()).collect(),
-            backend_axis,
-        })
+            variant_backends: self.runs[1..].iter().map(|m| m.backend).collect(),
+            variant_choices: self.runs[1..].iter().map(|m| m.choices.clone()).collect(),
+            variant_labels: self.runs[1..].iter().map(|m| m.label.clone()).collect(),
+            backend_axis: self.backend_axis,
+        }
     }
 }
 
@@ -887,6 +1070,7 @@ impl SweepReport {
 
 /// An executed sweep: the report plus the per-run fields (Welford
 /// accumulators, not samples) for downstream analysis.
+#[derive(Debug)]
 pub struct SweepRun {
     /// The streaming report.
     pub report: SweepReport,

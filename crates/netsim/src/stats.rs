@@ -104,6 +104,20 @@ impl Welford {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// The raw accumulator state `(n, mean, m2, min, max)` — the exact
+    /// internal representation, for bit-preserving persistence. A state
+    /// round-tripped through [`Self::from_raw_parts`] continues the
+    /// accumulation with an identical floating-point operation sequence,
+    /// so checkpoint/resume of a sample stream is bitwise transparent.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Self::raw_parts`] output verbatim.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self { n, mean, m2, min, max }
+    }
 }
 
 /// Fixed-capacity uniform reservoir sample (Vitter's algorithm R) with a

@@ -58,6 +58,9 @@ pub mod prelude {
     pub use sixg_measure::klagenfurt::KlagenfurtScenario;
     pub use sixg_measure::scenario::{Scenario, TargetField};
     pub use sixg_measure::spec::{ScenarioSpec, SpecError};
+    pub use sixg_measure::store::{
+        merge_stores, run_checkpointed, CheckpointConfig, CheckpointOutcome, CheckpointStore,
+    };
     pub use sixg_measure::sweep::{Sweep, SweepReport, SweepSpec};
     pub use sixg_netsim::radio::{AccessModel, CellEnv, FiveGAccess, SixGAccess, WiredAccess};
     pub use sixg_netsim::rng::{SimRng, StreamKey};
