@@ -3,8 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sixg_bench::shared_scenario;
 use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
-use sixg_measure::parallel::run_parallel;
+use sixg_measure::exec::run_field;
 use sixg_measure::wired::WiredCampaign;
+use sixg_measure::ExecBackend;
 
 fn bench_sequential(c: &mut Criterion) {
     let s = shared_scenario();
@@ -17,7 +18,8 @@ fn bench_parallel(c: &mut Criterion) {
     let s = shared_scenario();
     c.bench_function("campaign/rayon_4_passes", |b| {
         b.iter(|| {
-            run_parallel(s, CampaignConfig { passes: 4, ..Default::default() }).total_samples()
+            run_field(s, CampaignConfig { passes: 4, ..Default::default() }, ExecBackend::Analytic)
+                .total_samples()
         });
     });
     c.bench_function("campaign/sequential_4_passes", |b| {

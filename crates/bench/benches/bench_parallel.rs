@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sixg_bench::shared_scenario;
 use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
-use sixg_measure::parallel::{run_parallel, with_thread_count};
+use sixg_measure::exec::run_field;
+use sixg_measure::parallel::with_thread_count;
+use sixg_measure::ExecBackend;
 
 const PASSES: u32 = 4;
 
@@ -28,7 +30,11 @@ fn bench_thread_counts(c: &mut Criterion) {
     let s = shared_scenario();
     for threads in [1usize, 2, 4, 8] {
         c.bench_function(&format!("parallel/threads_{threads}"), |b| {
-            b.iter(|| with_thread_count(threads, || run_parallel(s, config()).total_samples()));
+            b.iter(|| {
+                with_thread_count(threads, || {
+                    run_field(s, config(), ExecBackend::Analytic).total_samples()
+                })
+            });
         });
     }
 }

@@ -31,9 +31,10 @@
 use sixg_bench::{compare, header, shared_scenario};
 use sixg_measure::campaign::CampaignConfig;
 use sixg_measure::event_backend::{
-    crossval_tolerance_ms, run_event_parallel, CROSSVAL_GRAND_MEAN_TOL, CROSSVAL_SLACK_MS,
+    crossval_tolerance_ms, CROSSVAL_GRAND_MEAN_TOL, CROSSVAL_SLACK_MS,
 };
-use sixg_measure::parallel::run_parallel;
+use sixg_measure::exec::run_field;
+use sixg_measure::ExecBackend;
 use std::time::Instant;
 
 /// Absolute slack on top of the statistical bound, ms (the shared
@@ -65,10 +66,10 @@ fn main() {
     compare("campaign passes", "n/a", passes);
 
     let t0 = Instant::now();
-    let analytic = run_parallel(s, config);
+    let analytic = run_field(s, config, ExecBackend::Analytic);
     let analytic_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let event = run_event_parallel(s, config);
+    let event = run_field(s, config, ExecBackend::Event);
     let event_s = t1.elapsed().as_secs_f64();
 
     println!("\nanalytic backend: {analytic_s:>8.3} s   ({} samples)", analytic.total_samples());

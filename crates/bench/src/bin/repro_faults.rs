@@ -29,12 +29,13 @@
 //! reruns the binary at a different pool size and `cmp`s the two files.
 
 use sixg_measure::campaign::CampaignConfig;
-use sixg_measure::event_backend::{crossval_tolerance_ms, run_event_parallel};
+use sixg_measure::event_backend::crossval_tolerance_ms;
+use sixg_measure::exec::run_field;
 use sixg_measure::faults::FaultCampaign;
 use sixg_measure::klagenfurt::klagenfurt_flap_spec;
-use sixg_measure::parallel::{run_backend, with_thread_count};
+use sixg_measure::parallel::with_thread_count;
 use sixg_measure::scenario::Scenario;
-use sixg_measure::spec::{parse_backend, ScenarioSpec};
+use sixg_measure::spec::{parse_backend, ExecBackend, ScenarioSpec};
 use sixg_netsim::routing::dynamic::ControlPlane;
 use sixg_netsim::routing::PathComputer;
 use std::time::Instant;
@@ -151,10 +152,10 @@ fn main() {
     // the faulted campaign must be bitwise identical at pool sizes 1/2/4.
     let t0 = Instant::now();
     let backend = parse_backend(&flap_spec.backend).expect("validated backend tag");
-    let faulted = with_thread_count(1, || run_backend(&flap, config, backend));
+    let faulted = with_thread_count(1, || run_field(&flap, config, backend));
     let faulted_s = t0.elapsed().as_secs_f64();
     for threads in [2usize, 4] {
-        let again = with_thread_count(threads, || run_backend(&flap, config, backend));
+        let again = with_thread_count(threads, || run_field(&flap, config, backend));
         for cell in flap.grid.cells() {
             let (a, b) = (faulted.stats(cell), again.stats(cell));
             if a.count != b.count
@@ -173,7 +174,7 @@ fn main() {
     clean_spec.faults = Vec::new();
     clean_spec.backend = "event".into();
     let clean = Scenario::from_spec(&clean_spec).expect("stripping faults keeps the spec valid");
-    let unfaulted = run_event_parallel(&clean, config);
+    let unfaulted = run_field(&clean, config, ExecBackend::Event);
 
     let fc = FaultCampaign::new(&flap, config);
     let outages = fc.outages();

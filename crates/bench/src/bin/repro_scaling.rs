@@ -1,7 +1,7 @@
 //! E18 — parallel scaling: sequential vs thread-pool campaign execution.
 //!
 //! Runs the same Klagenfurt campaign through the sequential runner and
-//! through `run_parallel` at several pool sizes, reports wall time and
+//! through the facade's analytic runner at several pool sizes, reports wall time and
 //! speedup, and **verifies bitwise equality** of every parallel result
 //! against the sequential baseline. A mismatch is a determinism-contract
 //! violation and exits non-zero, so CI can use this binary as a smoke
@@ -19,7 +19,9 @@
 use sixg_bench::{compare, header, shared_scenario};
 use sixg_measure::aggregate::CellField;
 use sixg_measure::campaign::{CampaignConfig, MobileCampaign};
-use sixg_measure::parallel::{run_parallel, with_thread_count};
+use sixg_measure::exec::run_field;
+use sixg_measure::parallel::with_thread_count;
+use sixg_measure::ExecBackend;
 use std::time::Instant;
 
 fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
@@ -81,7 +83,7 @@ fn main() {
     let mut runs: Vec<serde_json::Value> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let t = Instant::now();
-        let parallel = with_thread_count(threads, || run_parallel(s, config));
+        let parallel = with_thread_count(threads, || run_field(s, config, ExecBackend::Analytic));
         let par_s = t.elapsed().as_secs_f64();
         let speedup = seq_s / par_s;
         best_speedup = best_speedup.max(speedup);

@@ -30,15 +30,12 @@
 
 use sixg_core::gap::GapReport;
 use sixg_core::requirements::{ApplicationClass, RequirementProfile};
-use sixg_measure::campaign::CampaignConfig;
-use sixg_measure::parallel::{run_backend, with_thread_count};
-use sixg_measure::report::{render_grid, CampaignSummary, FieldStat};
-use sixg_measure::scenario::Scenario;
+use sixg_measure::exec::{execute, ExecReport, ExecRequest, ShardSel};
+use sixg_measure::parallel::with_thread_count;
+use sixg_measure::report::{render_grid, FieldStat};
 use sixg_measure::spec::{parse_backend, ScenarioSpec};
-use sixg_measure::store::{
-    merge_stores, run_checkpointed, CheckpointConfig, CheckpointError, CheckpointOutcome,
-};
-use sixg_measure::sweep::{Sweep, SweepRun};
+use sixg_measure::store::{merge_stores, CheckpointError};
+use sixg_measure::sweep::{Sweep, SweepRun, SweepSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -189,7 +186,6 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         parse_backend(flag).map_err(CliError::Usage)?;
         spec.backend = flag.to_string();
     }
-    let backend = parse_backend(&spec.backend).map_err(CliError::Fail)?;
     let threads = parse_flag::<usize>(args, "--threads")?;
 
     // The spec's reference class must resolve before the campaign runs.
@@ -205,47 +201,48 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if !spec.description.is_empty() {
         println!("{}", spec.description);
     }
-    let scenario =
-        Scenario::from_spec(&spec).map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+
+    // One facade request — the CLI is a thin client of the same `execute`
+    // entry point `sixg-serve` exposes over the wire, so the run (and the
+    // `--json` payload below) is byte-for-byte what a daemon client gets.
+    let hops = spec.hops.len();
+    let mut request = ExecRequest::run(spec);
+    request.requirement_ms = Some(reference.profile().max_rtl_ms);
+    let report = match threads {
+        Some(t) => with_thread_count(t, || execute(&request)),
+        None => execute(&request),
+    }
+    .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    let ExecReport::Run(out) = report else { unreachable!("a run request yields a run report") };
+    let (field, summary) = (&out.field, &out.report);
+
     println!(
         "\ngrid {}×{} ({} cells, {} traversed) · {} hops · {} peers · seed {:#x}",
-        scenario.grid.cols,
-        scenario.grid.rows,
-        scenario.grid.len(),
-        scenario.included.len(),
-        spec.hops.len(),
-        scenario.peers.len(),
-        scenario.seed,
+        out.scenario.grid.cols,
+        out.scenario.grid.rows,
+        out.scenario.grid.len(),
+        out.scenario.included.len(),
+        hops,
+        out.scenario.peers.len(),
+        out.scenario.seed,
     );
-
-    let config = CampaignConfig {
-        seed: spec.campaign.seed,
-        sample_interval_s: spec.campaign.sample_interval_s,
-        passes: spec.campaign.passes,
-    };
     println!(
-        "campaign: {} passes, seed {}, {:.1} s cadence, {backend} backend",
-        config.passes, config.seed, config.sample_interval_s
+        "campaign: {} passes, seed {}, {:.1} s cadence, {} backend",
+        summary.passes, summary.seed, summary.sample_interval_s, summary.backend
     );
-
-    let field = match threads {
-        Some(t) => with_thread_count(t, || run_backend(&scenario, config, backend)),
-        None => run_backend(&scenario, config, backend),
-    };
 
     println!("\n--- mean RTL heatmap (ms, 0.0 = not traversed) ---");
-    print!("{}", render_grid(&field, FieldStat::Mean));
+    print!("{}", render_grid(field, FieldStat::Mean));
     println!("--- σ heatmap (ms) ---");
-    print!("{}", render_grid(&field, FieldStat::StdDev));
+    print!("{}", render_grid(field, FieldStat::StdDev));
 
-    let summary = CampaignSummary::from_field(&field);
     println!("--- campaign summary ---");
     println!("samples:      {}", summary.total_samples);
     println!("grand mean:   {:.4} ms", summary.grand_mean_ms);
     println!("mean range:   {:.4} .. {:.4} ms", summary.mean_min_ms, summary.mean_max_ms);
     println!("sigma range:  {:.4} .. {:.4} ms", summary.std_min_ms, summary.std_max_ms);
 
-    let gap = GapReport::analyse(&field, &reference.profile());
+    let gap = GapReport::analyse(field, &reference.profile());
     println!("\n--- requirement gap vs {reference:?} ({} ms) ---", gap.requirement_ms);
     println!("exceedance:      {:.4} %", gap.exceedance_pct);
     println!("best cell:       {:.4} %", gap.best_cell_exceedance_pct);
@@ -265,18 +262,12 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         );
     }
 
-    if let Some(out) = flag_value(args, "--json") {
-        let mut doc = serde_json::to_value(&summary);
-        if let serde_json::Value::Object(pairs) = &mut doc {
-            pairs.push(("scenario".into(), serde_json::Value::String(spec.name.clone())));
-            pairs.push(("backend".into(), serde_json::Value::String(backend.to_string())));
-            pairs.push(("requirement_ms".into(), serde_json::Value::F64(gap.requirement_ms)));
-            pairs.push(("exceedance_pct".into(), serde_json::Value::F64(gap.exceedance_pct)));
-        }
-        let text = serde_json::to_string_pretty(&doc).expect("summary serialises");
-        std::fs::write(out, text)
-            .map_err(|e| CliError::fail(format!("cannot write {out}: {e}")))?;
-        println!("\nwrote {out}");
+    if let Some(path_out) = flag_value(args, "--json") {
+        // The facade's canonical rendering: identical bytes whether the
+        // request ran here, via `execute()` in-process, or over the wire.
+        std::fs::write(path_out, summary.to_json())
+            .map_err(|e| CliError::fail(format!("cannot write {path_out}: {e}")))?;
+        println!("\nwrote {path_out}");
     }
     Ok(())
 }
@@ -340,68 +331,73 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage("invalid value \"0\" for --interval (must be at least 1)"));
     }
 
-    // Checkpointed runs spill to disk, so the in-memory variant cap does
-    // not apply to them.
-    let sweep = match checkpoint {
-        Some(_) => Sweep::from_json_in_dir_unbounded(&text, dir),
-        None => Sweep::from_json_in_dir(&text, dir),
-    }
-    .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    // The CLI resolves the sweep's filesystem references (the wire has no
+    // filesystem), then hands one facade request to the same `execute`
+    // entry point `sixg-serve` serves remotely. An unreadable base spec is
+    // reachable-but-broken content (exit 1), like every other document
+    // failure past the initial sweep-file read.
+    let sweep_spec =
+        SweepSpec::from_json(&text).map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    let base_path = dir.join(&sweep_spec.base);
+    let base_text = std::fs::read_to_string(&base_path).map_err(|e| {
+        CliError::fail(format!(
+            "{path}: $.base: cannot read base spec {}: {e}",
+            base_path.display()
+        ))
+    })?;
+    let base_value = serde_json::from_str(&base_text)
+        .map_err(|e| CliError::fail(format!("{path}: $: base spec is invalid JSON: {e}")))?;
 
-    println!("=== sweep: {} ===", sweep.spec.name);
-    if !sweep.spec.description.is_empty() {
-        println!("{}", sweep.spec.description);
+    println!("=== sweep: {} ===", sweep_spec.name);
+    if !sweep_spec.description.is_empty() {
+        println!("{}", sweep_spec.description);
     }
     println!(
         "base {} · {} axes · {} variants · requirement {} ms",
-        sweep.base.name,
-        sweep.spec.axes.len(),
-        sweep.spec.variant_count(),
-        sweep.spec.requirement_ms
+        sweep_spec.base,
+        sweep_spec.axes.len(),
+        sweep_spec.variant_count(),
+        sweep_spec.requirement_ms
     );
-
-    let Some(store_dir) = checkpoint else {
-        let run = match threads {
-            Some(t) => with_thread_count(t, || sweep.run()),
-            None => sweep.run(),
-        }
-        .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
-        return report_sweep_run(path, &run, args);
-    };
-
     let (shard_index, shard_count) = shard.unwrap_or((0, 1));
-    let mut cfg = CheckpointConfig::new(store_dir);
-    cfg.shard_index = shard_index;
-    cfg.shard_count = shard_count;
-    if let Some(k) = interval {
-        cfg.interval = k;
+    if let Some(store_dir) = checkpoint {
+        println!("checkpoint store: {store_dir} (shard {shard_index}/{shard_count})");
     }
-    cfg.stop_after_items = kill_after;
-    println!("checkpoint store: {store_dir} (shard {shard_index}/{shard_count})");
 
-    let outcome = match threads {
-        Some(t) => with_thread_count(t, || run_checkpointed(&sweep, &cfg)),
-        None => run_checkpointed(&sweep, &cfg),
+    let mut request = ExecRequest::sweep(sweep_spec, base_value);
+    request.checkpoint = checkpoint.map(str::to_string);
+    request.shard = shard.map(|(index, count)| ShardSel { index, count });
+    request.interval = interval;
+    request.stop_after_items = kill_after;
+
+    let report = match threads {
+        Some(t) => with_thread_count(t, || execute(&request)),
+        None => execute(&request),
     }
-    .map_err(|e| checkpoint_err(path, e))?;
-    match outcome {
-        CheckpointOutcome::Complete(run) => report_sweep_run(path, &run, args),
-        CheckpointOutcome::ShardComplete { shard_index, shard_count, done_items } => {
+    .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+    match report {
+        ExecReport::Sweep(run) => report_sweep_run(path, &run, args),
+        ExecReport::ShardComplete { shard_index, shard_count, done_items } => {
+            let store_dir = checkpoint.expect("sharding requires --checkpoint");
             println!(
                 "shard {shard_index}/{shard_count} complete: {done_items} items spilled to \
                  {store_dir} — fold the shards with `sixg-cli merge`"
             );
             Ok(())
         }
-        CheckpointOutcome::Interrupted { done_items, total_items } => {
+        ExecReport::Interrupted { done_items, total_items } => {
             // The testing hook behaves like a real kill: the cursor is
             // committed, then the process dies without an exit status a
             // script could mistake for success.
+            let store_dir = checkpoint.expect("--kill-after requires --checkpoint");
             eprintln!(
                 "sixg-cli: killed at checkpoint cursor {done_items}/{total_items} \
                  (--kill-after) — rerun with --checkpoint {store_dir} to resume"
             );
             std::process::abort();
+        }
+        ExecReport::Valid { .. } | ExecReport::Run(_) => {
+            unreachable!("a sweep request yields a sweep outcome")
         }
     }
 }

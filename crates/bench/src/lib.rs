@@ -16,6 +16,9 @@
 use sixg_measure::klagenfurt::KlagenfurtScenario;
 use std::sync::OnceLock;
 
+pub mod serve;
+pub mod serve_client;
+
 /// The scenario seed used by every reproduction binary (so their outputs
 /// agree with each other and with the golden tests).
 pub const REPRO_SEED: u64 = 0x6B6C_7531;

@@ -1,0 +1,356 @@
+//! The `sixg-serve` wire protocol and daemon core.
+//!
+//! A long-lived campaign daemon: one [`sixg_measure::Executor`] (facade +
+//! compiled-scenario cache) shared across thread-per-connection clients on
+//! a plain `std::net` TCP socket. No async runtime, no external protocol
+//! crates — the frame codec below is the entire dependency surface.
+//!
+//! ## Frame layout
+//!
+//! Every message in both directions is one length-prefixed frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "6GSV"
+//!      4     1  kind   (1 = REQUEST, 2 = VARIANT, 3 = REPORT, 4 = ERROR)
+//!      5     3  reserved, must be zero
+//!      8     4  payload length, u32 little-endian (cap: 64 MiB)
+//!     12     n  payload, UTF-8 JSON
+//! ```
+//!
+//! A client sends one `REQUEST` frame per exchange — the payload is an
+//! [`ExecRequest`] JSON document (`{"action": "run" | "sweep" | "validate",
+//! ...}`). The server answers with zero or more `VARIANT` frames (sweep
+//! requests stream one per completed campaign, in run order:
+//! `{"run": N, "report": {…VariantReport…}}`) followed by exactly one
+//! terminal frame: `REPORT` carrying [`sixg_measure::ExecReport::to_json`]
+//! bytes on success, or `ERROR` carrying `{"code", "path", "message"}`
+//! from the
+//! facade's [`SpecError`]. The connection then idles for the next request;
+//! clients close by shutting the socket down between frames.
+//!
+//! ## Determinism on the wire
+//!
+//! `REPORT` payloads are the same bytes [`sixg_measure::execute`] would
+//! serialise in-process: no wall times, no connection state, no cache
+//! tags. Identical requests therefore produce byte-identical payloads
+//! regardless of concurrent load, scenario-cache hits, or pool size — the
+//! property `repro_serve` and `tests/serve.rs` gate on.
+
+use sixg_measure::exec::{ExecRequest, Executor};
+use sixg_measure::parallel::with_thread_count;
+use sixg_measure::spec::{ErrorCode, SpecError};
+use sixg_measure::sweep::VariantReport;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use serde_json::Value;
+
+/// Frame magic: every frame in either direction starts with these bytes.
+pub const MAGIC: [u8; 4] = *b"6GSV";
+
+/// Frame header size (magic + kind + reserved + length), bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a frame payload — a mega-sweep report is a few MiB;
+/// anything past this is a corrupt length field, not a real request.
+pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
+
+/// Frame kind tags (byte 4 of the header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: an [`ExecRequest`] JSON document.
+    Request,
+    /// Server → client: one streamed per-variant sweep report.
+    Variant,
+    /// Server → client, terminal: the [`sixg_measure::ExecReport`] JSON.
+    Report,
+    /// Server → client, terminal: `{"code", "path", "message"}`.
+    Error,
+}
+
+impl FrameKind {
+    /// The wire tag.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Variant => 2,
+            FrameKind::Report => 3,
+            FrameKind::Error => 4,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => FrameKind::Request,
+            2 => FrameKind::Variant,
+            3 => FrameKind::Report,
+            4 => FrameKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_PAYLOAD_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame payload too large"))?;
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = kind.as_u8();
+    header[8..].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer shut the
+/// connection down between frames); EOF inside a frame, a bad magic, an
+/// unknown kind, non-zero reserved bytes, or an oversized length are all
+/// `InvalidData` errors — the stream is unrecoverable after any of them.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, Vec<u8>)>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside a frame header",
+            ));
+        }
+        filled += n;
+    }
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if header[..4] != MAGIC {
+        return Err(bad("bad frame magic (expected \"6GSV\")"));
+    }
+    let kind = FrameKind::from_u8(header[4]).ok_or_else(|| bad("unknown frame kind"))?;
+    if header[5..8] != [0, 0, 0] {
+        return Err(bad("non-zero reserved bytes in frame header"));
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD_LEN {
+        return Err(bad("frame payload length exceeds the 64 MiB cap"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((kind, payload)))
+}
+
+/// The `ERROR` frame payload for a facade error: stable field order, so
+/// identical failures serialise identically.
+pub fn error_payload(e: &SpecError) -> Vec<u8> {
+    let v = Value::Object(vec![
+        ("code".into(), Value::String(e.code.as_str().into())),
+        ("path".into(), Value::String(e.path.clone())),
+        ("message".into(), Value::String(e.message.clone())),
+    ]);
+    serde_json::to_string_pretty(&v).expect("error payload serialises").into_bytes()
+}
+
+/// The `VARIANT` frame payload for one streamed sweep variant.
+pub fn variant_payload(run: usize, report: &VariantReport) -> Vec<u8> {
+    let v = Value::Object(vec![
+        ("run".into(), Value::U64(run as u64)),
+        ("report".into(), serde_json::to_value(report)),
+    ]);
+    serde_json::to_string_pretty(&v).expect("variant payload serialises").into_bytes()
+}
+
+/// The daemon: a bound listener plus the shared executor every connection
+/// multiplexes onto.
+pub struct Server {
+    listener: TcpListener,
+    executor: Arc<Executor>,
+    threads: Option<usize>,
+}
+
+impl Server {
+    /// Binds `addr` (`"127.0.0.1:0"` picks an ephemeral port — read it
+    /// back with [`Self::local_addr`]). `cache_capacity` bounds the shared
+    /// compiled-scenario cache; `threads`, when set, pins the rayon pool
+    /// size each connection thread uses (results are bitwise identical
+    /// either way — this only shapes load).
+    pub fn bind(addr: &str, cache_capacity: usize, threads: Option<usize>) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            executor: Arc::new(Executor::with_capacity(cache_capacity)),
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared executor (for in-process smoke tests and stats).
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// The accept loop: one thread per connection, forever. Accept errors
+    /// on a single connection are skipped; only a dead listener returns.
+    pub fn run(&self) -> io::Result<()> {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            let executor = Arc::clone(&self.executor);
+            let threads = self.threads;
+            std::thread::spawn(move || serve_connection(&executor, stream, threads));
+        }
+    }
+}
+
+/// One connection's request loop: frames in, frames out, until the client
+/// shuts down or the stream turns unrecoverable.
+fn serve_connection(executor: &Executor, mut stream: TcpStream, threads: Option<usize>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let (kind, payload) = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean shutdown, client vanished, or garbage on the wire:
+            // nothing sensible to answer on this socket either way.
+            Ok(None) | Err(_) => return,
+        };
+        if kind != FrameKind::Request {
+            let e = SpecError::coded(
+                ErrorCode::Schema,
+                "$",
+                format!("expected a REQUEST frame, got kind {}", kind.as_u8()),
+            );
+            let _ = write_frame(&mut stream, FrameKind::Error, &error_payload(&e));
+            return;
+        }
+        let outcome = std::str::from_utf8(&payload)
+            .map_err(|_| {
+                SpecError::coded(ErrorCode::InvalidJson, "$", "request payload is not UTF-8")
+            })
+            .and_then(ExecRequest::from_json);
+        let request = match outcome {
+            Ok(request) => request,
+            Err(e) => {
+                // A malformed request poisons nothing: answer and keep the
+                // connection for the client's next attempt.
+                if write_frame(&mut stream, FrameKind::Error, &error_payload(&e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !answer_request(executor, &mut stream, &request, threads) {
+            return;
+        }
+    }
+}
+
+/// Executes one decoded request and writes the response frames; `false`
+/// means the socket died and the connection loop should end.
+fn answer_request(
+    executor: &Executor,
+    stream: &mut TcpStream,
+    request: &ExecRequest,
+    threads: Option<usize>,
+) -> bool {
+    let mut wire_dead = false;
+    let mut emit = |run: usize, report: &VariantReport| {
+        if !wire_dead {
+            let payload = variant_payload(run, report);
+            wire_dead = write_frame(&mut *stream, FrameKind::Variant, &payload).is_err();
+        }
+    };
+    let result = match threads {
+        Some(t) => with_thread_count(t, || executor.execute_streaming(request, &mut emit)),
+        None => executor.execute_streaming(request, &mut emit),
+    };
+    if wire_dead {
+        return false;
+    }
+    let written = match result {
+        Ok(report) => write_frame(stream, FrameKind::Report, report.to_json().as_bytes()),
+        Err(e) => write_frame(stream, FrameKind::Error, &error_payload(&e)),
+    };
+    written.is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_kinds_round_trip() {
+        for kind in [FrameKind::Request, FrameKind::Variant, FrameKind::Report, FrameKind::Error] {
+            assert_eq!(FrameKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_u8(0), None);
+        assert_eq!(FrameKind::from_u8(5), None);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"{\"action\":\"validate\"}").unwrap();
+        write_frame(&mut buf, FrameKind::Report, b"").unwrap();
+        let mut r = &buf[..];
+        let (kind, payload) = read_frame(&mut r).unwrap().expect("first frame");
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(payload, b"{\"action\":\"validate\"}");
+        let (kind, payload) = read_frame(&mut r).unwrap().expect("second frame");
+        assert_eq!(kind, FrameKind::Report);
+        assert!(payload.is_empty());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn corrupt_frames_are_invalid_data() {
+        // Bad magic.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[0] = b'!';
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Unknown kind.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[4] = 9;
+        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        // Non-zero reserved bytes.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[6] = 1;
+        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        // Length past the cap.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        buf[8..12].copy_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
+        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        // EOF inside the header.
+        let err = read_frame(&mut &buf[..7]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn error_payload_carries_the_machine_readable_code() {
+        let e = SpecError::coded(ErrorCode::Conflict, "$.checkpoint", "no checkpointed runs");
+        let text = String::from_utf8(error_payload(&e)).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("conflict"));
+        assert_eq!(v.get("path").and_then(Value::as_str), Some("$.checkpoint"));
+        assert_eq!(v.get("message").and_then(Value::as_str), Some("no checkpointed runs"));
+    }
+}

@@ -231,7 +231,8 @@ impl<'a> EventCampaign<'a> {
     }
 
     /// Runs the full campaign sequentially, shard by shard, reusing one
-    /// sample buffer (bitwise identical to [`run_event_parallel`]).
+    /// sample buffer (bitwise identical to the parallel runner behind
+    /// [`crate::exec::run_field`]).
     pub fn run(&self) -> CellField {
         crate::parallel::run_shards_sequential(
             self.campaign.scenario(),
@@ -243,17 +244,29 @@ impl<'a> EventCampaign<'a> {
 
 /// Runs the event-driven campaign on the thread pool, sharding at (pass,
 /// cell) granularity and merging batches in deterministic work-list order
-/// — the event-backend counterpart of [`crate::parallel::run_parallel`].
-pub fn run_event_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+/// — the event half of the [`crate::exec`] dispatch.
+pub(crate) fn event_field(scenario: &Scenario, config: CampaignConfig) -> CellField {
     let ec = EventCampaign::new(scenario, config);
     run_shards(scenario, &ec.shards(), |shard, buf| ec.collect_shard_into(shard, buf))
+}
+
+#[doc(hidden)]
+#[deprecated(
+    note = "superseded by the ExecRequest facade: use `exec::run_field(scenario, config, \
+            ExecBackend::Event)` (or `exec::execute` on a spec); this shim forwards to the \
+            same event runner"
+)]
+pub fn run_event_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+    event_field(scenario, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::run_field;
     use crate::klagenfurt::KlagenfurtScenario;
-    use crate::parallel::{run_parallel, with_thread_count};
+    use crate::parallel::with_thread_count;
+    use crate::spec::ExecBackend;
     use crate::spec::ScenarioSpec;
 
     fn scenario() -> KlagenfurtScenario {
@@ -277,7 +290,7 @@ mod tests {
         let config = CampaignConfig { seed: 5, passes: 2, ..Default::default() };
         let seq = EventCampaign::new(&s, config).run();
         for &threads in &[1usize, 2, 4] {
-            let par = with_thread_count(threads, || run_event_parallel(&s, config));
+            let par = with_thread_count(threads, || event_field(&s, config));
             assert_fields_bitwise_equal(&s, &seq, &par, &format!("{threads} threads"));
         }
     }
@@ -288,8 +301,8 @@ mod tests {
     fn event_backend_matches_analytic_sample_counts() {
         let s = scenario();
         let config = CampaignConfig { seed: 9, passes: 2, ..Default::default() };
-        let analytic = run_parallel(&s, config);
-        let event = run_event_parallel(&s, config);
+        let analytic = run_field(&s, config, ExecBackend::Analytic);
+        let event = event_field(&s, config);
         for cell in s.grid.cells() {
             assert_eq!(analytic.stats(cell).count, event.stats(cell).count, "cell {cell}");
         }
@@ -303,8 +316,8 @@ mod tests {
     fn event_backend_tracks_analytic_means() {
         let s = scenario();
         let config = CampaignConfig { seed: 2, passes: 6, ..Default::default() };
-        let analytic = run_parallel(&s, config);
-        let event = run_event_parallel(&s, config);
+        let analytic = run_field(&s, config, ExecBackend::Analytic);
+        let event = event_field(&s, config);
         for cell in s.grid.cells() {
             let (a, e) = (analytic.stats(cell), event.stats(cell));
             if a.is_masked() {

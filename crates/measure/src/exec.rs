@@ -1,0 +1,1360 @@
+//! The unified execution facade: one typed request, one entry point.
+//!
+//! Before this module, every caller hand-picked one of five scattered
+//! entry points (`run_parallel`, `run_backend`, `run_event_parallel`,
+//! `run_faulted_parallel`, `run_checkpointed`) plus the [`Sweep::run`]
+//! path — a zoo with no single surface a daemon could expose, and a
+//! standing silent-drop hazard: nothing rejected a flag combination no
+//! runner honors. This module collapses the zoo into:
+//!
+//! * [`ExecRequest`] — a typed, JSON-codable request envelope carrying the
+//!   action (`validate` / `run` / `sweep`), the spec documents, run-level
+//!   overrides, and the checkpoint/shard family. [`ExecRequest::validate`]
+//!   *rejects* (never ignores) field combinations no runner honors —
+//!   `checkpoint` on a single run, `shard` without `checkpoint`, an
+//!   analytic backend override on a fault-bearing spec — each with a
+//!   machine-readable [`ErrorCode`].
+//! * [`execute`] — `ExecRequest → ExecReport`, with dispatch (analytic /
+//!   event / faulted / checkpointed) decided by validated request fields
+//!   instead of caller-chosen function names.
+//! * [`run_field`] — the compiled-scenario entry point the old free
+//!   functions forwarded to; tests, benches and repro bins call this.
+//! * [`Executor`] + [`ScenarioCache`] — a long-lived execution context
+//!   holding compiled [`Scenario`]s hot, keyed by canonical spec content
+//!   hash ([`scenario_content_hash`]); the `sixg-serve` daemon wraps one
+//!   `Executor` and multiplexes connections onto it.
+//!
+//! **Determinism.** Scenario compilation is a pure function of the
+//! canonical spec, and every runner folds samples in work-list order, so
+//! a cache hit, a cold compile, a different pool size, or a concurrent
+//! request on the same `Executor` all produce byte-identical reports —
+//! the contract the wire protocol extends to remote clients.
+//!
+//! **Error anchoring.** Envelope-level complaints (missing/forbidden
+//! request fields, override conflicts) anchor at the envelope member
+//! (`$.checkpoint`, `$.backend`); document-level complaints anchor inside
+//! the spec or sweep document exactly as [`ScenarioSpec::validate`] and
+//! sweep validation emit them, so existing path-pinned tooling keeps
+//! working whether a document is validated standalone or via a request.
+
+use crate::aggregate::CellField;
+use crate::campaign::CampaignConfig;
+use crate::parallel::{dispatch_backend, run_items_streaming};
+use crate::report::CellSummary;
+use crate::scenario::Scenario;
+use crate::spec::{
+    parse_backend, CampaignDef, Ctx, ErrorCode, ExecBackend, ScenarioSpec, SpecError,
+};
+use crate::store::{fnv1a64, run_checkpointed, CheckpointConfig, CheckpointError};
+use crate::sweep::{Sweep, SweepRun, SweepSpec, VariantReport, DEFAULT_REQUIREMENT_MS};
+use serde::{Serialize, Value};
+use std::sync::{Arc, Mutex};
+
+/// Runs a compiled scenario's campaign with the chosen backend on the
+/// thread pool — the supported replacement for the deprecated
+/// `run_parallel` / `run_event_parallel` / `run_faulted_parallel` /
+/// `run_backend` free functions. A fault schedule in the spec routes an
+/// event run to the live BGP control plane; the analytic backend samples
+/// closed-form path delays. Bitwise-deterministic at every pool size.
+pub fn run_field(scenario: &Scenario, config: CampaignConfig, backend: ExecBackend) -> CellField {
+    dispatch_backend(scenario, config, backend)
+}
+
+// ---------------------------------------------------------------------------
+// The request envelope.
+// ---------------------------------------------------------------------------
+
+/// What an [`ExecRequest`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecAction {
+    /// Parse + validate the payload documents; run nothing.
+    Validate,
+    /// Execute one scenario campaign.
+    Run,
+    /// Execute a sweep's whole campaign matrix.
+    Sweep,
+}
+
+impl ExecAction {
+    /// The stable wire tag (`"validate"` / `"run"` / `"sweep"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecAction::Validate => "validate",
+            ExecAction::Run => "run",
+            ExecAction::Sweep => "sweep",
+        }
+    }
+
+    /// Parses a wire tag back into an action.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "validate" => ExecAction::Validate,
+            "run" => ExecAction::Run,
+            "sweep" => ExecAction::Sweep,
+            _ => return None,
+        })
+    }
+}
+
+/// Shard selection of a checkpointed sweep: run only shard `index` of
+/// `count` disjoint run ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSel {
+    /// This shard's index (`< count`).
+    pub index: u32,
+    /// Total shards (`>= 1`).
+    pub count: u32,
+}
+
+/// The one typed request every execution mode goes through.
+///
+/// Construct with [`ExecRequest::run`] / [`ExecRequest::sweep`] /
+/// [`ExecRequest::validate_spec`] / [`ExecRequest::validate_sweep`] and
+/// set the optional fields directly, or decode one from wire JSON with
+/// [`ExecRequest::from_json`]. [`ExecRequest::validate`] checks the whole
+/// field matrix before anything runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRequest {
+    /// What to do.
+    pub action: ExecAction,
+    /// The scenario spec (`run`, or `validate` of a single scenario).
+    pub spec: Option<ScenarioSpec>,
+    /// The sweep spec (`sweep`, or `validate` of a sweep).
+    pub sweep: Option<SweepSpec>,
+    /// The sweep's base scenario spec, inline as a raw value tree (the
+    /// wire has no filesystem; clients resolve the sweep's `base` file
+    /// reference before sending).
+    pub base: Option<Value>,
+    /// Run-level backend override (`"analytic"` / `"event"`).
+    pub backend: Option<String>,
+    /// Run-level scenario-seed override (calibration + streams).
+    pub seed: Option<u64>,
+    /// Run-level campaign-seed override.
+    pub campaign_seed: Option<u64>,
+    /// Run-level passes override.
+    pub passes: Option<u32>,
+    /// Run-level sampling-cadence override, seconds.
+    pub sample_interval_s: Option<f64>,
+    /// Latency requirement the run report's exceedance is judged against,
+    /// ms (default [`DEFAULT_REQUIREMENT_MS`]; sweeps carry their own).
+    pub requirement_ms: Option<f64>,
+    /// Checkpoint store directory: spill completed variants to a resumable
+    /// on-disk store (sweeps only; lifts the in-memory variant cap).
+    pub checkpoint: Option<String>,
+    /// With `checkpoint`: run only this shard of the run range.
+    pub shard: Option<ShardSel>,
+    /// With `checkpoint`: work items folded between cursor commits.
+    pub interval: Option<usize>,
+    /// With `checkpoint`: stop once this many items are folded (the
+    /// kill/resume testing hook).
+    pub stop_after_items: Option<u64>,
+}
+
+impl ExecRequest {
+    fn empty(action: ExecAction) -> Self {
+        Self {
+            action,
+            spec: None,
+            sweep: None,
+            base: None,
+            backend: None,
+            seed: None,
+            campaign_seed: None,
+            passes: None,
+            sample_interval_s: None,
+            requirement_ms: None,
+            checkpoint: None,
+            shard: None,
+            interval: None,
+            stop_after_items: None,
+        }
+    }
+
+    /// A run request for one scenario spec.
+    pub fn run(spec: ScenarioSpec) -> Self {
+        Self { spec: Some(spec), ..Self::empty(ExecAction::Run) }
+    }
+
+    /// A sweep request: the sweep spec plus its base scenario's value tree.
+    pub fn sweep(sweep: SweepSpec, base: Value) -> Self {
+        Self { sweep: Some(sweep), base: Some(base), ..Self::empty(ExecAction::Sweep) }
+    }
+
+    /// A validate request for one scenario spec.
+    pub fn validate_spec(spec: ScenarioSpec) -> Self {
+        Self { spec: Some(spec), ..Self::empty(ExecAction::Validate) }
+    }
+
+    /// A validate request for a sweep.
+    pub fn validate_sweep(sweep: SweepSpec, base: Value) -> Self {
+        Self { sweep: Some(sweep), base: Some(base), ..Self::empty(ExecAction::Validate) }
+    }
+
+    /// Decodes a request from a parsed JSON value tree. Spec/sweep decode
+    /// errors are re-anchored under the envelope member that carried the
+    /// document (`$.spec…`, `$.sweep…`).
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let c = Ctx::root(v);
+        if c.v.as_object().is_none() {
+            return Err(c.type_err("object"));
+        }
+        let action_c = c.field("action")?;
+        let tag = action_c.str()?;
+        let action = ExecAction::parse(tag).ok_or_else(|| {
+            action_c
+                .err(format!("unknown action {tag:?} (expected validate, run or sweep)"))
+                .with_code(ErrorCode::Schema)
+        })?;
+        let spec = match c.opt("spec") {
+            Some(x) => Some(ScenarioSpec::from_value(x.v).map_err(|e| reanchor("$.spec", e))?),
+            None => None,
+        };
+        let sweep = match c.opt("sweep") {
+            Some(x) => Some(SweepSpec::from_value(x.v).map_err(|e| reanchor("$.sweep", e))?),
+            None => None,
+        };
+        let shard = match c.opt("shard") {
+            Some(x) => {
+                Some(ShardSel { index: x.field("index")?.u32()?, count: x.field("count")?.u32()? })
+            }
+            None => None,
+        };
+        Ok(Self {
+            action,
+            spec,
+            sweep,
+            base: c.opt("base").map(|x| x.v.clone()),
+            backend: c.opt("backend").map(|x| x.string()).transpose()?,
+            seed: c.opt("seed").map(|x| x.u64()).transpose()?,
+            campaign_seed: c.opt("campaign_seed").map(|x| x.u64()).transpose()?,
+            passes: c.opt("passes").map(|x| x.u32()).transpose()?,
+            sample_interval_s: c.opt("sample_interval_s").map(|x| x.f64()).transpose()?,
+            requirement_ms: c.opt("requirement_ms").map(|x| x.f64()).transpose()?,
+            checkpoint: c.opt("checkpoint").map(|x| x.string()).transpose()?,
+            shard,
+            interval: c.opt("interval").map(|x| x.u64()).transpose()?.map(|n| n as usize),
+            stop_after_items: c.opt("stop_after_items").map(|x| x.u64()).transpose()?,
+        })
+    }
+
+    /// Parses a request from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let v = serde_json::from_str(text).map_err(|e| {
+            SpecError::coded(ErrorCode::InvalidJson, "$", format!("invalid JSON: {e}"))
+        })?;
+        Self::from_value(&v)
+    }
+
+    /// Serialises to compact JSON. Field order is fixed and absent
+    /// optionals are omitted, so identical requests encode to identical
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("request serialises")
+    }
+
+    /// Checks the whole request field matrix; the first violation is
+    /// returned, anchored at the envelope member. Field combinations no
+    /// runner honors are *rejected*, never silently dropped — the
+    /// [`ErrorCode::Conflict`] class.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let conflict =
+            |path: &str, msg: String| Err(SpecError::coded(ErrorCode::Conflict, path, msg));
+        let missing =
+            |path: &str, msg: &str| Err(SpecError::coded(ErrorCode::Schema, path, msg.to_string()));
+        let action = self.action.as_str();
+
+        // The checkpoint family: checkpointing is sweep execution's resume
+        // machinery; the dependent knobs are meaningless without it.
+        if self.checkpoint.is_some() && self.action != ExecAction::Sweep {
+            return conflict(
+                "$.checkpoint",
+                format!(
+                    "checkpointing applies to sweep execution (a {action} request has no \
+                     resume cursor); remove $.checkpoint or use action \"sweep\""
+                ),
+            );
+        }
+        if self.checkpoint.is_none() {
+            for (path, present) in [
+                ("$.shard", self.shard.is_some()),
+                ("$.interval", self.interval.is_some()),
+                ("$.stop_after_items", self.stop_after_items.is_some()),
+            ] {
+                if present {
+                    return conflict(
+                        path,
+                        format!("{path} requires $.checkpoint (the on-disk sweep store)"),
+                    );
+                }
+            }
+        }
+        if let Some(s) = self.shard {
+            if s.count < 1 || s.index >= s.count {
+                return Err(SpecError::new(
+                    "$.shard",
+                    format!(
+                        "shard {}/{} is not a valid shard (need index < count)",
+                        s.index, s.count
+                    ),
+                ));
+            }
+        }
+        if self.interval == Some(0) {
+            return Err(SpecError::new("$.interval", "checkpoint interval must be at least 1"));
+        }
+        if let Some(b) = &self.backend {
+            parse_backend(b).map_err(|m| SpecError::new("$.backend", m))?;
+        }
+        if let Some(r) = self.requirement_ms {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(SpecError::new(
+                    "$.requirement_ms",
+                    format!("requirement must be positive, got {r}"),
+                ));
+            }
+        }
+
+        match self.action {
+            ExecAction::Run => {
+                if self.spec.is_none() {
+                    return missing("$.spec", "a run request needs a scenario spec");
+                }
+                if self.sweep.is_some() {
+                    return conflict(
+                        "$.sweep",
+                        "a run request executes one scenario; use action \"sweep\" to run a \
+                         sweep document"
+                            .into(),
+                    );
+                }
+                if self.base.is_some() {
+                    return conflict(
+                        "$.base",
+                        "a base spec accompanies a sweep document, not a single run".into(),
+                    );
+                }
+                // The silent-drop hazard the spec-level check cannot see:
+                // the override flips a fault-bearing event spec back to
+                // analytic, which would skip the fault schedule entirely.
+                if self.backend.as_deref() == Some("analytic") {
+                    if let Some(spec) = &self.spec {
+                        if !spec.faults.is_empty() {
+                            return conflict(
+                                "$.backend",
+                                "the spec schedules faults, which replay on the event \
+                                 calendar; an analytic override would silently skip them — \
+                                 drop the override or clear $.spec.faults"
+                                    .into(),
+                            );
+                        }
+                    }
+                }
+            }
+            ExecAction::Sweep => {
+                if self.sweep.is_none() {
+                    return missing("$.sweep", "a sweep request needs a sweep spec");
+                }
+                if self.base.is_none() {
+                    return missing(
+                        "$.base",
+                        "a sweep request needs the base scenario spec inline (the wire has \
+                         no filesystem to resolve the sweep's base reference)",
+                    );
+                }
+                if self.spec.is_some() {
+                    return conflict(
+                        "$.spec",
+                        "a sweep request takes its scenarios from $.sweep and $.base; use \
+                         action \"run\" to execute one scenario spec"
+                            .into(),
+                    );
+                }
+                for (path, present) in [
+                    ("$.backend", self.backend.is_some()),
+                    ("$.seed", self.seed.is_some()),
+                    ("$.campaign_seed", self.campaign_seed.is_some()),
+                    ("$.passes", self.passes.is_some()),
+                    ("$.sample_interval_s", self.sample_interval_s.is_some()),
+                    ("$.requirement_ms", self.requirement_ms.is_some()),
+                ] {
+                    if present {
+                        return conflict(
+                            path,
+                            format!(
+                                "{path} is a run-level override no sweep runner honors — \
+                                 sweep the parameter with an axis (or set it in the base \
+                                 spec) instead"
+                            ),
+                        );
+                    }
+                }
+            }
+            ExecAction::Validate => {
+                match (&self.spec, &self.sweep) {
+                    (None, None) => {
+                        return missing(
+                            "$.spec",
+                            "a validate request needs a scenario spec or a sweep spec",
+                        )
+                    }
+                    (Some(_), Some(_)) => {
+                        return conflict(
+                            "$.sweep",
+                            "validate one document per request: send either $.spec or \
+                             $.sweep, not both"
+                                .into(),
+                        )
+                    }
+                    (Some(_), None) if self.base.is_some() => {
+                        return conflict(
+                            "$.base",
+                            "a base spec accompanies a sweep document, not a scenario spec".into(),
+                        )
+                    }
+                    (None, Some(_)) if self.base.is_none() => {
+                        return missing(
+                            "$.base",
+                            "validating a sweep needs the base scenario spec inline",
+                        )
+                    }
+                    _ => {}
+                }
+                for (path, present) in [
+                    ("$.backend", self.backend.is_some()),
+                    ("$.seed", self.seed.is_some()),
+                    ("$.campaign_seed", self.campaign_seed.is_some()),
+                    ("$.passes", self.passes.is_some()),
+                    ("$.sample_interval_s", self.sample_interval_s.is_some()),
+                    ("$.requirement_ms", self.requirement_ms.is_some()),
+                ] {
+                    if present {
+                        return conflict(
+                            path,
+                            format!(
+                                "{path} is an execution override; a validate request runs \
+                                     nothing, so it honors none"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for ShardSel {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("index".into(), Value::U64(u64::from(self.index))),
+            ("count".into(), Value::U64(u64::from(self.count))),
+        ])
+    }
+}
+
+impl Serialize for ExecRequest {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            vec![("action".into(), Value::String(self.action.as_str().into()))];
+        let mut put = |name: &str, v: Option<Value>| {
+            if let Some(v) = v {
+                pairs.push((name.into(), v));
+            }
+        };
+        put("spec", self.spec.as_ref().map(Serialize::to_value));
+        put("sweep", self.sweep.as_ref().map(Serialize::to_value));
+        put("base", self.base.clone());
+        put("backend", self.backend.clone().map(Value::String));
+        put("seed", self.seed.map(Value::U64));
+        put("campaign_seed", self.campaign_seed.map(Value::U64));
+        put("passes", self.passes.map(|n| Value::U64(u64::from(n))));
+        put("sample_interval_s", self.sample_interval_s.map(Value::F64));
+        put("requirement_ms", self.requirement_ms.map(Value::F64));
+        put("checkpoint", self.checkpoint.clone().map(Value::String));
+        put("shard", self.shard.as_ref().map(Serialize::to_value));
+        put("interval", self.interval.map(|n| Value::U64(n as u64)));
+        put("stop_after_items", self.stop_after_items.map(Value::U64));
+        Value::Object(pairs)
+    }
+}
+
+/// Re-anchors a document-decode error under the envelope member that
+/// carried the document: `$.grid.cols` in a spec sent as `$.spec` becomes
+/// `$.spec.grid.cols`.
+fn reanchor(prefix: &str, mut e: SpecError) -> SpecError {
+    let rest = e.path.strip_prefix('$').unwrap_or(&e.path);
+    e.path = format!("{prefix}{rest}");
+    e
+}
+
+// ---------------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one executed single-scenario campaign — the `run`
+/// counterpart of a sweep's [`VariantReport`]. Contains no wall times, so
+/// the serialised form is bitwise identical across runs and pool sizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Execution backend tag.
+    pub backend: String,
+    /// Scenario seed (calibration + streams).
+    pub scenario_seed: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Grid traversals.
+    pub passes: u32,
+    /// Sampling cadence, seconds.
+    pub sample_interval_s: f64,
+    /// Requirement the exceedance figure uses, ms.
+    pub requirement_ms: f64,
+    /// Total samples collected.
+    pub total_samples: u64,
+    /// Grand mean over reported cells, ms.
+    pub grand_mean_ms: f64,
+    /// Reported mean minimum, ms.
+    pub mean_min_ms: f64,
+    /// Reported mean maximum, ms.
+    pub mean_max_ms: f64,
+    /// Reported σ minimum, ms.
+    pub std_min_ms: f64,
+    /// Reported σ maximum, ms.
+    pub std_max_ms: f64,
+    /// Grand-mean exceedance over the requirement, percent.
+    pub exceedance_pct: f64,
+    /// Per-cell statistics of reported cells.
+    pub cells: Vec<CellSummary>,
+}
+
+impl RunReport {
+    fn from_field(
+        spec: &ScenarioSpec,
+        backend: ExecBackend,
+        config: CampaignConfig,
+        field: &CellField,
+        requirement_ms: f64,
+    ) -> Self {
+        let grand_mean_ms = field.grand_mean_ms();
+        let (mean_min_ms, mean_max_ms) =
+            field.mean_extrema().map_or((0.0, 0.0), |(a, b)| (a.mean_ms, b.mean_ms));
+        let (std_min_ms, std_max_ms) =
+            field.std_extrema().map_or((0.0, 0.0), |(a, b)| (a.std_ms, b.std_ms));
+        Self {
+            scenario: spec.name.clone(),
+            backend: backend.to_string(),
+            scenario_seed: spec.seed,
+            seed: config.seed,
+            passes: config.passes,
+            sample_interval_s: config.sample_interval_s,
+            requirement_ms,
+            total_samples: field.total_samples(),
+            grand_mean_ms,
+            mean_min_ms,
+            mean_max_ms,
+            std_min_ms,
+            std_max_ms,
+            exceedance_pct: (grand_mean_ms - requirement_ms) / requirement_ms * 100.0,
+            cells: field
+                .reported()
+                .into_iter()
+                .map(|s| CellSummary {
+                    cell: s.cell.label(),
+                    count: s.count,
+                    mean_ms: s.mean_ms,
+                    std_ms: s.std_ms,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialises to pretty JSON (deterministic, like the report itself).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("run report serialises")
+    }
+}
+
+/// A run's full output: the compiled scenario (shared with the cache),
+/// the per-cell field, and the report — callers that render heatmaps or
+/// gap analyses use the field; wire clients see only the report.
+pub struct RunOutput {
+    /// The compiled scenario the campaign ran on.
+    pub scenario: Arc<Scenario>,
+    /// The campaign's per-cell field.
+    pub field: CellField,
+    /// The deterministic report.
+    pub report: RunReport,
+}
+
+impl std::fmt::Debug for RunOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOutput")
+            .field("scenario", &self.scenario.name)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`execute`] produced — one variant per [`ExecAction`] outcome.
+#[derive(Debug)]
+pub enum ExecReport {
+    /// The payload validated cleanly (nothing ran).
+    Valid {
+        /// `"scenario"` or `"sweep"`.
+        kind: &'static str,
+        /// The validated document's name.
+        name: String,
+        /// Variant count, for sweeps.
+        variants: Option<usize>,
+    },
+    /// A completed single-scenario run.
+    Run(Box<RunOutput>),
+    /// A completed sweep (in-memory, or checkpointed to completion).
+    Sweep(Box<SweepRun>),
+    /// A checkpointed shard finished its disjoint run range; merge the
+    /// shard stores for the report.
+    ShardComplete {
+        /// This shard.
+        shard_index: u32,
+        /// Total shards.
+        shard_count: u32,
+        /// Items this shard folded in total.
+        done_items: u64,
+    },
+    /// A checkpointed run stopped at its `stop_after_items` cursor.
+    Interrupted {
+        /// Items folded so far (the committed cursor position).
+        done_items: u64,
+        /// The shard's work-list length.
+        total_items: u64,
+    },
+}
+
+impl ExecReport {
+    /// The report's canonical JSON rendering — what the wire protocol
+    /// ships and `sixg-cli --json` writes, so the same request produces
+    /// byte-identical payloads over every surface. Sweep reports render
+    /// exactly as [`crate::sweep::SweepReport::to_json`].
+    pub fn to_json(&self) -> String {
+        match self {
+            ExecReport::Valid { kind, name, variants } => {
+                let mut pairs = vec![
+                    ("valid".into(), Value::Bool(true)),
+                    ("kind".into(), Value::String((*kind).into())),
+                    ("name".into(), Value::String(name.clone())),
+                ];
+                if let Some(n) = variants {
+                    pairs.push(("variants".into(), Value::U64(*n as u64)));
+                }
+                serde_json::to_string_pretty(&Value::Object(pairs)).expect("report serialises")
+            }
+            ExecReport::Run(out) => out.report.to_json(),
+            ExecReport::Sweep(run) => run.report.to_json(),
+            ExecReport::ShardComplete { shard_index, shard_count, done_items } => {
+                serde_json::to_string_pretty(&Value::Object(vec![
+                    ("shard_complete".into(), Value::Bool(true)),
+                    ("shard_index".into(), Value::U64(u64::from(*shard_index))),
+                    ("shard_count".into(), Value::U64(u64::from(*shard_count))),
+                    ("done_items".into(), Value::U64(*done_items)),
+                ]))
+                .expect("report serialises")
+            }
+            ExecReport::Interrupted { done_items, total_items } => {
+                serde_json::to_string_pretty(&Value::Object(vec![
+                    ("interrupted".into(), Value::Bool(true)),
+                    ("done_items".into(), Value::U64(*done_items)),
+                    ("total_items".into(), Value::U64(*total_items)),
+                ]))
+                .expect("report serialises")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled-scenario cache.
+// ---------------------------------------------------------------------------
+
+/// Content hash of a spec's *canonical* form — campaign parameters and
+/// backend zeroed out, because [`Scenario::from_spec`] does not consume
+/// them (the same canonicalisation sweep planning deduplicates on). Two
+/// specs that differ only in seed policy or backend share one hash, one
+/// cache entry, and one calibration.
+pub fn scenario_content_hash(spec: &ScenarioSpec) -> u64 {
+    let mut key = spec.clone();
+    key.campaign = CampaignDef::default();
+    key.backend = "analytic".into();
+    fnv1a64(key.to_json().as_bytes())
+}
+
+/// Default number of compiled scenarios an [`Executor`] keeps hot.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+struct CacheEntry {
+    hash: u64,
+    key: ScenarioSpec,
+    scenario: Arc<Scenario>,
+    last_used: u64,
+}
+
+/// An LRU cache of compiled [`Scenario`]s keyed by canonical spec content
+/// hash (with full-key equality behind the hash, so a hash collision can
+/// never serve the wrong scenario). Compilation is a pure function of the
+/// canonical spec, so hits and cold compiles are interchangeable bit for
+/// bit — the cache affects latency, never results.
+pub struct ScenarioCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScenarioCache {
+    /// An empty cache bounded to `capacity` compiled scenarios.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        Self { entries: Vec::new(), capacity, tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Returns the cached compiled scenario for `spec`'s canonical key, or
+    /// compiles, caches (evicting the least-recently-used entry at
+    /// capacity) and returns it.
+    pub fn get_or_compile(&mut self, spec: &ScenarioSpec) -> Result<Arc<Scenario>, SpecError> {
+        let mut key = spec.clone();
+        key.campaign = CampaignDef::default();
+        key.backend = "analytic".into();
+        let hash = fnv1a64(key.to_json().as_bytes());
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.hash == hash && e.key == key) {
+            e.last_used = self.tick;
+            self.hits += 1;
+            return Ok(Arc::clone(&e.scenario));
+        }
+        let scenario = Arc::new(Scenario::from_spec(spec)?);
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, so a full cache is non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(CacheEntry {
+            hash,
+            key,
+            scenario: Arc::clone(&scenario),
+            last_used: self.tick,
+        });
+        Ok(scenario)
+    }
+
+    /// Cached scenarios currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that compiled cold.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+/// Executes a request with a one-shot scenario cache — the stateless
+/// entry point. Long-lived callers (the `sixg-serve` daemon) hold an
+/// [`Executor`] instead so compiled scenarios stay hot across requests.
+pub fn execute(req: &ExecRequest) -> Result<ExecReport, SpecError> {
+    Executor::new().execute(req)
+}
+
+/// A long-lived execution context: the facade plus a shared
+/// [`ScenarioCache`]. `&self` methods take the cache mutex only around
+/// compilation, so concurrent callers (one per daemon connection)
+/// serialise the cheap compile step and run their campaigns on the shared
+/// rayon pool concurrently — which is safe *and* deterministic, because
+/// every campaign folds its own work list in its own order.
+pub struct Executor {
+    cache: Mutex<ScenarioCache>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// An executor with the default cache capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An executor whose cache is bounded to `capacity` scenarios.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { cache: Mutex::new(ScenarioCache::new(capacity)) }
+    }
+
+    /// `(hits, misses, len)` of the shared cache — the daemon's stats
+    /// surface.
+    pub fn cache_stats(&self) -> (u64, u64, usize) {
+        let c = self.cache.lock().expect("cache lock");
+        (c.hits(), c.misses(), c.len())
+    }
+
+    /// Validates and executes a request.
+    pub fn execute(&self, req: &ExecRequest) -> Result<ExecReport, SpecError> {
+        self.execute_streaming(req, |_, _| {})
+    }
+
+    /// [`Self::execute`], streaming per-variant sweep results: `emit` is
+    /// called with `(run index, report)` for run 0 (the base) and every
+    /// variant the moment its last sample folds — in run order, while
+    /// later variants are still executing. The emitted reports carry
+    /// exactly the bits of the final [`SweepRun`]'s, so a streaming
+    /// consumer and a whole-report consumer can never disagree. Runs and
+    /// validates emit nothing.
+    pub fn execute_streaming(
+        &self,
+        req: &ExecRequest,
+        mut emit: impl FnMut(usize, &VariantReport),
+    ) -> Result<ExecReport, SpecError> {
+        req.validate()?;
+        match req.action {
+            ExecAction::Validate => self.do_validate(req),
+            ExecAction::Run => self.do_run(req),
+            ExecAction::Sweep => self.do_sweep(req, &mut emit),
+        }
+    }
+
+    fn do_validate(&self, req: &ExecRequest) -> Result<ExecReport, SpecError> {
+        if let Some(spec) = &req.spec {
+            if let Some(e) = spec.validate().into_iter().next() {
+                return Err(e);
+            }
+            return Ok(ExecReport::Valid {
+                kind: "scenario",
+                name: spec.name.clone(),
+                variants: None,
+            });
+        }
+        let sweep = build_sweep(req)?;
+        Ok(ExecReport::Valid {
+            kind: "sweep",
+            name: sweep.spec.name.clone(),
+            variants: Some(sweep.spec.variant_count()),
+        })
+    }
+
+    fn do_run(&self, req: &ExecRequest) -> Result<ExecReport, SpecError> {
+        let mut spec = req.spec.clone().expect("validated: run has a spec");
+        if let Some(b) = &req.backend {
+            spec.backend = b.clone();
+        }
+        if let Some(s) = req.seed {
+            spec.seed = s;
+        }
+        if let Some(s) = req.campaign_seed {
+            spec.campaign.seed = s;
+        }
+        if let Some(p) = req.passes {
+            spec.campaign.passes = p;
+        }
+        if let Some(i) = req.sample_interval_s {
+            spec.campaign.sample_interval_s = i;
+        }
+        if let Some(e) = spec.validate().into_iter().next() {
+            return Err(e);
+        }
+        let scenario = self.cache.lock().expect("cache lock").get_or_compile(&spec)?;
+        let backend = parse_backend(&spec.backend).expect("validated backend");
+        let config = CampaignConfig {
+            seed: spec.campaign.seed,
+            sample_interval_s: spec.campaign.sample_interval_s,
+            passes: spec.campaign.passes,
+        };
+        let field = run_field(&scenario, config, backend);
+        let requirement_ms = req.requirement_ms.unwrap_or(DEFAULT_REQUIREMENT_MS);
+        let report = RunReport::from_field(&spec, backend, config, &field, requirement_ms);
+        Ok(ExecReport::Run(Box::new(RunOutput { scenario, field, report })))
+    }
+
+    fn do_sweep(
+        &self,
+        req: &ExecRequest,
+        emit: &mut impl FnMut(usize, &VariantReport),
+    ) -> Result<ExecReport, SpecError> {
+        let sweep = build_sweep(req)?;
+
+        if let Some(dir) = &req.checkpoint {
+            // Checkpointed execution spills to disk between pool rounds;
+            // its resume cursor, not the emit stream, is the incremental
+            // surface.
+            let mut cfg = CheckpointConfig::new(dir.as_str());
+            if let Some(s) = req.shard {
+                cfg.shard_index = s.index;
+                cfg.shard_count = s.count;
+            }
+            if let Some(k) = req.interval {
+                cfg.interval = k;
+            }
+            cfg.stop_after_items = req.stop_after_items;
+            return match run_checkpointed(&sweep, &cfg).map_err(checkpoint_spec_error)? {
+                crate::store::CheckpointOutcome::Complete(run) => Ok(ExecReport::Sweep(run)),
+                crate::store::CheckpointOutcome::ShardComplete {
+                    shard_index,
+                    shard_count,
+                    done_items,
+                } => Ok(ExecReport::ShardComplete { shard_index, shard_count, done_items }),
+                crate::store::CheckpointOutcome::Interrupted { done_items, total_items } => {
+                    Ok(ExecReport::Interrupted { done_items, total_items })
+                }
+            };
+        }
+
+        let plan = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            sweep.plan_with_cache(Some(&mut cache))?
+        };
+        let runners = plan.runners();
+        let items = plan.items(&runners);
+        let mut fields: Vec<CellField> =
+            (0..plan.runs.len()).map(|r| CellField::new(plan.grid_of(r).clone())).collect();
+        let req_ms = sweep.spec.requirement_ms;
+        let mut base_ref: Option<(f64, f64)> = None;
+        let mut done = 0usize;
+        // The work list is run-major and folds in list order, so once the
+        // fold reaches run `ri`, every run before it is complete — emit
+        // them. The reports are built with exactly `build_sweep_run`'s
+        // arguments, so streamed bits equal final-report bits.
+        run_items_streaming(
+            &items,
+            |(ri, shard), buf| runners[ri as usize].collect_shard_into(shard, buf),
+            |(ri, shard), buf| {
+                emit_completed(&plan, req_ms, &fields, &mut base_ref, &mut done, ri as usize, emit);
+                let field = &mut fields[ri as usize];
+                for &v in buf {
+                    field.push(shard.cell, v);
+                }
+            },
+        );
+        emit_completed(&plan, req_ms, &fields, &mut base_ref, &mut done, plan.runs.len(), emit);
+        Ok(ExecReport::Sweep(Box::new(plan.build_sweep_run(&sweep, fields))))
+    }
+}
+
+/// Emits every fully-folded run below `upto`, in run order, capturing the
+/// base run's `(grand mean, exceedance)` reference for the variants'
+/// deltas — the same fold [`crate::sweep`]'s report construction applies.
+fn emit_completed(
+    plan: &crate::sweep::RunPlan,
+    req_ms: f64,
+    fields: &[CellField],
+    base_ref: &mut Option<(f64, f64)>,
+    done: &mut usize,
+    upto: usize,
+    emit: &mut impl FnMut(usize, &VariantReport),
+) {
+    while *done < upto {
+        let r = *done;
+        let meta = &plan.runs[r];
+        let report = VariantReport::from_field(
+            meta.label.clone(),
+            meta.settings.clone(),
+            meta.backend,
+            meta.config,
+            &fields[r],
+            req_ms,
+            if r == 0 { None } else { *base_ref },
+        );
+        if r == 0 {
+            *base_ref = Some((report.grand_mean_ms, report.exceedance_pct));
+        }
+        emit(r, &report);
+        *done += 1;
+    }
+}
+
+/// Builds the sweep from the request's inline documents; checkpointed
+/// requests lift the in-memory variant cap (accumulators spill to disk).
+/// Errors anchor inside the sweep document (or the base spec, named in
+/// the message) — see the module docs on error anchoring.
+fn build_sweep(req: &ExecRequest) -> Result<Sweep, SpecError> {
+    let sweep = req.sweep.clone().expect("validated: sweep present");
+    let base = req.base.as_ref().expect("validated: base present");
+    let base_json = serde_json::to_string(base).expect("value serialises");
+    if req.checkpoint.is_some() {
+        Sweep::new_unbounded(sweep, &base_json)
+    } else {
+        Sweep::new(sweep, &base_json)
+    }
+}
+
+/// Maps a checkpoint failure into the facade's error surface: sweep-level
+/// failures pass through; store-level failures become [`ErrorCode::Io`]
+/// errors anchored at the request's `$.checkpoint` member (the store
+/// error text already names the offending file).
+fn checkpoint_spec_error(e: CheckpointError) -> SpecError {
+    match e {
+        CheckpointError::Spec(e) => e,
+        CheckpointError::Store(e) => SpecError::coded(ErrorCode::Io, "$.checkpoint", e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_thread_count;
+
+    fn flat_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::klagenfurt();
+        spec.campaign.passes = 1;
+        spec
+    }
+
+    fn flap_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::klagenfurt_flap();
+        spec.campaign.passes = 1;
+        spec
+    }
+
+    fn field_bits(field: &CellField) -> Vec<(u64, u64, u64)> {
+        field
+            .reported()
+            .into_iter()
+            .map(|s| (s.count, s.mean_ms.to_bits(), s.std_ms.to_bits()))
+            .collect()
+    }
+
+    /// The deprecated shims and the facade share one runner per backend:
+    /// bit-for-bit equal fields, so migrating a caller can never change
+    /// results.
+    #[test]
+    #[allow(deprecated)]
+    fn shims_match_run_field_bitwise() {
+        let clean = Scenario::from_spec(&flat_spec()).expect("compiles");
+        let flap = Scenario::from_spec(&flap_spec()).expect("compiles");
+        let config = CampaignConfig { passes: 1, ..Default::default() };
+
+        let analytic = run_field(&clean, config, ExecBackend::Analytic);
+        assert_eq!(
+            field_bits(&analytic),
+            field_bits(&crate::parallel::run_parallel(&clean, config)),
+        );
+        assert_eq!(
+            field_bits(&analytic),
+            field_bits(&crate::parallel::run_backend(&clean, config, ExecBackend::Analytic)),
+        );
+
+        let event = run_field(&clean, config, ExecBackend::Event);
+        assert_eq!(
+            field_bits(&event),
+            field_bits(&crate::event_backend::run_event_parallel(&clean, config)),
+        );
+
+        let faulted = run_field(&flap, config, ExecBackend::Event);
+        assert_eq!(
+            field_bits(&faulted),
+            field_bits(&crate::faults::run_faulted_parallel(&flap, config)),
+        );
+    }
+
+    // -- request validation matrix ------------------------------------------
+
+    #[test]
+    fn checkpoint_on_a_run_request_is_a_conflict() {
+        let mut req = ExecRequest::run(flat_spec());
+        req.checkpoint = Some("store".into());
+        let e = req.validate().expect_err("must reject");
+        assert_eq!(e.code, ErrorCode::Conflict);
+        assert_eq!(e.path, "$.checkpoint");
+    }
+
+    #[test]
+    fn shard_without_checkpoint_is_a_conflict() {
+        let sweep = SweepSpec::from_json(
+            r#"{"name": "s", "base": "b", "axes": [{"kind": "seeds", "start": 1, "count": 2}]}"#,
+        )
+        .expect("parses");
+        let base = serde_json::from_str(&flat_spec().to_json()).expect("parses");
+        let mut req = ExecRequest::sweep(sweep, base);
+        req.shard = Some(ShardSel { index: 0, count: 2 });
+        let e = req.validate().expect_err("must reject");
+        assert_eq!(e.code, ErrorCode::Conflict);
+        assert_eq!(e.path, "$.shard");
+
+        req.checkpoint = Some("store".into());
+        req.validate().expect("checkpoint makes the shard legal");
+    }
+
+    #[test]
+    fn analytic_override_on_a_faulted_spec_is_a_conflict() {
+        let mut req = ExecRequest::run(flap_spec());
+        req.backend = Some("analytic".into());
+        let e = req.validate().expect_err("must reject");
+        assert_eq!(e.code, ErrorCode::Conflict);
+        assert_eq!(e.path, "$.backend");
+
+        // The event override on the same spec is the supported path.
+        req.backend = Some("event".into());
+        req.validate().expect("event override is legal");
+    }
+
+    #[test]
+    fn run_overrides_on_a_sweep_request_are_conflicts() {
+        let sweep = SweepSpec::from_json(
+            r#"{"name": "s", "base": "b", "axes": [{"kind": "seeds", "start": 1, "count": 2}]}"#,
+        )
+        .expect("parses");
+        let base: Value = serde_json::from_str(&flat_spec().to_json()).expect("parses");
+        type SetField = fn(&mut ExecRequest);
+        let overrides: [(SetField, &str); 6] = [
+            (|r| r.backend = Some("event".into()), "$.backend"),
+            (|r| r.seed = Some(7), "$.seed"),
+            (|r| r.campaign_seed = Some(7), "$.campaign_seed"),
+            (|r| r.passes = Some(2), "$.passes"),
+            (|r| r.sample_interval_s = Some(1.0), "$.sample_interval_s"),
+            (|r| r.requirement_ms = Some(10.0), "$.requirement_ms"),
+        ];
+        for (set, path) in overrides {
+            let mut req = ExecRequest::sweep(sweep.clone(), base.clone());
+            set(&mut req);
+            let e = req.validate().expect_err("must reject");
+            assert_eq!(e.code, ErrorCode::Conflict, "{path}");
+            assert_eq!(e.path, path);
+        }
+    }
+
+    #[test]
+    fn missing_documents_are_schema_errors() {
+        let e = ExecRequest::empty(ExecAction::Run).validate().expect_err("no spec");
+        assert_eq!((e.code, e.path.as_str()), (ErrorCode::Schema, "$.spec"));
+        let e = ExecRequest::empty(ExecAction::Sweep).validate().expect_err("no sweep");
+        assert_eq!((e.code, e.path.as_str()), (ErrorCode::Schema, "$.sweep"));
+        let e = ExecRequest::empty(ExecAction::Validate).validate().expect_err("no document");
+        assert_eq!((e.code, e.path.as_str()), (ErrorCode::Schema, "$.spec"));
+    }
+
+    #[test]
+    fn request_json_round_trips_and_is_stable() {
+        let mut req = ExecRequest::run(flat_spec());
+        req.backend = Some("event".into());
+        req.passes = Some(2);
+        let text = req.to_json();
+        let back = ExecRequest::from_json(&text).expect("round-trips");
+        assert_eq!(back, req);
+        assert_eq!(back.to_json(), text, "encoding must be stable");
+
+        let e = ExecRequest::from_json("{\"action\": ").expect_err("invalid JSON");
+        assert_eq!(e.code, ErrorCode::InvalidJson);
+        let e = ExecRequest::from_json("{}").expect_err("missing action");
+        assert_eq!(e.code, ErrorCode::Schema);
+    }
+
+    #[test]
+    fn document_decode_errors_reanchor_under_the_envelope() {
+        let e = ExecRequest::from_json(r#"{"action": "run", "spec": {"name": 3}}"#)
+            .expect_err("bad spec");
+        assert!(e.path.starts_with("$.spec."), "{}", e.path);
+        assert_eq!(e.code, ErrorCode::Schema);
+    }
+
+    // -- scenario cache ------------------------------------------------------
+
+    #[test]
+    fn committed_specs_key_the_cache_without_collisions() {
+        let specs = [
+            ScenarioSpec::klagenfurt(),
+            ScenarioSpec::klagenfurt_flap(),
+            ScenarioSpec::skopje(),
+            ScenarioSpec::megacity(),
+        ];
+        let hashes: Vec<u64> = specs.iter().map(scenario_content_hash).collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(
+                    hashes[i], hashes[j],
+                    "{} and {} must not collide",
+                    specs[i].name, specs[j].name
+                );
+            }
+        }
+
+        let mut cache = ScenarioCache::new(8);
+        for spec in &specs {
+            cache.get_or_compile(spec).expect("compiles");
+        }
+        assert_eq!((cache.len(), cache.hits(), cache.misses()), (4, 0, 4));
+        for spec in &specs {
+            cache.get_or_compile(spec).expect("cached");
+        }
+        assert_eq!((cache.len(), cache.hits(), cache.misses()), (4, 4, 4));
+    }
+
+    #[test]
+    fn campaign_and_backend_do_not_split_cache_entries() {
+        let mut cache = ScenarioCache::new(2);
+        let a = cache.get_or_compile(&flat_spec()).expect("compiles");
+        let mut other = flat_spec();
+        other.campaign.seed = 99;
+        other.campaign.passes = 30;
+        other.backend = "event".into();
+        let b = cache.get_or_compile(&other).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "seed policy and backend are not compiled state");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn cache_hit_and_cold_compile_return_identical_bytes() {
+        let hot = Executor::new();
+        let req = ExecRequest::run(flat_spec());
+        let cold_json = hot.execute(&req).expect("cold run").to_json();
+        let hit_json = hot.execute(&req).expect("hot run").to_json();
+        let (hits, misses, len) = hot.cache_stats();
+        assert_eq!((hits, misses, len), (1, 1, 1), "second run must hit the cache");
+        assert_eq!(cold_json, hit_json);
+
+        let fresh_json = execute(&req).expect("fresh executor").to_json();
+        assert_eq!(cold_json, fresh_json);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let mut cache = ScenarioCache::new(2);
+        let kla = ScenarioSpec::klagenfurt();
+        let flap = ScenarioSpec::klagenfurt_flap();
+        let sko = ScenarioSpec::skopje();
+        cache.get_or_compile(&kla).expect("kla");
+        cache.get_or_compile(&flap).expect("flap");
+        cache.get_or_compile(&kla).expect("kla again"); // flap is now LRU
+        cache.get_or_compile(&sko).expect("sko evicts flap");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 3);
+        cache.get_or_compile(&kla).expect("kla stays");
+        assert_eq!(cache.hits(), 2, "klagenfurt must have survived the eviction");
+        cache.get_or_compile(&flap).expect("flap recompiles");
+        assert_eq!(cache.misses(), 4, "the flap spec must have been evicted");
+    }
+
+    // -- facade execution ----------------------------------------------------
+
+    fn tiny_sweep_request() -> ExecRequest {
+        let sweep = SweepSpec::from_json(
+            r#"{"name": "exec-tiny", "base": "base.json",
+                "axes": [{"kind": "override", "path": "$.campaign.sample_interval_s",
+                           "values": [2.0, 4.0]}]}"#,
+        )
+        .expect("parses");
+        let base: Value = serde_json::from_str(&flat_spec().to_json()).expect("parses");
+        ExecRequest::sweep(sweep, base)
+    }
+
+    #[test]
+    fn facade_run_matches_run_field_bitwise() {
+        let spec = flat_spec();
+        let scenario = Scenario::from_spec(&spec).expect("compiles");
+        let config = CampaignConfig {
+            seed: spec.campaign.seed,
+            sample_interval_s: spec.campaign.sample_interval_s,
+            passes: spec.campaign.passes,
+        };
+        let direct = run_field(&scenario, config, ExecBackend::Analytic);
+        match execute(&ExecRequest::run(spec)).expect("runs") {
+            ExecReport::Run(out) => {
+                assert_eq!(field_bits(&direct), field_bits(&out.field));
+                assert_eq!(out.report.backend, "analytic");
+                assert_eq!(out.report.total_samples, direct.total_samples());
+            }
+            other => panic!("expected a run report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn facade_sweep_matches_sweep_run_bitwise_and_streams_identical_reports() {
+        let req = tiny_sweep_request();
+        let sweep = build_sweep(&req).expect("builds");
+        let direct = sweep.run().expect("runs").report.to_json();
+
+        let exec = Executor::new();
+        let mut streamed: Vec<(usize, String)> = Vec::new();
+        let report = exec
+            .execute_streaming(&req, |r, v| {
+                streamed.push((r, serde_json::to_string(v).expect("serialises")));
+            })
+            .expect("runs");
+        let ExecReport::Sweep(run) = &report else { panic!("expected a sweep report") };
+        assert_eq!(report.to_json(), direct, "facade and Sweep::run must agree bitwise");
+
+        assert_eq!(
+            streamed.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "base plus both variants, in run order"
+        );
+        let final_reports: Vec<String> = std::iter::once(&run.report.base)
+            .chain(&run.report.variants)
+            .map(|v| serde_json::to_string(v).expect("serialises"))
+            .collect();
+        for ((_, streamed_json), final_json) in streamed.iter().zip(&final_reports) {
+            assert_eq!(streamed_json, final_json, "streamed bits must equal final bits");
+        }
+    }
+
+    #[test]
+    fn facade_sweep_is_deterministic_across_pool_sizes_and_cache_state() {
+        let req = tiny_sweep_request();
+        let exec = Executor::new();
+        let a = with_thread_count(1, || exec.execute(&req).expect("runs").to_json());
+        let b = with_thread_count(4, || exec.execute(&req).expect("runs").to_json());
+        let (hits, _, _) = exec.cache_stats();
+        assert!(hits > 0, "the second sweep must reuse the cached scenario");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn facade_validate_reports_document_shape() {
+        match execute(&ExecRequest::validate_spec(flat_spec())).expect("valid") {
+            ExecReport::Valid { kind, name, variants } => {
+                assert_eq!((kind, name.as_str(), variants), ("scenario", "klagenfurt", None));
+            }
+            other => panic!("expected a valid report, got {other:?}"),
+        }
+        let req = tiny_sweep_request();
+        let req = ExecRequest { action: ExecAction::Validate, ..req };
+        match execute(&req).expect("valid") {
+            ExecReport::Valid { kind, variants, .. } => {
+                assert_eq!((kind, variants), ("sweep", Some(2)));
+            }
+            other => panic!("expected a valid report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn facade_run_overrides_apply_before_validation() {
+        let mut req = ExecRequest::run(flat_spec());
+        req.passes = Some(0);
+        let e = execute(&req).expect_err("0 passes is invalid");
+        assert!(e.path.contains("passes"), "{}", e.path);
+    }
+}

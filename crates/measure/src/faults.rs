@@ -391,8 +391,9 @@ impl<'a> FaultCampaign<'a> {
 
 /// Runs the fault-bearing campaign on the thread pool, merging per-shard
 /// batches in deterministic work-list order — bitwise equal to
-/// [`FaultCampaign::run`] at every pool size.
-pub fn run_faulted_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+/// [`FaultCampaign::run`] at every pool size. The faulted half of the
+/// [`crate::exec`] dispatch.
+pub(crate) fn faulted_field(scenario: &Scenario, config: CampaignConfig) -> CellField {
     let fc = FaultCampaign::new(scenario, config);
     let shards = fc.shards();
     let mut field = CellField::new(scenario.grid.clone());
@@ -406,6 +407,16 @@ pub fn run_faulted_parallel(scenario: &Scenario, config: CampaignConfig) -> Cell
         },
     );
     field
+}
+
+#[doc(hidden)]
+#[deprecated(
+    note = "superseded by the ExecRequest facade: use `exec::run_field(scenario, config, \
+            ExecBackend::Event)` on a fault-bearing spec (or `exec::execute`); this shim \
+            forwards to the same faulted runner"
+)]
+pub fn run_faulted_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+    faulted_field(scenario, config)
 }
 
 #[cfg(test)]
@@ -520,7 +531,9 @@ mod tests {
         let s = Scenario::from_spec(&spec).expect("compiles");
         let seq = FaultCampaign::new(&s, config()).run();
         for &threads in &[1usize, 2, 4] {
-            let par = with_thread_count(threads, || run_faulted_parallel(&s, config()));
+            let par = with_thread_count(threads, || {
+                crate::exec::run_field(&s, config(), crate::spec::ExecBackend::Event)
+            });
             assert_fields_bitwise_equal(&s, &seq, &par, &format!("{threads} threads"));
         }
     }

@@ -19,6 +19,10 @@
 //! * [`parallel`] — multi-threaded execution across (pass, cell) shards and
 //!   sweep seeds on the rayon pool, bitwise-identical to sequential runs
 //!   for every pool size;
+//! * [`exec`] — the unified execution facade: one typed [`exec::ExecRequest`]
+//!   validated up front, one [`exec::execute`] entry point dispatching to
+//!   the analytic / event / faulted / checkpointed runners, plus the
+//!   compiled-[`Scenario`] cache the `sixg-serve` daemon keeps hot;
 //! * [`event_backend`] — the packet-level discrete-event execution
 //!   backend: the same shard list and stream-keying discipline, but every
 //!   sample is a probe packet through per-hop FIFO queues (congestion is
@@ -54,6 +58,7 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod event_backend;
+pub mod exec;
 pub mod faults;
 pub mod klagenfurt;
 pub mod megacity;
@@ -69,11 +74,15 @@ pub mod wired;
 
 pub use aggregate::{CellField, CellStats};
 pub use campaign::{CampaignConfig, MobileCampaign};
-pub use event_backend::{run_event_parallel, EventCampaign};
-pub use faults::{run_faulted_parallel, FaultCampaign};
+pub use event_backend::EventCampaign;
+pub use exec::{
+    execute, run_field, scenario_content_hash, ExecAction, ExecReport, ExecRequest, Executor,
+    RunOutput, RunReport, ScenarioCache, ShardSel,
+};
+pub use faults::FaultCampaign;
 pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
-pub use spec::{ExecBackend, ScenarioSpec, SpecError};
+pub use spec::{ErrorCode, ExecBackend, ScenarioSpec, SpecError};
 pub use store::{
     merge_stores, run_checkpointed, shard_run_range, sweep_content_hash, CheckpointConfig,
     CheckpointError, CheckpointOutcome, CheckpointStore, StoreError, StoreMeta,

@@ -18,9 +18,20 @@ use rayon::prelude::*;
 
 /// Runs the campaign on the thread pool, sharding at (pass, cell)
 /// granularity and merging batches in deterministic work-list order.
-pub fn run_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+/// The analytic half of the [`crate::exec`] dispatch.
+pub(crate) fn analytic_field(scenario: &Scenario, config: CampaignConfig) -> CellField {
     let campaign = MobileCampaign::new(scenario, config);
     run_shards(scenario, &campaign.shards(), |shard, buf| campaign.collect_shard_into(shard, buf))
+}
+
+#[doc(hidden)]
+#[deprecated(
+    note = "superseded by the ExecRequest facade: use `exec::run_field(scenario, config, \
+            ExecBackend::Analytic)` (or `exec::execute` on a spec); this shim forwards to \
+            the same analytic runner"
+)]
+pub fn run_parallel(scenario: &Scenario, config: CampaignConfig) -> CellField {
+    analytic_field(scenario, config)
 }
 
 /// Work items sampled per streaming round before folding — the memory
@@ -101,16 +112,29 @@ pub(crate) fn run_shards_sequential(
 /// thread pool over the same shard list and both are bitwise-deterministic
 /// at every pool size; they differ only in how a shard's samples are
 /// produced (closed-form draws vs packet-level event simulation).
-pub fn run_backend(scenario: &Scenario, config: CampaignConfig, backend: ExecBackend) -> CellField {
+pub(crate) fn dispatch_backend(
+    scenario: &Scenario,
+    config: CampaignConfig,
+    backend: ExecBackend,
+) -> CellField {
     match backend {
-        ExecBackend::Analytic => run_parallel(scenario, config),
+        ExecBackend::Analytic => analytic_field(scenario, config),
         ExecBackend::Event if scenario.spec.faults.is_empty() => {
-            crate::event_backend::run_event_parallel(scenario, config)
+            crate::event_backend::event_field(scenario, config)
         }
         // A fault schedule needs the live control plane: same shard list
         // and stream keys, but routes come from the BGP speakers' RIBs.
-        ExecBackend::Event => crate::faults::run_faulted_parallel(scenario, config),
+        ExecBackend::Event => crate::faults::faulted_field(scenario, config),
     }
+}
+
+#[doc(hidden)]
+#[deprecated(
+    note = "superseded by the ExecRequest facade: use `exec::run_field(scenario, config, \
+            backend)` (or `exec::execute` on a spec); this shim forwards to the same dispatch"
+)]
+pub fn run_backend(scenario: &Scenario, config: CampaignConfig, backend: ExecBackend) -> CellField {
+    dispatch_backend(scenario, config, backend)
 }
 
 /// Result of one seed of a multi-seed sweep.
@@ -171,7 +195,7 @@ mod tests {
             let config = CampaignConfig { seed, passes: 2, ..Default::default() };
             let seq = MobileCampaign::new(&s, config).run();
             for &threads in &[1usize, 2, 4, 8] {
-                let par = with_thread_count(threads, || run_parallel(&s, config));
+                let par = with_thread_count(threads, || analytic_field(&s, config));
                 assert_fields_bitwise_equal(
                     &s,
                     &seq,

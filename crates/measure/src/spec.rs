@@ -28,19 +28,89 @@ use sixg_netsim::names::NameStyle;
 use sixg_netsim::topology::NodeKind;
 use std::fmt;
 
+/// Machine-readable classification of a [`SpecError`] — the wire protocol
+/// and CLI exit-code mapping branch on this, never on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The payload was not parseable JSON at all.
+    InvalidJson,
+    /// Structurally malformed: wrong type or missing member at the path.
+    Schema,
+    /// Well-formed but semantically invalid (range, cross-field invariant).
+    Validation,
+    /// A request field combination no runner honors (facade-level).
+    Conflict,
+    /// A filesystem or store failure surfaced through the spec pipeline.
+    Io,
+}
+
+impl ErrorCode {
+    /// The stable wire tag (`"invalid_json"`, `"schema"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::InvalidJson => "invalid_json",
+            ErrorCode::Schema => "schema",
+            ErrorCode::Validation => "validation",
+            ErrorCode::Conflict => "conflict",
+            ErrorCode::Io => "io",
+        }
+    }
+
+    /// Parses a wire tag back into a code.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "invalid_json" => ErrorCode::InvalidJson,
+            "schema" => ErrorCode::Schema,
+            "validation" => ErrorCode::Validation,
+            "conflict" => ErrorCode::Conflict,
+            "io" => ErrorCode::Io,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A spec decoding or validation error, anchored to a JSON path.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct SpecError {
     /// JSON path of the offending element (`$.hops[2].kind`).
     pub path: String,
     /// What went wrong and, where possible, what would fix it.
     pub message: String,
+    /// Machine-readable classification (defaults to
+    /// [`ErrorCode::Validation`]; see [`SpecError::coded`]).
+    pub code: ErrorCode,
+}
+
+/// Two errors are the same error when they anchor the same complaint at
+/// the same path; the code is derived classification metadata, so it does
+/// not participate (existing equality assertions keep their meaning).
+impl PartialEq for SpecError {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path && self.message == other.message
+    }
 }
 
 impl SpecError {
-    /// Creates an error at a path.
+    /// Creates an error at a path, classified [`ErrorCode::Validation`].
     pub fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { path: path.into(), message: message.into() }
+        Self { path: path.into(), message: message.into(), code: ErrorCode::Validation }
+    }
+
+    /// Creates an error at a path with an explicit classification.
+    pub fn coded(code: ErrorCode, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { path: path.into(), message: message.into(), code }
+    }
+
+    /// Reclassifies the error.
+    pub fn with_code(mut self, code: ErrorCode) -> Self {
+        self.code = code;
+        self
     }
 }
 
@@ -567,6 +637,7 @@ impl<'a> Ctx<'a> {
 
     pub(crate) fn type_err(&self, want: &str) -> SpecError {
         self.err(format!("expected {want}, found {}", self.v.type_name()))
+            .with_code(ErrorCode::Schema)
     }
 
     /// Required object member.
@@ -576,7 +647,9 @@ impl<'a> Ctx<'a> {
         }
         match self.v.get(name) {
             Some(v) => Ok(Ctx { v, path: format!("{}.{name}", self.path) }),
-            None => Err(self.err(format!("missing required field `{name}`"))),
+            None => Err(self
+                .err(format!("missing required field `{name}`"))
+                .with_code(ErrorCode::Schema)),
         }
     }
 
@@ -877,8 +950,9 @@ impl ScenarioSpec {
 
     /// Parses a spec from JSON text.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
-        let v = serde_json::from_str(text)
-            .map_err(|e| SpecError::new("$", format!("invalid JSON: {e}")))?;
+        let v = serde_json::from_str(text).map_err(|e| {
+            SpecError::coded(ErrorCode::InvalidJson, "$", format!("invalid JSON: {e}"))
+        })?;
         Self::from_value(&v)
     }
 

@@ -46,12 +46,16 @@
 use crate::aggregate::CellField;
 use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
 use crate::event_backend::{crossval_tolerance_ms, EventCampaign, CROSSVAL_GRAND_MEAN_TOL};
+use crate::exec::ScenarioCache;
 use crate::faults::{FaultCampaign, FaultShard};
 use crate::parallel::run_items_streaming;
 use crate::report::CellSummary;
 use crate::scenario::Scenario;
-use crate::spec::{parse_backend, CampaignDef, Ctx, ExecBackend, ScenarioSpec, SpecError};
+use crate::spec::{
+    parse_backend, CampaignDef, Ctx, ErrorCode, ExecBackend, ScenarioSpec, SpecError,
+};
 use serde::{Serialize, Value};
+use std::sync::Arc;
 
 /// Default latency requirement the sweep's exceedance figures are judged
 /// against, ms — the paper's AR-gaming bound (the "270 %" reference).
@@ -280,8 +284,9 @@ impl SweepSpec {
 
     /// Parses a sweep spec from JSON text.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
-        let v = serde_json::from_str(text)
-            .map_err(|e| SpecError::new("$", format!("invalid JSON: {e}")))?;
+        let v = serde_json::from_str(text).map_err(|e| {
+            SpecError::coded(ErrorCode::InvalidJson, "$", format!("invalid JSON: {e}"))
+        })?;
         Self::from_value(&v)
     }
 
@@ -549,8 +554,9 @@ impl Sweep {
         if let Some(e) = spec.validate_with_cap(cap).into_iter().next() {
             return Err(e);
         }
-        let base_value = serde_json::from_str(base_json)
-            .map_err(|e| SpecError::new("$", format!("base spec is invalid JSON: {e}")))?;
+        let base_value = serde_json::from_str(base_json).map_err(|e| {
+            SpecError::coded(ErrorCode::InvalidJson, "$", format!("base spec is invalid JSON: {e}"))
+        })?;
         let base = ScenarioSpec::from_value(&base_value)?;
         if let Some(e) = base.validate().into_iter().next() {
             return Err(SpecError::new(
@@ -601,7 +607,11 @@ impl Sweep {
         let spec = SweepSpec::from_json(text)?;
         let base_path = dir.as_ref().join(&spec.base);
         let base_json = std::fs::read_to_string(&base_path).map_err(|e| {
-            SpecError::new("$.base", format!("cannot read base spec {}: {e}", base_path.display()))
+            SpecError::coded(
+                ErrorCode::Io,
+                "$.base",
+                format!("cannot read base spec {}: {e}", base_path.display()),
+            )
         })?;
         Self::new_with_cap(spec, &base_json, cap)
     }
@@ -611,7 +621,11 @@ impl Sweep {
     pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path).map_err(|e| {
-            SpecError::new("$", format!("cannot read sweep file {}: {e}", path.display()))
+            SpecError::coded(
+                ErrorCode::Io,
+                "$",
+                format!("cannot read sweep file {}: {e}", path.display()),
+            )
         })?;
         Self::from_json_in_dir(&text, path.parent().unwrap_or(std::path::Path::new(".")))
     }
@@ -620,7 +634,11 @@ impl Sweep {
     pub fn from_file_unbounded(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path).map_err(|e| {
-            SpecError::new("$", format!("cannot read sweep file {}: {e}", path.display()))
+            SpecError::coded(
+                ErrorCode::Io,
+                "$",
+                format!("cannot read sweep file {}: {e}", path.display()),
+            )
         })?;
         Self::from_json_in_dir_with_cap(
             &text,
@@ -700,15 +718,29 @@ impl Sweep {
     /// execution; variants stream through the interner one at a time, so
     /// peak memory is O(unique scenarios + labels), not O(variants × spec).
     pub(crate) fn plan(&self) -> Result<RunPlan, SpecError> {
+        self.plan_with_cache(None)
+    }
+
+    /// [`Self::plan`] with an optional shared [`ScenarioCache`]: compiled
+    /// scenarios whose canonical key is already cached are reused instead
+    /// of recompiled — the `sixg-serve` hot path. Compilation is a pure
+    /// function of the canonical spec, so a cached plan's scenarios — and
+    /// every downstream bit — are identical to a cold plan's.
+    pub(crate) fn plan_with_cache(
+        &self,
+        mut cache: Option<&mut ScenarioCache>,
+    ) -> Result<RunPlan, SpecError> {
         // Scenario compilation, deduplicated on everything except campaign
         // parameters and backend (which `compile` does not consume): a
         // cadence × backend × seed sweep calibrates its site exactly once.
         let mut canon: Vec<ScenarioSpec> = Vec::new();
-        let mut scenarios: Vec<Scenario> = Vec::new();
-        let intern = |spec: &ScenarioSpec,
-                      canon: &mut Vec<ScenarioSpec>,
-                      scenarios: &mut Vec<Scenario>|
-         -> Result<usize, SpecError> {
+        let mut scenarios: Vec<Arc<Scenario>> = Vec::new();
+        fn intern(
+            spec: &ScenarioSpec,
+            canon: &mut Vec<ScenarioSpec>,
+            scenarios: &mut Vec<Arc<Scenario>>,
+            cache: &mut Option<&mut ScenarioCache>,
+        ) -> Result<usize, SpecError> {
             let mut key = spec.clone();
             key.campaign = CampaignDef::default();
             key.backend = "analytic".into();
@@ -716,9 +748,12 @@ impl Sweep {
                 return Ok(i);
             }
             canon.push(key);
-            scenarios.push(Scenario::from_spec(spec)?);
+            scenarios.push(match cache.as_deref_mut() {
+                Some(c) => c.get_or_compile(spec)?,
+                None => Arc::new(Scenario::from_spec(spec)?),
+            });
             Ok(scenarios.len() - 1)
-        };
+        }
 
         let base_backend = parse_backend(&self.base.backend).expect("validated base");
         let base_config = CampaignConfig {
@@ -729,7 +764,7 @@ impl Sweep {
         let total = self.spec.variant_count();
         let mut runs = Vec::with_capacity(total + 1);
         runs.push(RunMeta {
-            scen: intern(&self.base, &mut canon, &mut scenarios)?,
+            scen: intern(&self.base, &mut canon, &mut scenarios, &mut cache)?,
             backend: base_backend,
             config: base_config,
             label: "base".into(),
@@ -739,7 +774,7 @@ impl Sweep {
         for v in 0..total {
             let var = self.variant_at(v)?;
             runs.push(RunMeta {
-                scen: intern(&var.spec, &mut canon, &mut scenarios)?,
+                scen: intern(&var.spec, &mut canon, &mut scenarios, &mut cache)?,
                 backend: var.backend,
                 config: var.config,
                 label: var.label,
@@ -794,8 +829,9 @@ pub(crate) struct RunMeta {
 /// axis, from which every execution mode (in-memory, checkpointed, merge)
 /// derives the *same* work list and the *same* report construction.
 pub(crate) struct RunPlan {
-    /// Deduplicated compiled scenarios.
-    pub(crate) scenarios: Vec<Scenario>,
+    /// Deduplicated compiled scenarios (shared with the [`ScenarioCache`]
+    /// when the plan was built through one).
+    pub(crate) scenarios: Vec<Arc<Scenario>>,
     /// All runs, run 0 first.
     pub(crate) runs: Vec<RunMeta>,
     /// Index of the backend axis in the sweep spec, if any.
@@ -810,7 +846,7 @@ pub(crate) enum Runner<'a> {
     Event(EventCampaign<'a>),
     /// Event campaign over a spec with a fault schedule: routes come from
     /// the live BGP control plane (same dispatch as
-    /// [`crate::parallel::run_backend`]).
+    /// [`crate::exec::run_field`]).
     Faulted(Box<FaultedRunner<'a>>),
 }
 
@@ -861,7 +897,7 @@ impl Runner<'_> {
 
 impl RunPlan {
     /// Instantiates every run's campaign runner. The dispatch mirrors
-    /// [`crate::parallel::run_backend`]: an event run over a spec with a
+    /// [`crate::exec::run_field`]: an event run over a spec with a
     /// fault schedule gets the live control plane, so fault axes (e.g.
     /// sweeping `$.faults[0].recover_at_s`) measure real convergence
     /// transients instead of silently ignoring the schedule.
@@ -869,7 +905,7 @@ impl RunPlan {
         self.runs
             .iter()
             .map(|r| {
-                let scenario = &self.scenarios[r.scen];
+                let scenario: &Scenario = &self.scenarios[r.scen];
                 match r.backend {
                     ExecBackend::Analytic => {
                         Runner::Analytic(MobileCampaign::new(scenario, r.config))
@@ -995,7 +1031,7 @@ pub struct VariantReport {
 }
 
 impl VariantReport {
-    fn from_field(
+    pub(crate) fn from_field(
         label: String,
         settings: Vec<String>,
         backend: ExecBackend,
@@ -1147,7 +1183,8 @@ impl SweepRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parallel::{run_backend, with_thread_count};
+    use crate::exec::run_field;
+    use crate::parallel::with_thread_count;
 
     /// A Klagenfurt base trimmed to `passes` traversals, as JSON.
     fn base_json(passes: u32) -> String {
@@ -1272,7 +1309,7 @@ mod tests {
             sample_interval_s: sweep.base.campaign.sample_interval_s,
             passes: sweep.base.campaign.passes,
         };
-        let plain = run_backend(&scenario, config, ExecBackend::Analytic);
+        let plain = run_field(&scenario, config, ExecBackend::Analytic);
         for cell in scenario.grid.cells() {
             let want = plain.stats(cell);
             for field in [&run.base_field, &run.variant_fields[0]] {

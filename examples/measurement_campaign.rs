@@ -6,9 +6,11 @@
 //! ```
 
 use sixg::measure::campaign::{CampaignConfig, MobileCampaign};
+use sixg::measure::exec::run_field;
 use sixg::measure::klagenfurt::KlagenfurtScenario;
-use sixg::measure::parallel::{run_parallel, seed_sweep};
+use sixg::measure::parallel::seed_sweep;
 use sixg::measure::report::{to_csv, CampaignSummary};
+use sixg::measure::spec::ExecBackend;
 
 fn main() {
     let scenario = KlagenfurtScenario::paper(42);
@@ -16,7 +18,7 @@ fn main() {
     // Parallel == sequential, bit for bit.
     let config = CampaignConfig { passes: 2, ..Default::default() };
     let seq = MobileCampaign::new(&scenario, config).run();
-    let par = run_parallel(&scenario, config);
+    let par = run_field(&scenario, config, ExecBackend::Analytic);
     let identical = scenario
         .grid
         .cells()

@@ -7,11 +7,11 @@
 //! the tier-1 loop.
 
 use sixg::measure::campaign::CampaignConfig;
-use sixg::measure::event_backend::{
-    crossval_tolerance_ms, run_event_parallel, EventCampaign, CROSSVAL_GRAND_MEAN_TOL,
-};
+use sixg::measure::event_backend::{crossval_tolerance_ms, EventCampaign, CROSSVAL_GRAND_MEAN_TOL};
+use sixg::measure::exec::run_field;
 use sixg::measure::klagenfurt::KlagenfurtScenario;
-use sixg::measure::parallel::{run_parallel, with_thread_count};
+use sixg::measure::parallel::with_thread_count;
+use sixg::measure::ExecBackend;
 
 const SEED: u64 = 0x6B6C_7531;
 
@@ -23,8 +23,8 @@ fn scenario() -> KlagenfurtScenario {
 fn backends_agree_on_per_cell_means_within_tolerance() {
     let s = scenario();
     let config = CampaignConfig { seed: 2, passes: 8, ..Default::default() };
-    let analytic = run_parallel(&s, config);
-    let event = run_event_parallel(&s, config);
+    let analytic = run_field(&s, config, ExecBackend::Analytic);
+    let event = run_field(&s, config, ExecBackend::Event);
 
     assert_eq!(analytic.total_samples(), event.total_samples());
     for cell in s.grid.cells() {
@@ -55,7 +55,7 @@ fn event_backend_is_bitwise_deterministic_across_pool_sizes() {
     let config = CampaignConfig { seed: 7, passes: 2, ..Default::default() };
     let seq = EventCampaign::new(&s, config).run();
     for &threads in &[1usize, 4] {
-        let par = with_thread_count(threads, || run_event_parallel(&s, config));
+        let par = with_thread_count(threads, || run_field(&s, config, ExecBackend::Event));
         for cell in s.grid.cells() {
             let (x, y) = (seq.stats(cell), par.stats(cell));
             assert_eq!(x.count, y.count, "{threads} threads: cell {cell} count");
@@ -77,8 +77,8 @@ fn event_backend_is_bitwise_deterministic_across_pool_sizes() {
 fn event_backend_repeats_bitwise_within_a_pool_size() {
     let s = scenario();
     let config = CampaignConfig { seed: 3, passes: 1, ..Default::default() };
-    let a = with_thread_count(4, || run_event_parallel(&s, config));
-    let b = with_thread_count(4, || run_event_parallel(&s, config));
+    let a = with_thread_count(4, || run_field(&s, config, ExecBackend::Event));
+    let b = with_thread_count(4, || run_field(&s, config, ExecBackend::Event));
     for cell in s.grid.cells() {
         assert_eq!(a.stats(cell).mean_ms.to_bits(), b.stats(cell).mean_ms.to_bits(), "{cell}");
     }

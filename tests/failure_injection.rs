@@ -104,7 +104,9 @@ fn poisoned_worker_propagates_and_pool_stays_usable() {
     // the pool fully usable — including for the campaign runner.
     use rayon::prelude::*;
     use sixg::measure::campaign::{CampaignConfig, MobileCampaign};
-    use sixg::measure::parallel::{run_parallel, with_thread_count};
+    use sixg::measure::exec::run_field;
+    use sixg::measure::parallel::with_thread_count;
+    use sixg::measure::ExecBackend;
 
     with_thread_count(4, || {
         let poisoned = std::panic::catch_unwind(|| {
@@ -126,7 +128,7 @@ fn poisoned_worker_propagates_and_pool_stays_usable() {
         let s = scenario();
         let config = CampaignConfig::default();
         let seq = MobileCampaign::new(s, config).run();
-        let par = run_parallel(s, config);
+        let par = run_field(s, config, ExecBackend::Analytic);
         for cell in s.grid.cells() {
             let (a, b) = (seq.stats(cell), par.stats(cell));
             assert_eq!(a.count, b.count, "cell {cell}");
@@ -142,8 +144,10 @@ fn poisoned_worker_leaves_event_backend_usable_and_deterministic() {
     // packet-level event backend normally — bitwise-deterministically.
     use rayon::prelude::*;
     use sixg::measure::campaign::CampaignConfig;
-    use sixg::measure::event_backend::{run_event_parallel, EventCampaign};
+    use sixg::measure::event_backend::EventCampaign;
+    use sixg::measure::exec::run_field;
     use sixg::measure::parallel::with_thread_count;
+    use sixg::measure::ExecBackend;
 
     with_thread_count(4, || {
         let poisoned = std::panic::catch_unwind(|| {
@@ -157,7 +161,7 @@ fn poisoned_worker_leaves_event_backend_usable_and_deterministic() {
         let s = scenario();
         let config = CampaignConfig::default();
         let seq = EventCampaign::new(s, config).run();
-        let par = run_event_parallel(s, config);
+        let par = run_field(s, config, ExecBackend::Event);
         for cell in s.grid.cells() {
             let (a, b) = (seq.stats(cell), par.stats(cell));
             assert_eq!(a.count, b.count, "cell {cell}");
@@ -176,14 +180,15 @@ fn poisoned_worker_leaves_fault_campaigns_usable_and_deterministic() {
     // poisoning never disturbed.
     use rayon::prelude::*;
     use sixg::measure::campaign::CampaignConfig;
-    use sixg::measure::faults::run_faulted_parallel;
+    use sixg::measure::exec::run_field;
     use sixg::measure::parallel::with_thread_count;
     use sixg::measure::scenario::Scenario;
     use sixg::measure::spec::ScenarioSpec;
+    use sixg::measure::ExecBackend;
 
     let s = Scenario::from_spec(&ScenarioSpec::klagenfurt_flap()).expect("compiles");
     let config = CampaignConfig { seed: 2, passes: 1, sample_interval_s: 2.0 };
-    let undisturbed = with_thread_count(4, || run_faulted_parallel(&s, config));
+    let undisturbed = with_thread_count(4, || run_field(&s, config, ExecBackend::Event));
 
     with_thread_count(4, || {
         let poisoned = std::panic::catch_unwind(|| {
@@ -194,7 +199,7 @@ fn poisoned_worker_leaves_fault_campaigns_usable_and_deterministic() {
         });
         assert!(poisoned.is_err(), "worker panic must propagate to the caller");
 
-        let after = run_faulted_parallel(&s, config);
+        let after = run_field(&s, config, ExecBackend::Event);
         for cell in s.grid.cells() {
             let (a, b) = (undisturbed.stats(cell), after.stats(cell));
             assert_eq!(a.count, b.count, "cell {cell}");

@@ -18,11 +18,12 @@
 //!   (JSON summary and CSV, byte for byte) at pool sizes 1, 2 and 4.
 
 use sixg::measure::campaign::CampaignConfig;
-use sixg::measure::faults::run_faulted_parallel;
+use sixg::measure::exec::run_field;
 use sixg::measure::parallel::with_thread_count;
 use sixg::measure::report::{to_csv, CampaignSummary};
 use sixg::measure::scenario::Scenario;
 use sixg::measure::spec::ScenarioSpec;
+use sixg::measure::ExecBackend;
 use sixg::netsim::rng::SimRng;
 use sixg::netsim::routing::bgp::AsGraph;
 use sixg::netsim::routing::dynamic::ControlPlane;
@@ -185,11 +186,11 @@ fn flap_campaign_reports_are_identical_at_1_2_4_threads() {
     // for byte identical at every pool size, not just the stats structs.
     let s = Scenario::from_spec(&ScenarioSpec::klagenfurt_flap()).expect("compiles");
     let config = CampaignConfig { seed: 2, passes: 1, sample_interval_s: 2.0 };
-    let reference = with_thread_count(1, || run_faulted_parallel(&s, config));
+    let reference = with_thread_count(1, || run_field(&s, config, ExecBackend::Event));
     let ref_json = CampaignSummary::from_field(&reference).to_json();
     let ref_csv = to_csv(&reference);
     for threads in [2usize, 4] {
-        let field = with_thread_count(threads, || run_faulted_parallel(&s, config));
+        let field = with_thread_count(threads, || run_field(&s, config, ExecBackend::Event));
         assert_eq!(
             CampaignSummary::from_field(&field).to_json(),
             ref_json,

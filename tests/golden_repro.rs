@@ -22,11 +22,12 @@
 use sixg::core::gap::GapReport;
 use sixg::core::requirements::campaign_reference_requirement;
 use sixg::measure::campaign::{CampaignConfig, MobileCampaign};
-use sixg::measure::faults::run_faulted_parallel;
+use sixg::measure::exec::run_field;
 use sixg::measure::klagenfurt::KlagenfurtScenario;
-use sixg::measure::parallel::{run_parallel, seed_sweep, with_thread_count};
+use sixg::measure::parallel::{seed_sweep, with_thread_count};
 use sixg::measure::scenario::Scenario;
 use sixg::measure::spec::ScenarioSpec;
+use sixg::measure::ExecBackend;
 use std::sync::OnceLock;
 
 /// The shared reproduction seed (same as `sixg_bench::REPRO_SEED`).
@@ -92,9 +93,10 @@ fn compute_goldens() -> Vec<(&'static str, f64)> {
     // shift makes these bits sensitive to every layer from the BGP
     // message order down to the per-probe draws).
     let flap = Scenario::from_spec(&ScenarioSpec::klagenfurt_flap()).expect("flap spec compiles");
-    let flap_field = run_faulted_parallel(
+    let flap_field = run_field(
         &flap,
         CampaignConfig { seed: DENSE_SEED, passes: 1, sample_interval_s: 2.0 },
+        ExecBackend::Event,
     );
     let flap_gap = GapReport::analyse(&flap_field, &campaign_reference_requirement());
     out.push(("flap_grand_mean_ms", flap_field.grand_mean_ms()));
@@ -151,7 +153,9 @@ fn golden_values_survive_parallel_execution() {
     // The same dense field, produced by the thread-pool runner at an
     // oversubscribed pool size, must hit the identical golden bits.
     let s = scenario();
-    let field = with_thread_count(8, || run_parallel(s, CampaignConfig::dense(DENSE_SEED)));
+    let field = with_thread_count(8, || {
+        run_field(s, CampaignConfig::dense(DENSE_SEED), ExecBackend::Analytic)
+    });
     let expect = |name: &str| EXPECTED.iter().find(|(n, ..)| *n == name).expect("golden name").1;
     assert_eq!(field.grand_mean_ms().to_bits(), expect("dense_grand_mean_ms"));
     assert_eq!((field.total_samples() as f64).to_bits(), expect("dense_total_samples"));

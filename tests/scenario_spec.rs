@@ -15,9 +15,10 @@
 //!    that name the JSON path and say what to fix.
 
 use sixg::measure::campaign::CampaignConfig;
-use sixg::measure::parallel::{run_parallel, with_thread_count};
+use sixg::measure::exec::run_field;
+use sixg::measure::parallel::with_thread_count;
 use sixg::measure::scenario::Scenario;
-use sixg::measure::spec::ScenarioSpec;
+use sixg::measure::spec::{ExecBackend, ScenarioSpec};
 
 fn spec_path(name: &str) -> String {
     format!("{}/specs/{name}.json", env!("CARGO_MANIFEST_DIR"))
@@ -71,8 +72,8 @@ fn klagenfurt_spec_file_reproduces_golden_numbers_across_pool_sizes() {
 
     // Sequential, then the thread pool pinned to 1 and 4 workers.
     check(sixg::measure::MobileCampaign::new(&scenario, config).run());
-    check(with_thread_count(1, || run_parallel(&scenario, config)));
-    check(with_thread_count(4, || run_parallel(&scenario, config)));
+    check(with_thread_count(1, || run_field(&scenario, config, ExecBackend::Analytic)));
+    check(with_thread_count(4, || run_field(&scenario, config, ExecBackend::Analytic)));
 }
 
 #[test]
@@ -184,10 +185,8 @@ fn event_backend_spec_compiles_and_runs_deterministically() {
     let scenario = Scenario::from_spec(&spec).expect("compiles");
     let config = CampaignConfig { passes: 2, ..Default::default() };
     let backend = sixg::measure::spec::parse_backend(&spec.backend).expect("parses");
-    let a =
-        with_thread_count(1, || sixg::measure::parallel::run_backend(&scenario, config, backend));
-    let b =
-        with_thread_count(4, || sixg::measure::parallel::run_backend(&scenario, config, backend));
+    let a = with_thread_count(1, || run_field(&scenario, config, backend));
+    let b = with_thread_count(4, || run_field(&scenario, config, backend));
     for cell in scenario.grid.cells() {
         assert_eq!(a.stats(cell).mean_ms.to_bits(), b.stats(cell).mean_ms.to_bits(), "{cell}");
         assert_eq!(a.stats(cell).count, b.stats(cell).count, "{cell}");

@@ -5,7 +5,8 @@
 
 use serde::Value;
 use sixg_measure::campaign::CampaignConfig;
-use sixg_measure::parallel::{run_backend, with_thread_count};
+use sixg_measure::exec::run_field;
+use sixg_measure::parallel::with_thread_count;
 use sixg_measure::scenario::Scenario;
 use sixg_measure::spec::{ExecBackend, ScenarioSpec};
 use sixg_measure::sweep::{AxisDef, BackendSelect, Sweep, SweepSpec, DEFAULT_REQUIREMENT_MS};
@@ -75,7 +76,7 @@ fn degenerate_sweep_equals_plain_run_bitwise() {
         sample_interval_s: sweep.base.campaign.sample_interval_s,
         passes: sweep.base.campaign.passes,
     };
-    let plain = run_backend(&scenario, config, ExecBackend::Analytic);
+    let plain = run_field(&scenario, config, ExecBackend::Analytic);
     for cell in scenario.grid.cells() {
         let want = plain.stats(cell);
         for (name, field) in [("base", &run.base_field), ("variant", &run.variant_fields[0])] {
