@@ -1,0 +1,234 @@
+//! E25 — colossal: the continental mega-grid columnar-pipeline gate.
+//!
+//! Runs the committed `specs/continental.json` campaign — one million
+//! cells under the wide key scheme, ~2×10⁷ samples drawn by the batched
+//! inverse-CDF path — at pool sizes 1, 2 and 4, and enforces two
+//! contracts:
+//!
+//! 1. **Determinism**: every pool size must produce a bitwise-identical
+//!    field (the pool-1 run is the reference; any differing cell exits
+//!    non-zero and is named).
+//! 2. **Throughput**: the best run must sustain more than
+//!    [`MIN_SAMPLES_PER_SECOND`] analytic samples per second — the
+//!    committed floor the columnar pipeline was built to clear. Override
+//!    with `--min-rate R` (0 disables, for underpowered machines).
+//!
+//! ```text
+//! cargo run --release --bin repro_colossal -- [--min-rate R] [--json PATH] [--bench PATH]
+//! ```
+//!
+//! `--json PATH` writes the deterministic record — sample counts, field
+//! fingerprint, super-cell hierarchy digest, **no wall times** — so CI
+//! can `cmp` the artifacts of two independent process runs byte for
+//! byte. `--bench PATH` writes the timing record into
+//! `BENCH_parallel.json`: if the file already holds a `repro_scaling`
+//! document (or a previous combined record), the E25 entries are merged
+//! in under `"colossal"` with the scaling record preserved under
+//! `"scaling"`.
+
+use sixg_measure::aggregate::CellField;
+use sixg_measure::campaign::CampaignConfig;
+use sixg_measure::continental::continental_spec;
+use sixg_measure::exec::run_field;
+use sixg_measure::hvt::{self, HvtConfig};
+use sixg_measure::parallel::with_thread_count;
+use sixg_measure::scenario::Scenario;
+use sixg_measure::store::fnv1a64;
+use sixg_measure::sweep::DEFAULT_REQUIREMENT_MS;
+use sixg_measure::ExecBackend;
+use std::time::Instant;
+
+/// The committed throughput floor: the columnar pipeline must draw more
+/// than ten million analytic samples per second at its best pool size.
+pub const MIN_SAMPLES_PER_SECOND: f64 = 1.0e7;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// FNV-1a over every cell's `(count, mean, std)` bits, row-major — a
+/// 64-bit fingerprint of the entire million-cell field.
+fn field_fingerprint(field: &CellField) -> u64 {
+    let grid = field.grid();
+    let mut bytes = Vec::with_capacity(grid.len() * 24);
+    for cell in grid.cells() {
+        let s = field.stats(cell);
+        bytes.extend_from_slice(&s.count.to_le_bytes());
+        bytes.extend_from_slice(&s.mean_ms.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&s.std_ms.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// First cell whose stats differ bitwise between two fields.
+fn first_difference(a: &CellField, b: &CellField) -> Option<String> {
+    for cell in a.grid().cells() {
+        let (x, y) = (a.stats(cell), b.stats(cell));
+        if x.count != y.count
+            || x.mean_ms.to_bits() != y.mean_ms.to_bits()
+            || x.std_ms.to_bits() != y.std_ms.to_bits()
+        {
+            return Some(format!(
+                "cell {cell}: ref (n={}, mean={:.17}) vs run (n={}, mean={:.17})",
+                x.count, x.mean_ms, y.count, y.mean_ms
+            ));
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let min_rate: f64 = flag_value(&args, "--min-rate")
+        .map(|v| v.parse().expect("--min-rate takes a number"))
+        .unwrap_or(MIN_SAMPLES_PER_SECOND);
+
+    let spec = continental_spec();
+    let config = CampaignConfig {
+        seed: spec.campaign.seed,
+        sample_interval_s: spec.campaign.sample_interval_s,
+        passes: spec.campaign.passes,
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!("== E25 — colossal: continental mega-grid columnar pipeline ==");
+    let t0 = Instant::now();
+    let scenario = Scenario::from_spec(spec).expect("committed continental spec compiles");
+    println!(
+        "compiled {} ({}×{} = {} cells, wide key scheme) in {:.3} s",
+        scenario.name,
+        scenario.grid.cols,
+        scenario.grid.rows,
+        scenario.grid.len(),
+        t0.elapsed().as_secs_f64(),
+    );
+
+    // Warm the allocator and thread pool outside the timed region.
+    let _ = with_thread_count(4, || run_field(&scenario, config, ExecBackend::Analytic));
+
+    let mut baseline: Option<CellField> = None;
+    let mut all_equal = true;
+    let mut best_rate = 0.0f64;
+    let mut total_samples = 0u64;
+    let mut runs: Vec<serde_json::Value> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let t = Instant::now();
+        let field =
+            with_thread_count(threads, || run_field(&scenario, config, ExecBackend::Analytic));
+        let seconds = t.elapsed().as_secs_f64();
+        total_samples = field.total_samples();
+        let rate = total_samples as f64 / seconds;
+        best_rate = best_rate.max(rate);
+        let difference = baseline.as_ref().and_then(|b| first_difference(b, &field));
+        let bitwise_equal = difference.is_none();
+        let verdict = match difference {
+            None if baseline.is_none() => "reference".to_string(),
+            None => "bitwise equal".to_string(),
+            Some(diff) => {
+                all_equal = false;
+                format!("MISMATCH — {diff}")
+            }
+        };
+        println!(
+            "{threads:>2} threads: {seconds:>7.3} s   {:>5.1} Msamples/s   {verdict}",
+            rate / 1e6
+        );
+        runs.push(serde_json::json!({
+            "threads": threads,
+            "seconds": seconds,
+            "samples_per_second": rate,
+            "bitwise_equal": bitwise_equal,
+        }));
+        if baseline.is_none() {
+            baseline = Some(field);
+        }
+    }
+    let baseline = baseline.expect("pool-1 run completed");
+
+    let fingerprint = field_fingerprint(&baseline);
+    let hvt_report =
+        hvt::build(&baseline, &HvtConfig::for_grid(baseline.grid(), DEFAULT_REQUIREMENT_MS));
+    let hvt_json = hvt_report.to_json();
+    let super_cells: usize = hvt_report.tiles.iter().map(|t| t.super_cells.len()).sum();
+    println!("\n{} samples · field fingerprint {fingerprint:#018x}", total_samples);
+    println!(
+        "hierarchy: {} tiles, {super_cells} super-cells over {} reported cells",
+        hvt_report.tiles.len(),
+        hvt_report.reported_cells,
+    );
+    println!(
+        "best rate {:.1} Msamples/s (floor {:.1}) · all pool sizes bitwise equal: {all_equal}",
+        best_rate / 1e6,
+        min_rate / 1e6,
+    );
+
+    // The deterministic record: no wall times, so two process runs at any
+    // pool size must produce byte-identical files (CI `cmp`s them).
+    if let Some(path) = flag_value(&args, "--json") {
+        let doc = serde_json::json!({
+            "bench": "repro_colossal",
+            "scenario": scenario.name,
+            "grid_cols": scenario.grid.cols as u64,
+            "grid_rows": scenario.grid.rows as u64,
+            "scenario_seed": spec.seed,
+            "campaign_seed": config.seed,
+            "passes": config.passes,
+            "total_samples": total_samples,
+            "field_fingerprint": format!("{fingerprint:#018x}"),
+            "grand_mean_bits": format!("{:#018x}", baseline.grand_mean_ms().to_bits()),
+            "hvt_tiles": hvt_report.tiles.len() as u64,
+            "hvt_super_cells": super_cells as u64,
+            "hvt_reported_cells": hvt_report.reported_cells,
+            "hvt_fingerprint": format!("{:#018x}", fnv1a64(hvt_json.as_bytes())),
+            "all_bitwise_equal": all_equal,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("record serialises");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    // The timing record, merged into the BENCH_parallel.json trajectory.
+    if let Some(path) = flag_value(&args, "--bench") {
+        let colossal = serde_json::json!({
+            "bench": "repro_colossal",
+            "hardware_threads": cores,
+            "total_samples": total_samples,
+            "best_samples_per_second": best_rate,
+            "min_samples_per_second": min_rate,
+            "all_bitwise_equal": all_equal,
+            "runs": runs,
+        });
+        let merged =
+            match std::fs::read_to_string(&path).ok().and_then(|t| serde_json::from_str(&t).ok()) {
+                // A combined record: replace the colossal entry, keep the rest.
+                Some(serde_json::Value::Object(pairs))
+                    if pairs.iter().any(|(k, _)| k == "scaling" || k == "colossal") =>
+                {
+                    let mut pairs: Vec<(String, serde_json::Value)> =
+                        pairs.into_iter().filter(|(k, _)| k != "colossal").collect();
+                    pairs.push(("colossal".to_string(), colossal));
+                    serde_json::Value::Object(pairs)
+                }
+                // A bare repro_scaling document: wrap it.
+                Some(existing @ serde_json::Value::Object(_)) => serde_json::json!({
+                    "scaling": existing,
+                    "colossal": colossal,
+                }),
+                _ => serde_json::json!({ "colossal": colossal }),
+            };
+        let text = serde_json::to_string_pretty(&merged).expect("record serialises");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if !all_equal {
+        eprintln!("repro_colossal: pool sizes disagree — determinism contract broken");
+        std::process::exit(1);
+    }
+    if min_rate > 0.0 && best_rate <= min_rate {
+        eprintln!(
+            "repro_colossal: best rate {best_rate:.0} samples/s is below the floor {min_rate:.0}"
+        );
+        std::process::exit(1);
+    }
+}

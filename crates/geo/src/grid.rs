@@ -8,46 +8,72 @@
 //! Cells are laid out with `A1` at the *north-west* corner: columns advance
 //! eastwards, rows advance southwards, matching the reading order of the
 //! paper's heatmaps.
+//!
+//! Since the continental-grid work, indices are 32-bit: grids up to
+//! 2³²−1 cells per side are representable, and columns beyond `Z` use
+//! spreadsheet-style multi-letter labels (`AA`, `AB`, …). Labels for the
+//! first 26 columns are byte-identical to the historical single-letter
+//! form, so every committed report and golden fixture is unaffected.
 
 use crate::coord::GeoPoint;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
-/// Identifier of a grid cell: column letter + 1-based row number.
+/// Identifier of a grid cell: column letter(s) + 1-based row number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId {
     /// Zero-based column index (0 = `A`).
-    pub col: u8,
+    pub col: u32,
     /// Zero-based row index (0 = row `1`).
-    pub row: u8,
+    pub row: u32,
 }
 
 impl CellId {
     /// Creates a cell id from zero-based column and row indices.
-    pub const fn new(col: u8, row: u8) -> Self {
+    pub const fn new(col: u32, row: u32) -> Self {
         Self { col, row }
     }
 
-    /// Parses labels such as `"C2"`. Only single-letter columns (A–Z) and
-    /// rows 1–99 are supported, which covers every scenario in the paper.
+    /// Parses labels such as `"C2"` or `"AB17"`: one or more column
+    /// letters (spreadsheet order: `A`–`Z`, `AA`, `AB`, …) followed by a
+    /// 1-based row number.
     pub fn parse(label: &str) -> Option<Self> {
-        let mut chars = label.chars();
-        let c = chars.next()?.to_ascii_uppercase();
-        if !c.is_ascii_uppercase() {
+        let letters: String = label.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        if letters.is_empty() {
             return None;
         }
-        let rest: String = chars.collect();
-        let row: u8 = rest.parse().ok()?;
+        let rest = &label[letters.len()..];
+        // Spreadsheet (bijective base-26) decoding: A=1 … Z=26, AA=27.
+        let mut col: u64 = 0;
+        for c in letters.chars() {
+            let c = c.to_ascii_uppercase();
+            col = col.checked_mul(26)?.checked_add((c as u8 - b'A') as u64 + 1)?;
+            if col > u32::MAX as u64 {
+                return None;
+            }
+        }
+        let row: u32 = rest.parse().ok()?;
         if row == 0 {
             return None;
         }
-        Some(Self::new(c as u8 - b'A', row - 1))
+        Some(Self::new((col - 1) as u32, row - 1))
     }
 
-    /// Human-readable label, e.g. `C2`.
+    /// Human-readable label, e.g. `C2` or `AB17`. Columns 0–25 render as
+    /// the historical single letter `A`–`Z`; larger columns extend in
+    /// spreadsheet order (`AA`, `AB`, …).
     pub fn label(&self) -> String {
-        format!("{}{}", (b'A' + self.col) as char, self.row + 1)
+        let mut letters = Vec::new();
+        // Bijective base-26 encoding of col+1.
+        let mut n = self.col as u64 + 1;
+        while n > 0 {
+            let rem = ((n - 1) % 26) as u8;
+            letters.push(b'A' + rem);
+            n = (n - 1) / 26;
+        }
+        letters.reverse();
+        format!("{}{}", String::from_utf8(letters).unwrap(), self.row + 1)
     }
 }
 
@@ -70,9 +96,9 @@ pub struct GridSpec {
     /// North-west corner of cell `A1`.
     pub origin: GeoPoint,
     /// Number of columns (west→east).
-    pub cols: u8,
+    pub cols: u32,
     /// Number of rows (north→south).
-    pub rows: u8,
+    pub rows: u32,
     /// Cell side length in kilometres (1.0 in the paper).
     pub cell_km: f64,
 }
@@ -80,7 +106,7 @@ pub struct GridSpec {
 impl GridSpec {
     /// Creates a grid. Panics if dimensions are zero or the cell size is
     /// non-positive.
-    pub fn new(origin: GeoPoint, cols: u8, rows: u8, cell_km: f64) -> Self {
+    pub fn new(origin: GeoPoint, cols: u32, rows: u32, cell_km: f64) -> Self {
         assert!(cols > 0 && rows > 0, "grid must be non-empty");
         assert!(cell_km > 0.0, "cell size must be positive");
         Self { origin, cols, rows, cell_km }
@@ -131,7 +157,7 @@ impl GridSpec {
         if col >= self.cols as u64 || row >= self.rows as u64 {
             return None;
         }
-        Some(CellId::new(col as u8, row as u8))
+        Some(CellId::new(col as u32, row as u32))
     }
 
     /// Kilometre offsets (east, south) of `p` relative to the grid origin.
@@ -145,7 +171,7 @@ impl GridSpec {
     }
 
     /// Chebyshev (king-move) distance between two cells, in cells.
-    pub fn cell_distance(&self, a: CellId, b: CellId) -> u8 {
+    pub fn cell_distance(&self, a: CellId, b: CellId) -> u32 {
         let dc = a.col.abs_diff(b.col);
         let dr = a.row.abs_diff(b.row);
         dc.max(dr)
@@ -194,6 +220,33 @@ mod tests {
         assert!(CellId::parse("").is_none());
         assert!(CellId::parse("7C").is_none());
         assert!(CellId::parse("C0").is_none());
+    }
+
+    #[test]
+    fn multi_letter_labels_follow_spreadsheet_order() {
+        assert_eq!(CellId::new(25, 0).label(), "Z1");
+        assert_eq!(CellId::new(26, 0).label(), "AA1");
+        assert_eq!(CellId::new(27, 4).label(), "AB5");
+        assert_eq!(CellId::new(26 + 26 * 26, 0).label(), "AAA1");
+        assert_eq!(CellId::parse("AA1"), Some(CellId::new(26, 0)));
+        assert_eq!(CellId::parse("AB5"), Some(CellId::new(27, 4)));
+        // Round-trips across the single→multi letter boundary and beyond.
+        for col in [0, 25, 26, 51, 52, 701, 702, 999, 18_277, 18_278] {
+            for row in [0, 8, 999] {
+                let c = CellId::new(col, row);
+                assert_eq!(CellId::parse(&c.label()), Some(c), "col {col} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_letter_labels_unchanged_by_widening() {
+        // The historical single-letter form must stay byte-identical:
+        // committed reports and golden fixtures embed these labels.
+        for col in 0..26u32 {
+            let want = format!("{}{}", (b'A' + col as u8) as char, 4);
+            assert_eq!(CellId::new(col, 3).label(), want);
+        }
     }
 
     #[test]
@@ -267,5 +320,15 @@ mod tests {
         let a = g.centroid(CellId::parse("C2").unwrap());
         let b = g.centroid(CellId::parse("E3").unwrap());
         assert!(a.distance_km(b) < 5.0);
+    }
+
+    #[test]
+    fn continental_scale_grid_is_representable() {
+        let g = GridSpec::new(GeoPoint::new(46.65, 14.25), 1000, 1000, 1.0);
+        assert_eq!(g.len(), 1_000_000);
+        let far = CellId::new(999, 999);
+        assert!(g.contains(far));
+        assert_eq!(far.label(), "ALL1000");
+        assert!(g.is_border(far));
     }
 }

@@ -99,13 +99,24 @@ impl ManhattanMobility {
     /// (cells not in `included` are skipped, emulating blocked or
     /// out-of-scope areas — the paper traverses 33 of 42 cells).
     pub fn traverse(&self, grid: &GridSpec, included: &[CellId]) -> Traversal {
+        // Index inclusion by grid position up front: the naive
+        // `included.contains(&cell)` scan is O(cells × included), which at
+        // continental scale (10⁶ cells, 10⁶ included) is 10¹² comparisons.
+        // The bitmap makes the sweep O(cells + included) with identical
+        // output.
+        let mut in_set = vec![false; grid.len()];
+        for cell in included {
+            if grid.contains(*cell) {
+                in_set[cell.row as usize * grid.cols as usize + cell.col as usize] = true;
+            }
+        }
         let mut visits = Vec::with_capacity(included.len());
         for r in 0..grid.rows {
-            let cols: Vec<u8> =
+            let cols: Vec<u32> =
                 if r % 2 == 0 { (0..grid.cols).collect() } else { (0..grid.cols).rev().collect() };
             for c in cols {
                 let cell = CellId::new(c, r);
-                if !included.contains(&cell) {
+                if !in_set[r as usize * grid.cols as usize + c as usize] {
                     continue;
                 }
                 let h = mix64(self.seed ^ mix64((c as u64) << 32 | r as u64));

@@ -22,15 +22,15 @@ pub const SPARSE_THRESHOLD: f64 = 1000.0;
 /// A per-cell population-density field (inhabitants per km²).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DensityRaster {
-    cols: u8,
-    rows: u8,
+    cols: u32,
+    rows: u32,
     /// Row-major densities.
     density: Vec<f64>,
 }
 
 impl DensityRaster {
     /// Builds a raster from an explicit row-major density vector.
-    pub fn from_rows(cols: u8, rows: u8, density: Vec<f64>) -> Self {
+    pub fn from_rows(cols: u32, rows: u32, density: Vec<f64>) -> Self {
         assert_eq!(density.len(), cols as usize * rows as usize, "density len mismatch");
         assert!(density.iter().all(|d| *d >= 0.0), "densities must be non-negative");
         Self { cols, rows, density }
@@ -100,7 +100,7 @@ impl DensityRaster {
     }
 
     /// Grid dimensions `(cols, rows)`.
-    pub fn dims(&self) -> (u8, u8) {
+    pub fn dims(&self) -> (u32, u32) {
         (self.cols, self.rows)
     }
 }

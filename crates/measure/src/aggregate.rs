@@ -286,7 +286,7 @@ mod tests {
     fn accumulator_round_trip_is_bitwise() {
         let mut f = CellField::new(grid());
         for i in 0..500u64 {
-            let cell = CellId::new((i % 6) as u8, (i % 7) as u8);
+            let cell = CellId::new((i % 6) as u32, (i % 7) as u32);
             f.push(cell, 40.0 + (i as f64 * 0.13).sin() * 25.0);
         }
         let rebuilt = CellField::from_accumulators(f.grid().clone(), f.accumulators().to_vec());
@@ -337,7 +337,7 @@ mod merge_contract {
         (0..len as u64)
             .map(|i| {
                 let h = splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let cell = CellId::new((h % 6) as u8, ((h >> 8) % 7) as u8);
+                let cell = CellId::new((h % 6) as u32, ((h >> 8) % 7) as u32);
                 let v = 30.0 + ((h >> 16) % 10_000) as f64 * 0.01;
                 (cell, v)
             })

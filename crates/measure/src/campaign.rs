@@ -7,16 +7,26 @@
 //! network RTTs: wire path + radio access, no application processing.
 
 use crate::aggregate::CellField;
-use crate::scenario::{cell_key, Scenario};
+use crate::scenario::{KeyScheme, Scenario};
+use bytes::Arena;
 use serde::{Deserialize, Serialize};
 use sixg_geo::mobility::ManhattanMobility;
 use sixg_geo::CellId;
+use sixg_netsim::dist::{Normal, Quantile};
 use sixg_netsim::latency::DelaySampler;
 use sixg_netsim::protocols::icmp::Pinger;
 use sixg_netsim::radio::AccessModel;
 use sixg_netsim::rng::{SimRng, StreamKey};
 use sixg_netsim::topology::NodeId;
 use sixg_netsim::trace::FlowTrace;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Worker-local column buffer for the wide scheme's batched draws: one
+    /// uniforms column per shard, recycled across every shard a worker
+    /// executes so the steady-state hot loop allocates nothing.
+    static UNIFORM_COLUMN: RefCell<Arena<f64>> = RefCell::new(Arena::new());
+}
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -122,13 +132,16 @@ impl<'a> MobileCampaign<'a> {
             .with_label(label)
             .with(self.config.seed)
             .with(pass as u64)
-            .with(cell_key(cell))
+            .with(self.scenario.cell_key(cell))
     }
 
     /// [`Self::collect_cell`] into a caller-owned buffer (cleared first),
     /// so tight loops — the runners visit thousands of shards — can reuse
     /// one allocation instead of growing a fresh `Vec` per shard.
     pub fn collect_cell_into(&self, pass: u32, cell: CellId, dwell_s: f64, out: &mut Vec<f64>) {
+        if self.scenario.key_scheme == KeyScheme::Wide {
+            return self.collect_cell_wide(pass, cell, dwell_s, out);
+        }
         let s = self.scenario;
         let access = s.access_for(cell);
         let n = self.samples_for_dwell(dwell_s);
@@ -142,6 +155,44 @@ impl<'a> MobileCampaign<'a> {
             let wire = self.sampler.rtt_ms(&path.hops, 64, &mut rng);
             let air = access.sample_rtt_ms(&mut rng);
             out.push(wire + air);
+        }
+    }
+
+    /// The wide scheme's columnar hot path: one (pass, cell) shard becomes
+    /// one RNG stream advanced once per *block* — a uniforms column filled
+    /// from the shard stream, then a tight batched inverse-CDF loop
+    /// ([`Quantile::inverse_cdf_block`]) over the cell's target
+    /// distribution, clamped at zero.
+    ///
+    /// Mega-grid scenarios compile without per-cell topology (see
+    /// [`Scenario`]'s compile pipeline), so a cell's round-trip latency is
+    /// drawn directly from `Normal(target mean, target σ)` — the field the
+    /// legacy path's wire + air calibration is constructed to reproduce.
+    /// Determinism: the draw order is a pure function of (scenario seed,
+    /// campaign seed, pass, wide cell key, sample index), so shards can run
+    /// on any worker in any order and fold back bitwise-identically,
+    /// exactly as in the legacy scheme. The uniforms column lives in a
+    /// worker-local arena; the `u = 0.0` edge draw maps through
+    /// `quantile(0) = -∞` to the clamp, never a panic.
+    fn collect_cell_wide(&self, pass: u32, cell: CellId, dwell_s: f64, out: &mut Vec<f64>) {
+        let s = self.scenario;
+        let n = self.samples_for_dwell(dwell_s);
+        let key = self.shard_key("campaign", pass, cell);
+        let dist = Normal::new(s.targets.mean_of(cell), s.targets.std_of(cell));
+        out.clear();
+        out.resize(n, 0.0);
+        UNIFORM_COLUMN.with(|column| {
+            let mut arena = column.borrow_mut();
+            arena.reset();
+            let u = arena.alloc_fill(n, 0.0);
+            let mut rng = SimRng::for_stream(key);
+            for v in arena.get_mut(u) {
+                *v = rng.unit();
+            }
+            dist.inverse_cdf_block(arena.get(u), out);
+        });
+        for v in out.iter_mut() {
+            *v = v.max(0.0);
         }
     }
 
@@ -341,17 +392,17 @@ mod tests {
         }
     }
 
-    /// The per-cell stream-key packing `(col << 8) | row` must be
+    /// The legacy per-cell stream-key packing `(col << 8) | row` must be
     /// injective over the whole packable range — a collision would hand
     /// two cells the same RNG stream and silently duplicate their samples.
-    /// `ScenarioSpec::validate` rejects grids beyond this range.
+    /// Larger grids select [`KeyScheme::Wide`] instead.
     #[test]
     fn cell_stream_keys_are_unique_over_packable_range() {
         let mut seen = std::collections::HashSet::new();
-        for col in 0..=u8::MAX {
-            for row in 0..=u8::MAX {
+        for col in 0..256u32 {
+            for row in 0..256u32 {
                 let cell = CellId::new(col, row);
-                let key = cell_key(cell);
+                let key = KeyScheme::Legacy.cell_key(cell);
                 // Bit-for-bit the historical packing (goldens depend on it).
                 assert_eq!(key, ((col as u64) << 8) | row as u64);
                 assert!(seen.insert(key), "stream key collision at {cell}");

@@ -33,6 +33,7 @@ use crate::aggregate::CellField;
 use crate::campaign::{CampaignConfig, MobileCampaign, Shard};
 use crate::parallel::run_shards;
 use crate::scenario::Scenario;
+use bytes::arena::{Arena, Slice};
 use sixg_netsim::dist::{Component, DistSpec, LogNormal, Sample};
 use sixg_netsim::engine::Engine;
 use sixg_netsim::latency::{mean_queue_ms, propagation_ms, transmission_ms, PROCESSING_CV};
@@ -42,6 +43,7 @@ use sixg_netsim::radio::AccessModel;
 use sixg_netsim::rng::SimRng;
 use sixg_netsim::time::{SimDuration, SimTime};
 use sixg_netsim::topology::LinkId;
+use std::cell::RefCell;
 
 /// Wire size of a measurement probe, bytes — the same figure the analytic
 /// sampler feeds its transmission-delay term.
@@ -82,27 +84,40 @@ struct Leg {
     after: SimDuration,
 }
 
-/// A probe in flight: its pre-drawn journey plus bookkeeping to turn the
-/// echo arrival into an RTL sample.
+/// A probe in flight: its pre-drawn journey (a handle into the shard's
+/// shared leg arena) plus bookkeeping to turn the echo arrival into an RTL
+/// sample.
 struct Probe {
     id: usize,
     launched: SimTime,
     next: usize,
-    legs: Vec<Leg>,
+    legs: Slice,
     air_ms: f64,
 }
 
 /// The per-shard event world: one FIFO server per link, one result slot
-/// per probe.
+/// per probe, and one arena holding every probe's legs.
+///
+/// The arena replaces the per-probe `Vec<Leg>` allocations the backend
+/// used to make — one worker-local buffer is recycled across all shards a
+/// worker executes, so the steady-state hot loop performs no allocator
+/// calls for probe journeys.
 struct ProbeWorld {
     links: Vec<FifoServer>,
     results: Vec<f64>,
+    legs: Arena<Leg>,
+}
+
+thread_local! {
+    /// Worker-local leg arena, moved into each shard's [`ProbeWorld`] and
+    /// recovered afterwards so its capacity survives across shards.
+    static LEG_ARENA: RefCell<Arena<Leg>> = RefCell::new(Arena::new());
 }
 
 /// Advances a probe one leg: claim the link's FIFO server now, schedule
 /// the next-hop arrival; on the last leg, record the RTL sample.
 fn advance(eng: &mut Engine<ProbeWorld>, world: &mut ProbeWorld, mut probe: Probe) {
-    match probe.legs.get(probe.next).copied() {
+    match world.legs.get(probe.legs).get(probe.next).copied() {
         None => {
             let wire_ms = eng.now().since(probe.launched).as_millis_f64();
             world.results[probe.id] = wire_ms + probe.air_ms;
@@ -165,7 +180,9 @@ impl<'a> EventCampaign<'a> {
         let mut world = ProbeWorld {
             links: vec![FifoServer::new(); s.topo.link_count()],
             results: vec![f64::NAN; n],
+            legs: LEG_ARENA.with(|a| std::mem::take(&mut *a.borrow_mut())),
         };
+        world.legs.reset();
 
         let mut launch = SimTime::ZERO;
         for i in 0..n {
@@ -188,7 +205,7 @@ impl<'a> EventCampaign<'a> {
 
             // Forward legs, then the echo back over the same hop list (the
             // analytic backend's rtt = one_way + one_way convention).
-            let mut legs = Vec::with_capacity(2 * path.hops.len());
+            let mark = world.legs.mark();
             for _direction in 0..2 {
                 for &(into, link) in &path.hops {
                     let service = transmission_ms(&s.topo, link, packet.size_bytes);
@@ -203,7 +220,7 @@ impl<'a> EventCampaign<'a> {
                     let queue = if qmean > 0.0 { -(1.0 - rng.unit()).ln() * qmean } else { 0.0 };
                     let proc_mean = s.topo.node(into).kind.base_processing_ms();
                     let proc = LogNormal::from_mean_cv(proc_mean, PROCESSING_CV).sample(&mut rng);
-                    legs.push(Leg {
+                    world.legs.push(Leg {
                         link,
                         service: SimDuration::from_millis_f64(service),
                         after: SimDuration::from_millis_f64(
@@ -214,7 +231,8 @@ impl<'a> EventCampaign<'a> {
             }
             let air_ms = access.sample_rtt_ms(&mut rng);
 
-            let probe = Probe { id: i, launched: launch, next: 0, legs, air_ms };
+            let probe =
+                Probe { id: i, launched: launch, next: 0, legs: world.legs.since(mark), air_ms };
             eng.schedule_at(launch, move |e, w| advance(e, w, probe));
             launch += interval;
         }
@@ -228,6 +246,8 @@ impl<'a> EventCampaign<'a> {
             debug_assert!(rtl.is_finite(), "probe {i} never completed");
             out.push(rtl);
         }
+        // Hand the arena (and its grown capacity) back to the worker.
+        LEG_ARENA.with(|a| *a.borrow_mut() = std::mem::take(&mut world.legs));
     }
 
     /// Runs the full campaign sequentially, shard by shard, reusing one

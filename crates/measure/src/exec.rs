@@ -39,9 +39,10 @@
 
 use crate::aggregate::CellField;
 use crate::campaign::CampaignConfig;
+use crate::hvt::{self, HvtConfig, HvtReport};
 use crate::parallel::{dispatch_backend, run_items_streaming};
 use crate::report::CellSummary;
-use crate::scenario::Scenario;
+use crate::scenario::{KeyScheme, Scenario};
 use crate::spec::{
     parse_backend, CampaignDef, Ctx, ErrorCode, ExecBackend, ScenarioSpec, SpecError,
 };
@@ -494,7 +495,17 @@ fn reanchor(prefix: &str, mut e: SpecError) -> SpecError {
 /// Aggregates of one executed single-scenario campaign — the `run`
 /// counterpart of a sweep's [`VariantReport`]. Contains no wall times, so
 /// the serialised form is bitwise identical across runs and pool sizes.
-#[derive(Debug, Clone, Serialize)]
+///
+/// **Cell enumeration is key-scheme dependent.** Legacy-scheme grids
+/// (≤ [`crate::spec::PACKABLE_GRID_DIM`] per side) list every reported
+/// cell in [`RunReport::cells`], exactly as before the widening. A
+/// wide-scheme mega-grid would enumerate up to millions of cells, so its
+/// report leaves `cells` empty and carries the two-level
+/// [`crate::hvt`] super-cell hierarchy in [`RunReport::super_cells`]
+/// instead — navigable tiles with quantized per-super-cell statistics.
+/// The field is omitted (not `null`) from legacy reports, so every
+/// pre-widening report byte is unchanged.
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scenario name.
     pub scenario: String,
@@ -524,8 +535,40 @@ pub struct RunReport {
     pub std_max_ms: f64,
     /// Grand-mean exceedance over the requirement, percent.
     pub exceedance_pct: f64,
-    /// Per-cell statistics of reported cells.
+    /// Per-cell statistics of reported cells (legacy-scheme grids; empty
+    /// for wide-scheme mega-grids).
     pub cells: Vec<CellSummary>,
+    /// The hierarchical super-cell summary (wide-scheme grids only).
+    pub super_cells: Option<HvtReport>,
+}
+
+impl Serialize for RunReport {
+    // Hand-written (not derived) so `super_cells` is *omitted* when absent:
+    // a derived `Option` would serialise `null` and change every legacy
+    // report's bytes.
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            ("scenario_seed".to_string(), self.scenario_seed.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("passes".to_string(), self.passes.to_value()),
+            ("sample_interval_s".to_string(), self.sample_interval_s.to_value()),
+            ("requirement_ms".to_string(), self.requirement_ms.to_value()),
+            ("total_samples".to_string(), self.total_samples.to_value()),
+            ("grand_mean_ms".to_string(), self.grand_mean_ms.to_value()),
+            ("mean_min_ms".to_string(), self.mean_min_ms.to_value()),
+            ("mean_max_ms".to_string(), self.mean_max_ms.to_value()),
+            ("std_min_ms".to_string(), self.std_min_ms.to_value()),
+            ("std_max_ms".to_string(), self.std_max_ms.to_value()),
+            ("exceedance_pct".to_string(), self.exceedance_pct.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ];
+        if let Some(h) = &self.super_cells {
+            pairs.push(("super_cells".to_string(), h.to_value()));
+        }
+        Value::Object(pairs)
+    }
 }
 
 impl RunReport {
@@ -541,6 +584,23 @@ impl RunReport {
             field.mean_extrema().map_or((0.0, 0.0), |(a, b)| (a.mean_ms, b.mean_ms));
         let (std_min_ms, std_max_ms) =
             field.std_extrema().map_or((0.0, 0.0), |(a, b)| (a.std_ms, b.std_ms));
+        let wide = KeyScheme::for_grid(field.grid()) == KeyScheme::Wide;
+        let cells = if wide {
+            Vec::new()
+        } else {
+            field
+                .reported()
+                .into_iter()
+                .map(|s| CellSummary {
+                    cell: s.cell.label(),
+                    count: s.count,
+                    mean_ms: s.mean_ms,
+                    std_ms: s.std_ms,
+                })
+                .collect()
+        };
+        let super_cells =
+            wide.then(|| hvt::build(field, &HvtConfig::for_grid(field.grid(), requirement_ms)));
         Self {
             scenario: spec.name.clone(),
             backend: backend.to_string(),
@@ -556,16 +616,8 @@ impl RunReport {
             std_min_ms,
             std_max_ms,
             exceedance_pct: (grand_mean_ms - requirement_ms) / requirement_ms * 100.0,
-            cells: field
-                .reported()
-                .into_iter()
-                .map(|s| CellSummary {
-                    cell: s.cell.label(),
-                    count: s.count,
-                    mean_ms: s.mean_ms,
-                    std_ms: s.std_ms,
-                })
-                .collect(),
+            cells,
+            super_cells,
         }
     }
 
@@ -1079,6 +1131,57 @@ mod tests {
             field_bits(&faulted),
             field_bits(&crate::faults::run_faulted_parallel(&flap, config)),
         );
+    }
+
+    /// A minimal wide-scheme spec: one side past [`PACKABLE_GRID_DIM`]
+    /// flips the key scheme while keeping the campaign small enough for a
+    /// debug-build test.
+    fn wide_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::skopje();
+        spec.name = "wide-test".into();
+        spec.grid.cols = 257;
+        spec.grid.rows = 12;
+        spec.campaign.passes = 1;
+        spec
+    }
+
+    #[test]
+    fn wide_grid_run_reports_super_cells_and_is_pool_invariant() {
+        let req = ExecRequest::run(wide_spec());
+        let exec = Executor::new();
+        let a = with_thread_count(1, || exec.execute(&req).expect("runs").to_json());
+        let b = with_thread_count(4, || exec.execute(&req).expect("runs").to_json());
+        assert_eq!(a, b, "wide-scheme reports must be pool-size invariant");
+
+        match exec.execute(&req).expect("runs") {
+            ExecReport::Run(out) => {
+                let r = &out.report;
+                assert!(r.cells.is_empty(), "mega-grids must not enumerate cells");
+                let h = r.super_cells.as_ref().expect("wide grids summarise hierarchically");
+                assert_eq!(h.reported_cells + h.masked_cells, 257 * 12);
+                assert!(h.reported_cells > 0, "the campaign must report cells");
+                assert!(h.tiles.len() > 1, "level 1 must partition the grid");
+                let bucketed: u64 =
+                    h.tiles.iter().flat_map(|t| &t.super_cells).map(|s| s.samples).sum();
+                assert!(bucketed > 0 && bucketed <= r.total_samples);
+                assert!(r.to_json().contains("\"super_cells\""));
+            }
+            other => panic!("expected a run report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_reports_omit_the_super_cell_member() {
+        match execute(&ExecRequest::run(flat_spec())).expect("runs") {
+            ExecReport::Run(out) => {
+                assert!(out.report.super_cells.is_none());
+                assert!(
+                    !out.report.to_json().contains("super_cells"),
+                    "legacy report bytes must not grow a null member"
+                );
+            }
+            other => panic!("expected a run report, got {other:?}"),
+        }
     }
 
     // -- request validation matrix ------------------------------------------

@@ -31,6 +31,10 @@
 //!   schedule applied mid-campaign over the message-level BGP speakers of
 //!   [`sixg_netsim::routing::dynamic`], so probes launched during a flap
 //!   measure real convergence transients (detour shifts, blackholes);
+//! * [`hvt`] — hierarchical topology-preserving super-cell aggregation:
+//!   mega-grid fields compress into a two-level tile/super-cell hierarchy
+//!   (quantized by mean band, exceedance and position) so continental-scale
+//!   run reports stay navigable instead of enumerating 10⁶ cells;
 //! * [`validate`] — field-level agreement metrics (RMSE, max deviation,
 //!   extrema rank agreement) between a campaign and its targets;
 //! * [`sweep`] — the declarative parameter-sweep subsystem: a
@@ -57,9 +61,11 @@
 
 pub mod aggregate;
 pub mod campaign;
+pub mod continental;
 pub mod event_backend;
 pub mod exec;
 pub mod faults;
+pub mod hvt;
 pub mod klagenfurt;
 pub mod megacity;
 pub mod parallel;
@@ -80,6 +86,7 @@ pub use exec::{
     RunOutput, RunReport, ScenarioCache, ShardSel,
 };
 pub use faults::FaultCampaign;
+pub use hvt::{HvtConfig, HvtReport};
 pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
 pub use spec::{ErrorCode, ExecBackend, ScenarioSpec, SpecError};

@@ -35,7 +35,11 @@ pub fn render_grid(field: &CellField, stat: FieldStat) -> String {
     let mut out = String::new();
     out.push_str("     ");
     for c in 0..grid.cols {
-        out.push_str(&format!("{:>8}", (b'A' + c) as char));
+        // Column letters of the cell label (spreadsheet style; plain A–Z
+        // below 26, so legacy-grid tables render byte-identically).
+        let label = CellId::new(c, 0).label();
+        let letters = label.trim_end_matches(|ch: char| ch.is_ascii_digit());
+        out.push_str(&format!("{letters:>8}"));
     }
     out.push('\n');
     for r in 0..grid.rows {

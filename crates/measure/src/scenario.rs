@@ -42,8 +42,8 @@ use std::collections::BTreeMap;
 /// shape once at compile time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TargetField {
-    cols: u8,
-    rows: u8,
+    cols: u32,
+    rows: u32,
     /// Mean RTL targets, ms, row-major.
     mean: Vec<f64>,
     /// Standard-deviation targets, ms, row-major.
@@ -64,8 +64,8 @@ impl TargetField {
             assert_eq!(s.len(), cols, "ragged std matrix");
         }
         Self {
-            cols: cols as u8,
-            rows: rows as u8,
+            cols: cols as u32,
+            rows: rows as u32,
             mean: mean.into_iter().flatten().collect(),
             std: std.into_iter().flatten().collect(),
         }
@@ -78,7 +78,7 @@ impl TargetField {
     }
 
     /// Grid dimensions `(cols, rows)`.
-    pub fn dims(&self) -> (u8, u8) {
+    pub fn dims(&self) -> (u32, u32) {
         (self.cols, self.rows)
     }
 
@@ -176,9 +176,52 @@ impl TargetField {
     }
 }
 
-/// Deterministic stream-key component of a cell.
-pub(crate) fn cell_key(cell: CellId) -> u64 {
-    ((cell.col as u64) << 8) | cell.row as u64
+/// Versioned packing of a cell's coordinates into the 64-bit stream-key
+/// component that seeds every per-cell RNG stream.
+///
+/// The scheme is part of the determinism contract: every committed golden
+/// number was produced under [`KeyScheme::Legacy`], so specs that were
+/// expressible before the widening (grids ≤ [`crate::spec::PACKABLE_GRID_DIM`]
+/// per side) must keep that packing bit-for-bit. Larger grids — where the
+/// 8-bit row field would collide across cells — select [`KeyScheme::Wide`]
+/// and with it the columnar sampling path. The choice is a pure function
+/// of the grid dimensions, so a spec can never straddle schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyScheme {
+    /// `(col << 8) | row`: the historical packing. Collision-free exactly
+    /// for grids up to 256 cells per side; all pre-widening golden bits
+    /// were produced under it.
+    Legacy,
+    /// `(col << 32) | row`: collision-free for any 32-bit grid. Selecting
+    /// this scheme also selects the columnar (batched inverse-CDF)
+    /// sampling path.
+    Wide,
+}
+
+impl KeyScheme {
+    /// The scheme a grid of the given dimensions uses. Pure function of
+    /// the dimensions — the versioning rule of the determinism contract.
+    pub fn for_dims(cols: u32, rows: u32) -> Self {
+        let cap = crate::spec::PACKABLE_GRID_DIM;
+        if cols <= cap && rows <= cap {
+            KeyScheme::Legacy
+        } else {
+            KeyScheme::Wide
+        }
+    }
+
+    /// The scheme `grid` uses.
+    pub fn for_grid(grid: &GridSpec) -> Self {
+        Self::for_dims(grid.cols, grid.rows)
+    }
+
+    /// Deterministic stream-key component of a cell under this scheme.
+    pub fn cell_key(self, cell: CellId) -> u64 {
+        match self {
+            KeyScheme::Legacy => ((cell.col as u64) << 8) | cell.row as u64,
+            KeyScheme::Wide => ((cell.col as u64) << 32) | cell.row as u64,
+        }
+    }
 }
 
 /// The assembled scenario — everything a campaign needs to run.
@@ -217,6 +260,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Cell of the reference mobile node (Table-I-style endpoint).
     pub reference_cell: CellId,
+    /// Which stream-key packing (and with it, which sampling path) this
+    /// scenario uses — a pure function of the grid dimensions.
+    pub key_scheme: KeyScheme,
     /// The spec this scenario was compiled from (seed policy, workload mix).
     pub spec: ScenarioSpec,
 }
@@ -270,17 +316,21 @@ impl Scenario {
             spec.name
         );
 
+        let key_scheme = KeyScheme::for_grid(&grid);
+
         // Density: monocentric synthetic profile made consistent with the
         // traversal plan — every traversed cell dense, every skipped cell
         // sparse (the paper ties its 0.0 cells to the <1000 /km² threshold).
+        // Jitter folds the scheme's cell key into the seed; under the
+        // legacy scheme the key's bit-fields are disjoint, so the XOR is
+        // bit-identical to the historical `seed ^ (col << 8) ^ row` form.
         let d = &spec.density;
         let mut density =
             DensityRaster::synth_urban(&grid, d.core_col, d.core_row, d.peak, d.decay_cells);
         for cell in grid.cells() {
             let current = density.density(cell);
             let jitter =
-                (sixg_geo::mobility::mix64(seed ^ ((cell.col as u64) << 8) ^ cell.row as u64)
-                    % d.jitter_mod) as f64;
+                (sixg_geo::mobility::mix64(seed ^ key_scheme.cell_key(cell)) % d.jitter_mod) as f64;
             if targets.traversed(cell) && current < SPARSE_THRESHOLD {
                 density.set_density(cell, d.dense_fill + jitter);
             } else if !targets.traversed(cell) && current >= SPARSE_THRESHOLD {
@@ -344,7 +394,15 @@ impl Scenario {
 
         let gw = hop_ids[spec.ue.gateway.as_str()];
         let mut ue = BTreeMap::new();
-        for &cell in &included {
+        // Wide-scheme (mega-grid) scenarios skip per-cell compilation: a
+        // million UE nodes, routed paths and calibration sweeps are
+        // infeasible and unnecessary — the columnar sampling path draws
+        // each cell's round-trip latency directly from the target field's
+        // closed form (see `MobileCampaign::collect_cell_into`). Only the
+        // backbone topology (hops, links, peers) is materialised.
+        let per_cell_cells: &[CellId] =
+            if key_scheme == KeyScheme::Legacy { &included } else { &[] };
+        for &cell in per_cell_cells {
             let id = topo.add_node(
                 NodeKind::UserEquipment,
                 format!("{}{}", spec.ue.name_prefix, cell.label().to_lowercase()),
@@ -423,10 +481,13 @@ impl Scenario {
             routes: BTreeMap::new(),
             seed,
             reference_cell,
+            key_scheme,
             spec: spec.clone(),
         };
-        scenario.compute_routes();
-        scenario.calibrate();
+        if scenario.key_scheme == KeyScheme::Legacy {
+            scenario.compute_routes();
+            scenario.calibrate();
+        }
         scenario
     }
 
@@ -462,7 +523,7 @@ impl Scenario {
             extras[next] = link.extra;
             next += 1;
         }
-        for _ in &self.included {
+        for _ in self.ue.values() {
             extras[next] = self.spec.ue.extra;
             next += 1;
         }
@@ -502,7 +563,7 @@ impl Scenario {
         let targets = self.measurement_targets();
         let key = StreamKey::root(self.seed)
             .with_label(&self.spec.calibration.label)
-            .with(cell_key(cell));
+            .with(self.cell_key(cell));
         let mut rng = SimRng::for_stream(key);
         let mut w = Welford::new();
         for i in 0..n {
@@ -525,6 +586,12 @@ impl Scenario {
             let access_var = (target_std * target_std - wire_var).max(0.01);
             self.access.insert(cell, FiveGAccess::fit(access_mean, access_var.sqrt()));
         }
+    }
+
+    /// Deterministic stream-key component of a cell under this scenario's
+    /// [`KeyScheme`].
+    pub fn cell_key(&self, cell: CellId) -> u64 {
+        self.key_scheme.cell_key(cell)
     }
 
     /// Calibrated access model for a traversed cell.
@@ -563,7 +630,7 @@ impl Scenario {
             let key = StreamKey::root(self.seed)
                 .with_label("uniform-campaign")
                 .with(seed)
-                .with(cell_key(cell));
+                .with(self.cell_key(cell));
             let mut rng = SimRng::for_stream(key);
             for i in 0..samples_per_cell {
                 let path = &self.routes[&(cell, i % targets.len())];

@@ -129,10 +129,10 @@ pub struct GridDef {
     pub origin_lat: f64,
     /// Longitude of the north-west corner of cell `A1`.
     pub origin_lon: f64,
-    /// Number of columns (west→east, labelled `A`, `B`, …).
-    pub cols: u8,
+    /// Number of columns (west→east, labelled `A`, `B`, …, `Z`, `AA`, …).
+    pub cols: u32,
     /// Number of rows (north→south, labelled `1`, `2`, …).
-    pub rows: u8,
+    pub rows: u32,
     /// Cell side length, kilometres.
     pub cell_km: f64,
 }
@@ -559,10 +559,21 @@ pub struct ScenarioSpec {
     pub workloads: WorkloadMixDef,
 }
 
-/// Largest grid dimension whose cell identifiers the per-cell RNG stream
-/// key (`(col << 8) | row`, see `scenario::cell_key`) can pack without
-/// cross-cell collisions.
+/// Largest grid dimension served by the *legacy* stream-key scheme
+/// (`(col << 8) | row`, see [`crate::scenario::KeyScheme::Legacy`]).
+///
+/// This is a versioning boundary, not a hard limit: grids at or below this
+/// dimension keep the historical packing bit-for-bit (every committed
+/// golden number depends on it), while larger grids select
+/// [`crate::scenario::KeyScheme::Wide`] (`(col << 32) | row`) and with it
+/// the columnar batched-draw sampling path on the analytic backend.
 pub const PACKABLE_GRID_DIM: u32 = 256;
+
+/// Upper bound on total cells per grid (4096² — sixteen times the
+/// continental 1000×1000 reference scenario). Beyond this the per-cell
+/// accumulator field alone exceeds a sensible memory budget; shard the
+/// sector into multiple scenarios instead.
+pub const MAX_GRID_CELLS: u64 = 4096 * 4096;
 
 /// True when `x` is a finite, strictly positive number (NaN and ∞ fail,
 /// which a plain `x > 0.0` comparison would let through or mis-handle).
@@ -724,8 +735,8 @@ fn decode_grid(c: &Ctx) -> Result<GridDef, SpecError> {
     Ok(GridDef {
         origin_lat: c.field("origin_lat")?.f64()?,
         origin_lon: c.field("origin_lon")?.f64()?,
-        cols: c.field("cols")?.u8()?,
-        rows: c.field("rows")?.u8()?,
+        cols: c.field("cols")?.u32()?,
+        rows: c.field("rows")?.u32()?,
         cell_km: c.field("cell_km")?.f64()?,
     })
 }
@@ -984,20 +995,43 @@ impl ScenarioSpec {
         if let Err(m) = parse_backend(&self.backend) {
             err("$.backend", m);
         }
-        // The per-cell RNG stream key packs `(col << 8) | row` (see
-        // `scenario::cell_key`); a dimension beyond 256 would silently
-        // collide streams across cells and duplicate samples. Today's
-        // `u8` grid fields cannot exceed this, but the check guards any
-        // future widening of the grid type — the packing itself must stay
-        // bit-for-bit because every golden stream depends on it.
-        if u32::from(self.grid.cols) > PACKABLE_GRID_DIM
-            || u32::from(self.grid.rows) > PACKABLE_GRID_DIM
-        {
+        // Stream-key scheme routing: grids at or below PACKABLE_GRID_DIM
+        // per side keep the legacy `(col << 8) | row` packing bit-for-bit
+        // (every golden stream depends on it); larger grids select the
+        // wide `(col << 32) | row` scheme and the columnar batched-draw
+        // path, which only the analytic backend implements — mega-grids
+        // compile without the per-cell topology the event backend probes.
+        let wide_scheme = self.grid.cols > PACKABLE_GRID_DIM || self.grid.rows > PACKABLE_GRID_DIM;
+        if wide_scheme {
+            if matches!(parse_backend(&self.backend), Ok(ExecBackend::Event)) {
+                err(
+                    "$.backend",
+                    format!(
+                        "grid {}×{} exceeds {PACKABLE_GRID_DIM}×{PACKABLE_GRID_DIM} and uses the \
+                         wide stream-key scheme, whose columnar sampling path only the analytic \
+                         backend implements — set \"backend\": \"analytic\"",
+                        self.grid.cols, self.grid.rows
+                    ),
+                );
+            }
+            if !self.faults.is_empty() {
+                err(
+                    "$.faults",
+                    format!(
+                        "fault schedules run on the event backend, which the wide stream-key \
+                         scheme (grid {}×{} beyond {PACKABLE_GRID_DIM}×{PACKABLE_GRID_DIM}) does \
+                         not support",
+                        self.grid.cols, self.grid.rows
+                    ),
+                );
+            }
+        }
+        if self.grid.cols as u64 * self.grid.rows as u64 > MAX_GRID_CELLS {
             err(
                 "$.grid",
                 format!(
-                    "grid {}×{} exceeds the {PACKABLE_GRID_DIM}×{PACKABLE_GRID_DIM} range the \
-                     per-cell RNG stream key can pack without collisions",
+                    "grid {}×{} exceeds {MAX_GRID_CELLS} total cells; shard the sector into \
+                     multiple scenarios",
                     self.grid.cols, self.grid.rows
                 ),
             );
@@ -1569,6 +1603,7 @@ mod tests {
             ScenarioSpec::klagenfurt_flap(),
             ScenarioSpec::skopje(),
             ScenarioSpec::megacity(),
+            ScenarioSpec::continental(),
         ] {
             let path = format!("{dir}/{}.json", spec.name);
             std::fs::write(&path, spec.to_json() + "\n").expect("write spec file");

@@ -155,8 +155,8 @@ fn push_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 fn push_field(buf: &mut Vec<u8>, field: &CellField) {
-    push_u32(buf, field.grid().cols as u32);
-    push_u32(buf, field.grid().rows as u32);
+    push_u32(buf, field.grid().cols);
+    push_u32(buf, field.grid().rows);
     push_u64(buf, field.accumulators().len() as u64);
     for w in field.accumulators() {
         let (n, mean, m2, min, max) = w.raw_parts();
@@ -214,7 +214,7 @@ impl<'a> Reader<'a> {
     fn field(&mut self, expected: &GridSpec) -> Result<CellField, StoreError> {
         let cols = self.u32()?;
         let rows = self.u32()?;
-        if (cols, rows) != (expected.cols as u32, expected.rows as u32) {
+        if (cols, rows) != (expected.cols, expected.rows) {
             return Err(StoreError::new(
                 self.path,
                 format!(
@@ -766,7 +766,7 @@ pub fn run_checkpointed(
             let next = c.next_item as usize;
             if next < owned.len() {
                 let (ri, shard) = owned[next];
-                let want = (ri, shard.pass, shard.cell.col as u32, shard.cell.row as u32);
+                let want = (ri, shard.pass, shard.cell.col, shard.cell.row);
                 let got = (c.next_run, c.next_pass, c.next_col, c.next_row);
                 if got != want {
                     return Err(StoreError::new(
@@ -863,7 +863,7 @@ pub fn run_checkpointed(
         next = end;
         let (next_run, next_pass, next_col, next_row) = if next < owned.len() {
             let (ri, shard) = owned[next];
-            (ri, shard.pass, shard.cell.col as u32, shard.cell.row as u32)
+            (ri, shard.pass, shard.cell.col, shard.cell.row)
         } else {
             (0, 0, 0, 0)
         };
@@ -996,7 +996,7 @@ mod tests {
     fn sample_field() -> CellField {
         let mut f = CellField::new(grid());
         for i in 0..200u64 {
-            let cell = CellId::new((i % 4) as u8, (i % 3) as u8);
+            let cell = CellId::new((i % 4) as u32, (i % 3) as u32);
             f.push(cell, 35.0 + (i as f64 * 0.7).sin() * 12.0);
         }
         f

@@ -2,6 +2,8 @@
 
 use proptest::prelude::*;
 use sixg::geo::{CellId, GeoPoint, GridSpec, Polyline};
+use sixg::measure::scenario::KeyScheme;
+use sixg::measure::spec::PACKABLE_GRID_DIM;
 use sixg::netsim::dist::{
     Exponential, LogNormal, Normal, Pareto, Quantile, Sample, Uniform, Weibull,
 };
@@ -70,7 +72,7 @@ proptest! {
     }
 
     #[test]
-    fn grid_locate_centroid_round_trip(cols in 1u8..12, rows in 1u8..12, cell_km in 0.2f64..3.0) {
+    fn grid_locate_centroid_round_trip(cols in 1u32..12, rows in 1u32..12, cell_km in 0.2f64..3.0) {
         let grid = GridSpec::new(GeoPoint::new(46.6, 14.3), cols, rows, cell_km);
         for cell in grid.cells() {
             prop_assert_eq!(grid.locate(grid.centroid(cell)), Some(cell));
@@ -208,6 +210,55 @@ proptest! {
         prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
     }
 
+    // --- cell-key schemes -------------------------------------------------
+
+    #[test]
+    fn legacy_keys_match_the_historical_packing(col in 0u32..256, row in 0u32..256) {
+        // Every pre-widening golden bit was produced under `(col << 8) | row`;
+        // the versioned scheme must reproduce it exactly for packable grids.
+        let cell = CellId::new(col, row);
+        prop_assert_eq!(KeyScheme::Legacy.cell_key(cell), ((col as u64) << 8) | row as u64);
+    }
+
+    #[test]
+    fn wide_keys_are_injective(
+        c1 in 0u32..1_000_000, r1 in 0u32..1_000_000,
+        c2 in 0u32..1_000_000, r2 in 0u32..1_000_000,
+    ) {
+        let (a, b) = (CellId::new(c1, r1), CellId::new(c2, r2));
+        let equal_keys = KeyScheme::Wide.cell_key(a) == KeyScheme::Wide.cell_key(b);
+        prop_assert_eq!(equal_keys, a == b, "wide keys must collide iff the cells coincide");
+    }
+
+    #[test]
+    fn scheme_selection_is_a_pure_function_of_the_dims(cols in 1u32..5000, rows in 1u32..5000) {
+        let scheme = KeyScheme::for_dims(cols, rows);
+        let packable = cols <= PACKABLE_GRID_DIM && rows <= PACKABLE_GRID_DIM;
+        prop_assert_eq!(scheme == KeyScheme::Legacy, packable);
+        prop_assert_eq!(scheme, KeyScheme::for_dims(cols, rows));
+    }
+
+    #[test]
+    fn selected_scheme_never_collides_within_its_grid(
+        cols in 1u32..5000, rows in 1u32..5000,
+        picks in prop::collection::vec((0u32..5000, 0u32..5000), 2..40),
+    ) {
+        // Whichever scheme `for_dims` selects for a spec's grid, keys of
+        // distinct in-grid cells never collide — the guarantee the
+        // per-cell RNG stream derivation rests on.
+        let scheme = KeyScheme::for_dims(cols, rows);
+        let cells: Vec<CellId> =
+            picks.iter().map(|&(c, r)| CellId::new(c % cols, r % rows)).collect();
+        for (i, &a) in cells.iter().enumerate() {
+            for &b in &cells[i + 1..] {
+                if a != b {
+                    prop_assert_ne!(scheme.cell_key(a), scheme.cell_key(b),
+                        "scheme {:?} collided on {} vs {}", scheme, a, b);
+                }
+            }
+        }
+    }
+
     // --- queueing --------------------------------------------------------
 
     #[test]
@@ -331,9 +382,16 @@ proptest! {
 }
 
 #[test]
+fn key_scheme_flips_exactly_past_the_packable_cap() {
+    assert_eq!(KeyScheme::for_dims(PACKABLE_GRID_DIM, PACKABLE_GRID_DIM), KeyScheme::Legacy);
+    assert_eq!(KeyScheme::for_dims(PACKABLE_GRID_DIM + 1, 1), KeyScheme::Wide);
+    assert_eq!(KeyScheme::for_dims(1, PACKABLE_GRID_DIM + 1), KeyScheme::Wide);
+}
+
+#[test]
 fn cell_ids_round_trip_all_labels() {
-    for col in 0..26u8 {
-        for row in 0..99u8 {
+    for col in 0..26u32 {
+        for row in 0..99u32 {
             let cell = CellId::new(col, row);
             assert_eq!(CellId::parse(&cell.label()), Some(cell));
         }

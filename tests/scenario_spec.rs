@@ -17,7 +17,7 @@
 use sixg::measure::campaign::CampaignConfig;
 use sixg::measure::exec::run_field;
 use sixg::measure::parallel::with_thread_count;
-use sixg::measure::scenario::Scenario;
+use sixg::measure::scenario::{KeyScheme, Scenario};
 use sixg::measure::spec::{ExecBackend, ScenarioSpec};
 
 fn spec_path(name: &str) -> String {
@@ -38,14 +38,26 @@ const GOLDEN_MEAN_MAX_BITS: u64 = 0x405b6c0fe3a24180;
 
 #[test]
 fn committed_specs_parse_validate_and_compile() {
-    for name in ["klagenfurt", "skopje", "megacity"] {
+    for name in ["klagenfurt", "skopje", "megacity", "continental"] {
         let spec = load(name);
         assert_eq!(spec.name, name);
         let errors = spec.validate();
         assert!(errors.is_empty(), "{name}: {errors:?}");
         let scenario = Scenario::from_spec(&spec).expect("compiles");
         assert!(!scenario.included.is_empty(), "{name} traverses cells");
-        assert_eq!(scenario.access.len(), scenario.included.len(), "{name} calibrated");
+        match scenario.key_scheme {
+            // Packable grids materialise one calibrated access model per
+            // traversed cell.
+            KeyScheme::Legacy => {
+                assert_eq!(scenario.access.len(), scenario.included.len(), "{name} calibrated");
+            }
+            // Mega-grids skip per-cell materialisation by design; samples
+            // come from the columnar target-field path instead.
+            KeyScheme::Wide => {
+                assert!(scenario.access.is_empty(), "{name}: wide scheme has no per-cell models");
+                assert!(scenario.ue.is_empty(), "{name}: wide scheme has no per-cell UEs");
+            }
+        }
     }
 }
 

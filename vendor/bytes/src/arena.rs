@@ -1,0 +1,212 @@
+//! Bump-style typed arena for hot-loop allocation reuse.
+//!
+//! The measurement campaigns allocate short-lived, variable-length runs of
+//! small values in their innermost loops — the legs of an in-flight probe,
+//! the uniform/sample columns of a batched draw. Allocating a fresh `Vec`
+//! per probe or per cell dominates the profile at continental scale, so
+//! this arena hands out *handles* (`Slice`: a `(start, len)` pair into one
+//! backing `Vec`) instead of owned buffers. A `reset` between shards
+//! truncates the backing store without releasing its capacity, so steady
+//! state performs zero allocator calls.
+//!
+//! Handles are plain `Copy` data and deliberately carry no lifetime: the
+//! borrow checker enforces safety at the access site (`get`/`get_mut`
+//! borrow the arena), while `reset` simply invalidates old handles by
+//! shrinking the live region — accessing a stale handle panics on the
+//! bounds check rather than reading freed memory.
+
+/// A `(start, len)` handle into an [`Arena`]'s backing store.
+///
+/// `u32` indices keep the handle at 8 bytes; a single arena therefore
+/// holds at most 2³² items between resets, far above any shard's needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slice {
+    start: u32,
+    len: u32,
+}
+
+impl Slice {
+    /// The empty slice (valid for any arena).
+    pub const EMPTY: Slice = Slice { start: 0, len: 0 };
+
+    /// Number of items addressed by this handle.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the handle addresses no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+/// A growable typed arena; see the module docs for the allocation model.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    /// Creates an arena with room for `n` items before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { items: Vec::with_capacity(n) }
+    }
+
+    /// Items currently live in the arena.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the arena holds no live items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drops all live items but keeps the backing capacity. Outstanding
+    /// handles become invalid (accesses panic on the bounds check).
+    pub fn reset(&mut self) {
+        self.items.clear();
+    }
+
+    /// Marks the current end of the arena; pair with [`Arena::since`] to
+    /// turn a run of [`Arena::push`] calls into one handle.
+    pub fn mark(&self) -> u32 {
+        u32::try_from(self.items.len()).expect("arena exceeds u32 index space")
+    }
+
+    /// Appends one item.
+    pub fn push(&mut self, value: T) {
+        self.items.push(value);
+    }
+
+    /// The handle covering everything pushed since `mark`.
+    pub fn since(&self, mark: u32) -> Slice {
+        let end = self.mark();
+        debug_assert!(mark <= end, "mark from a later state or another arena");
+        Slice { start: mark, len: end - mark }
+    }
+
+    /// Allocates `n` copies of `value` and returns the handle.
+    pub fn alloc_fill(&mut self, n: usize, value: T) -> Slice
+    where
+        T: Clone,
+    {
+        let start = self.mark();
+        self.items.resize(self.items.len() + n, value);
+        self.since(start)
+    }
+
+    /// Read access through a handle.
+    pub fn get(&self, s: Slice) -> &[T] {
+        &self.items[s.range()]
+    }
+
+    /// Write access through a handle.
+    pub fn get_mut(&mut self, s: Slice) -> &mut [T] {
+        &mut self.items[s.range()]
+    }
+
+    /// Write access to two disjoint handles at once (columnar kernels read
+    /// one column while writing another). Panics when the handles overlap.
+    pub fn get_mut_pair(&mut self, a: Slice, b: Slice) -> (&mut [T], &mut [T]) {
+        let (ra, rb) = (a.range(), b.range());
+        assert!(ra.end <= rb.start || rb.end <= ra.start, "get_mut_pair: overlapping handles");
+        if ra.end <= rb.start {
+            let (lo, hi) = self.items.split_at_mut(rb.start);
+            (&mut lo[ra], &mut hi[..b.len()])
+        } else {
+            let (lo, hi) = self.items.split_at_mut(ra.start);
+            let slice_b = &mut lo[rb];
+            (&mut hi[..a.len()], slice_b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_mark_since_round_trip() {
+        let mut a = Arena::new();
+        let m0 = a.mark();
+        a.push(1);
+        a.push(2);
+        let s0 = a.since(m0);
+        let m1 = a.mark();
+        a.push(7);
+        let s1 = a.since(m1);
+        assert_eq!(a.get(s0), &[1, 2]);
+        assert_eq!(a.get(s1), &[7]);
+        assert_eq!(s0.len(), 2);
+        assert!(!s0.is_empty());
+    }
+
+    #[test]
+    fn alloc_fill_and_mutate() {
+        let mut a = Arena::with_capacity(8);
+        let s = a.alloc_fill(4, 0.0f64);
+        for (i, v) in a.get_mut(s).iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        assert_eq!(a.get(s), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_invalidates_handles() {
+        let mut a = Arena::new();
+        let s = a.alloc_fill(100, 0u8);
+        a.reset();
+        assert!(a.is_empty());
+        let s2 = a.alloc_fill(2, 1u8);
+        assert_eq!(a.get(s2), &[1, 1]);
+        // The old, longer handle now points past the live region.
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.get(s))).is_err());
+    }
+
+    #[test]
+    fn get_mut_pair_disjoint_both_orders() {
+        let mut a = Arena::new();
+        let s0 = a.alloc_fill(3, 1u32);
+        let s1 = a.alloc_fill(2, 2u32);
+        {
+            let (x, y) = a.get_mut_pair(s0, s1);
+            assert_eq!(x, &[1, 1, 1]);
+            assert_eq!(y, &[2, 2]);
+            x[0] = 9;
+            y[1] = 8;
+        }
+        let (y, x) = a.get_mut_pair(s1, s0);
+        assert_eq!(x, &[9, 1, 1]);
+        assert_eq!(y, &[2, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn get_mut_pair_rejects_overlap() {
+        let mut a = Arena::new();
+        let s = a.alloc_fill(4, 0u8);
+        let _ = a.get_mut_pair(s, s);
+    }
+
+    #[test]
+    fn empty_slice_is_valid_anywhere() {
+        let a: Arena<u64> = Arena::new();
+        assert_eq!(a.get(Slice::EMPTY), &[] as &[u64]);
+    }
+}

@@ -1,7 +1,13 @@
 //! Offline stand-in for `bytes`.
 //!
 //! Provides [`Bytes`], an immutable, cheaply clonable (reference-counted)
-//! byte buffer with the constructor/accessor surface the workspace uses.
+//! byte buffer with the constructor/accessor surface the workspace uses,
+//! and [`arena::Arena`], a bump-style typed arena the campaign hot loops
+//! use to reuse packet/event allocations across shards.
+
+pub mod arena;
+
+pub use arena::Arena;
 
 use std::ops::Deref;
 use std::sync::Arc;
