@@ -23,7 +23,7 @@
 //!   the offline `sixg-cli sweep --json` artifact.
 
 use sixg_bench::serve::Server;
-use sixg_bench::serve_client::ServeClient;
+use sixg_bench::serve_client::RetryingClient;
 use sixg_bench::{compare, header};
 use sixg_measure::exec::{execute, ExecReport, ExecRequest};
 use sixg_measure::sweep::SweepSpec;
@@ -67,6 +67,10 @@ fn load_request(path: &str) -> ExecRequest {
         .unwrap_or_else(|e| die(format!("{}: invalid JSON: {e}", base_path.display())));
     ExecRequest::sweep(sweep, base)
 }
+
+/// One client thread's yield: verified payloads, per-request latencies,
+/// and how often the retrying client had to reconnect.
+type ClientYield = (Vec<Vec<u8>>, Vec<f64>, u64);
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     let idx = ((sorted_ms.len() - 1) as f64 * p / 100.0).round() as usize;
@@ -137,9 +141,13 @@ fn main() {
         .map(|c| {
             let addr = addr.clone();
             let request_json = request_json.clone();
-            std::thread::spawn(move || -> Result<(Vec<Vec<u8>>, Vec<f64>), String> {
-                let mut client = ServeClient::connect(&addr)
-                    .map_err(|e| format!("client {c}: connect {addr}: {e}"))?;
+            std::thread::spawn(move || -> Result<ClientYield, String> {
+                // Retrying client: a connection dropped mid-response (a
+                // worker restart) reconnects and replays instead of
+                // aborting the gate — only protocol violations (malformed
+                // frames) fail fast. Replays are safe: the report bytes
+                // for a request are deterministic.
+                let mut client = RetryingClient::new(&addr);
                 let mut payloads = Vec::new();
                 let mut latencies_ms = Vec::new();
                 for r in 0..requests {
@@ -162,17 +170,19 @@ fn main() {
                     }
                     payloads.push(payload);
                 }
-                Ok((payloads, latencies_ms))
+                Ok((payloads, latencies_ms, client.reconnects()))
             })
         })
         .collect();
 
     let mut mismatches = 0usize;
+    let mut reconnects = 0u64;
     let mut latencies_ms: Vec<f64> = Vec::new();
     for worker in workers {
         match worker.join().expect("client thread") {
-            Ok((payloads, lats)) => {
+            Ok((payloads, lats, recons)) => {
                 latencies_ms.extend(lats);
+                reconnects += recons;
                 for payload in payloads {
                     if payload != offline.as_bytes() {
                         mismatches += 1;
@@ -202,6 +212,9 @@ fn main() {
     );
     compare("payload bytes", offline.len(), offline.len());
     compare("byte-identical payloads", clients * requests, clients * requests - mismatches);
+    if reconnects > 0 {
+        println!("note: {reconnects} reconnect(s) — transient drops retried, payloads verified");
+    }
 
     if let Some(out) = &payload_out {
         std::fs::write(out, &offline).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

@@ -8,6 +8,8 @@
 //! sixg-cli run specs/klagenfurt.json          # campaign + heatmaps + gap
 //! sixg-cli run specs/megacity.json --passes 2 # override the seed policy
 //! sixg-cli sweep specs/sweeps/klagenfurt_cadence.json   # the E20 matrix
+//! sixg-cli dispatch specs/sweeps/klagenfurt_cadence.json \
+//!          --workers 127.0.0.1:7864,127.0.0.1:7865      # farm to a fleet
 //! sixg-cli validate specs/*.json              # all violations, JSON paths
 //! sixg-cli list [specs/]                      # inventory of spec files
 //! ```
@@ -30,6 +32,7 @@
 
 use sixg_core::gap::GapReport;
 use sixg_core::requirements::{ApplicationClass, RequirementProfile};
+use sixg_measure::dispatch::{dispatch_sweep, DispatchConfig, DispatchError};
 use sixg_measure::exec::{execute, ExecReport, ExecRequest, ShardSel};
 use sixg_measure::parallel::with_thread_count;
 use sixg_measure::report::{render_grid, FieldStat};
@@ -48,6 +51,8 @@ USAGE:
                                 [--checkpoint DIR [--shard I/N] [--interval K]
                                  [--kill-after K]]
     sixg-cli merge <sweep.json> --store DIR [--store DIR]... [--json PATH]
+    sixg-cli dispatch <sweep.json> --workers A:P,B:P,... [--shards-per-worker S]
+                                   [--interval K] [--json PATH]
     sixg-cli validate <spec.json>...
     sixg-cli list [dir]
 
@@ -56,6 +61,9 @@ SUBCOMMANDS:
     sweep     run a SweepSpec's whole campaign matrix (axis cross product)
     merge     fold complete, disjoint shard checkpoint stores into the full
               SweepReport (bitwise identical to an unsharded run)
+    dispatch  farm the sweep's run range to a fleet of sixg-serve workers as
+              checkpointed shards; the merged report is bitwise identical to
+              a single-machine `sixg-cli sweep`, even across worker deaths
     validate  parse + validate specs; print every violation with its JSON path
     list      inventory the spec files in a directory (default: specs/)
 
@@ -87,6 +95,18 @@ SWEEP OPTIONS:
 MERGE OPTIONS:
     --store DIR        a shard checkpoint store to merge (repeat per shard)
     --json PATH        also write the merged SweepReport as JSON
+
+DISPATCH OPTIONS:
+    --workers LIST     comma-separated sixg-serve addresses (host:port); the
+                       run range splits into more shards than workers so a
+                       dead worker's shards resume on live ones
+    --shards-per-worker S
+                       work-stealing granularity (default 3)
+    --interval K       work items folded between streamed cursor commits on
+                       each worker (default 256) — the upper bound on
+                       re-folded work after a mid-shard death
+    --json PATH        also write the merged SweepReport as JSON (bitwise
+                       identical to `sixg-cli sweep --json`)
 
 EXIT CODES:
     0  success
@@ -426,6 +446,74 @@ fn cmd_merge(args: &[String]) -> Result<(), CliError> {
     report_sweep_run(path, &run, args)
 }
 
+fn cmd_dispatch(args: &[String]) -> Result<(), CliError> {
+    let path = operand(args, "dispatch needs a sweep file")?;
+    let text = read_file(path)?;
+    let dir = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
+    let workers: Vec<String> = flag_value(args, "--workers")
+        .ok_or_else(|| CliError::usage("dispatch needs --workers A:P,B:P,..."))?
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .map(str::to_string)
+        .collect();
+    if workers.is_empty() {
+        return Err(CliError::usage("--workers needs at least one host:port address"));
+    }
+    // Shards spill to the workers' stores, never coordinator memory, so the
+    // sweep loads uncapped — same policy as `merge`.
+    let sweep = Sweep::from_json_in_dir_unbounded(&text, dir)
+        .map_err(|e| CliError::fail(format!("{path}: {e}")))?;
+
+    let mut cfg = DispatchConfig::new(workers);
+    if let Some(s) = parse_flag::<u32>(args, "--shards-per-worker")? {
+        if s == 0 {
+            return Err(CliError::usage(
+                "invalid value \"0\" for --shards-per-worker (must be at least 1)",
+            ));
+        }
+        cfg.shards_per_worker = s;
+    }
+    if let Some(k) = parse_flag::<usize>(args, "--interval")? {
+        if k == 0 {
+            return Err(CliError::usage("invalid value \"0\" for --interval (must be at least 1)"));
+        }
+        cfg.interval = k;
+    }
+
+    println!("=== dispatch: {} ===", sweep.spec.name);
+    println!(
+        "base {} · {} variants · {} worker(s) · {} shard(s) target",
+        sweep.base.name,
+        sweep.spec.variant_count(),
+        cfg.workers.len(),
+        cfg.workers.len() as u32 * cfg.shards_per_worker,
+    );
+
+    let dispatched = dispatch_sweep(&sweep, &cfg).map_err(|e| match e {
+        // An invalid sweep is the input's fault; a dead fleet or a
+        // protocol-fatal worker is still a reachable-but-failed run —
+        // both land on exit 1, with the fleet log on stderr.
+        DispatchError::Spec(err) => CliError::fail(format!("{path}: {err}")),
+        other => CliError::fail(other.to_string()),
+    })?;
+    let stats = &dispatched.stats;
+    println!(
+        "fleet: {} shard(s) over {} worker(s) — {} assignment(s), {} reassignment(s) \
+         ({} resumed mid-shard), {} reconnect(s)",
+        stats.shard_count,
+        stats.workers,
+        stats.assignments,
+        stats.reassignments,
+        stats.resumed_shards,
+        stats.reconnects,
+    );
+    for dead in &stats.dead_workers {
+        eprintln!("sixg-cli: worker {dead} died; its shards were reassigned");
+    }
+    report_sweep_run(path, &dispatched.run, args)
+}
+
 /// Prints the per-variant table, cross-validation verdict and optional
 /// `--json` report for an executed sweep — shared by `sweep` (in-memory
 /// and checkpointed) and `merge`, so all three surface identical output
@@ -582,6 +670,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("dispatch") => cmd_dispatch(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("--help" | "-h" | "help") => {

@@ -9,13 +9,20 @@
 //!
 //! ```text
 //! sixg-serve [--addr HOST:PORT] [--cache N] [--threads T]
+//!            [--scratch DIR] [--fail-after-store-frames K]
 //! ```
 //!
 //! * `--addr` — bind address (default `127.0.0.1:7864`; port `0` picks an
 //!   ephemeral port, printed in the banner for discovery);
 //! * `--cache` — compiled-scenario cache capacity (default 8);
 //! * `--threads` — pin the rayon pool size each connection uses (results
-//!   are bitwise identical at every setting; this only shapes load).
+//!   are bitwise identical at every setting; this only shapes load);
+//! * `--scratch` — root directory for dispatched shard checkpoint stores
+//!   (default: a process-unique directory under the system temp dir);
+//! * `--fail-after-store-frames` — fault-injection drill for the dispatch
+//!   gate: the worker dies (drops every connection, accepts no more)
+//!   immediately after writing its K-th `STORE` frame, deterministically
+//!   mid-shard. Clamped to at least 1; never use outside testing.
 //!
 //! The daemon prints exactly one banner line to stdout once it is
 //! accepting — `sixg-serve: listening on ADDR (cache capacity N)` —
@@ -31,7 +38,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: sixg-serve [--addr HOST:PORT] [--cache N] [--threads T]");
+    eprintln!(
+        "usage: sixg-serve [--addr HOST:PORT] [--cache N] [--threads T] \
+         [--scratch DIR] [--fail-after-store-frames K]"
+    );
     std::process::exit(2);
 }
 
@@ -40,7 +50,9 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" | "--cache" | "--threads" => i += 2,
+            "--addr" | "--cache" | "--threads" | "--scratch" | "--fail-after-store-frames" => {
+                i += 2
+            }
             other => {
                 eprintln!("sixg-serve: unknown argument {other:?}");
                 usage();
@@ -61,10 +73,26 @@ fn main() {
         })
     });
 
-    let server = Server::bind(addr, cache, threads).unwrap_or_else(|e| {
+    let fail_after: Option<u64> = flag_value(&args, "--fail-after-store-frames").map(|v| {
+        v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+            eprintln!(
+                "sixg-serve: invalid value {v:?} for --fail-after-store-frames \
+                 (need an integer >= 1)"
+            );
+            std::process::exit(2);
+        })
+    });
+
+    let mut server = Server::bind(addr, cache, threads).unwrap_or_else(|e| {
         eprintln!("sixg-serve: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
+    if let Some(dir) = flag_value(&args, "--scratch") {
+        server.set_scratch(dir);
+    }
+    if let Some(k) = fail_after {
+        server.set_fault_plan(k);
+    }
     let bound = server.local_addr().expect("bound listener has an address");
     // The discovery contract: exactly this line, first on stdout, so
     // harnesses binding port 0 can read the real address back.

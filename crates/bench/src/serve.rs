@@ -3,20 +3,10 @@
 //! A long-lived campaign daemon: one [`sixg_measure::Executor`] (facade +
 //! compiled-scenario cache) shared across thread-per-connection clients on
 //! a plain `std::net` TCP socket. No async runtime, no external protocol
-//! crates — the frame codec below is the entire dependency surface.
+//! crates — the frame codec (now in [`sixg_measure::wire`], re-exported
+//! below) is the entire dependency surface.
 //!
-//! ## Frame layout
-//!
-//! Every message in both directions is one length-prefixed frame:
-//!
-//! ```text
-//! offset  size  field
-//!      0     4  magic  "6GSV"
-//!      4     1  kind   (1 = REQUEST, 2 = VARIANT, 3 = REPORT, 4 = ERROR)
-//!      5     3  reserved, must be zero
-//!      8     4  payload length, u32 little-endian (cap: 64 MiB)
-//!     12     n  payload, UTF-8 JSON
-//! ```
+//! ## The exchange
 //!
 //! A client sends one `REQUEST` frame per exchange — the payload is an
 //! [`ExecRequest`] JSON document (`{"action": "run" | "sweep" | "validate",
@@ -29,6 +19,15 @@
 //! facade's [`SpecError`]. The connection then idles for the next request;
 //! clients close by shutting the socket down between frames.
 //!
+//! A dispatched shard request (`"stream_store": true`, sent by
+//! [`sixg_measure::dispatch`]) adds `STORE` frames to the exchange: an
+//! optional seed bundle follows the request (`"seed_store": true`), and
+//! the server streams one `STORE` frame per checkpoint-store mutation —
+//! manifest, spilled run blobs, committed cursors — before the terminal
+//! frame, so the coordinator can resume the shard elsewhere if this
+//! worker dies. Store names resolve under the server's scratch root
+//! ([`Server::set_scratch`]), never absolute paths.
+//!
 //! ## Determinism on the wire
 //!
 //! `REPORT` payloads are the same bytes [`sixg_measure::execute`] would
@@ -37,132 +36,64 @@
 //! regardless of concurrent load, scenario-cache hits, or pool size — the
 //! property `repro_serve` and `tests/serve.rs` gate on.
 
+use sixg_measure::dispatch::run_streamed_shard;
 use sixg_measure::exec::{ExecRequest, Executor};
 use sixg_measure::parallel::with_thread_count;
 use sixg_measure::spec::{ErrorCode, SpecError};
+use sixg_measure::store::{run_blob_name, StoreEvent, CURSOR_FILE, MANIFEST_FILE};
 use sixg_measure::sweep::VariantReport;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde_json::Value;
+// The frame codec lives in `sixg_measure::wire` (the dispatch coordinator
+// speaks it too); re-exported here so daemon, client, benches and tests
+// keep one import surface.
+pub use sixg_measure::wire::{
+    error_payload, is_transient_io, read_frame, variant_payload, write_frame, FrameKind,
+    StoreBundle, HEADER_LEN, MAGIC, MAX_PAYLOAD_LEN,
+};
 
-/// Frame magic: every frame in either direction starts with these bytes.
-pub const MAGIC: [u8; 4] = *b"6GSV";
+/// Process-unique scratch-directory counter: several in-process servers
+/// (a test fleet) must never share a default scratch root.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Frame header size (magic + kind + reserved + length), bytes.
-pub const HEADER_LEN: usize = 12;
-
-/// Upper bound on a frame payload — a mega-sweep report is a few MiB;
-/// anything past this is a corrupt length field, not a real request.
-pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
-
-/// Frame kind tags (byte 4 of the header).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FrameKind {
-    /// Client → server: an [`ExecRequest`] JSON document.
-    Request,
-    /// Server → client: one streamed per-variant sweep report.
-    Variant,
-    /// Server → client, terminal: the [`sixg_measure::ExecReport`] JSON.
-    Report,
-    /// Server → client, terminal: `{"code", "path", "message"}`.
-    Error,
+/// A deterministic worker-death schedule for fault drills: the server
+/// counts the `STORE` frames it writes across all connections and, when
+/// the armed count is reached, shuts the active socket down mid-stream
+/// and refuses every connection from then on — a worker that died
+/// mid-shard and stayed dead, without any process-kill timing race.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// `STORE` frames left until death; negative = disarmed.
+    remaining: AtomicI64,
+    dead: AtomicBool,
 }
 
-impl FrameKind {
-    /// The wire tag.
-    pub fn as_u8(self) -> u8 {
-        match self {
-            FrameKind::Request => 1,
-            FrameKind::Variant => 2,
-            FrameKind::Report => 3,
-            FrameKind::Error => 4,
+impl FaultPlan {
+    fn disarmed() -> Self {
+        Self { remaining: AtomicI64::new(-1), dead: AtomicBool::new(false) }
+    }
+
+    /// Called after each written `STORE` frame; true when the plan fires
+    /// on exactly this frame.
+    fn on_store_frame(&self) -> bool {
+        if self.remaining.load(Ordering::SeqCst) < 0 {
+            return false;
         }
-    }
-
-    /// Parses a wire tag.
-    pub fn from_u8(b: u8) -> Option<Self> {
-        Some(match b {
-            1 => FrameKind::Request,
-            2 => FrameKind::Variant,
-            3 => FrameKind::Report,
-            4 => FrameKind::Error,
-            _ => return None,
-        })
-    }
-}
-
-/// Writes one frame (header + payload) and flushes.
-pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .ok()
-        .filter(|&n| n <= MAX_PAYLOAD_LEN)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame payload too large"))?;
-    let mut header = [0u8; HEADER_LEN];
-    header[..4].copy_from_slice(&MAGIC);
-    header[4] = kind.as_u8();
-    header[8..].copy_from_slice(&len.to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer shut the
-/// connection down between frames); EOF inside a frame, a bad magic, an
-/// unknown kind, non-zero reserved bytes, or an oversized length are all
-/// `InvalidData` errors — the stream is unrecoverable after any of them.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, Vec<u8>)>> {
-    let mut header = [0u8; HEADER_LEN];
-    let mut filled = 0;
-    while filled < HEADER_LEN {
-        let n = r.read(&mut header[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(None);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed inside a frame header",
-            ));
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.dead.store(true, Ordering::SeqCst);
+            return true;
         }
-        filled += n;
+        false
     }
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if header[..4] != MAGIC {
-        return Err(bad("bad frame magic (expected \"6GSV\")"));
-    }
-    let kind = FrameKind::from_u8(header[4]).ok_or_else(|| bad("unknown frame kind"))?;
-    if header[5..8] != [0, 0, 0] {
-        return Err(bad("non-zero reserved bytes in frame header"));
-    }
-    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if len > MAX_PAYLOAD_LEN {
-        return Err(bad("frame payload length exceeds the 64 MiB cap"));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some((kind, payload)))
-}
 
-/// The `ERROR` frame payload for a facade error: stable field order, so
-/// identical failures serialise identically.
-pub fn error_payload(e: &SpecError) -> Vec<u8> {
-    let v = Value::Object(vec![
-        ("code".into(), Value::String(e.code.as_str().into())),
-        ("path".into(), Value::String(e.path.clone())),
-        ("message".into(), Value::String(e.message.clone())),
-    ]);
-    serde_json::to_string_pretty(&v).expect("error payload serialises").into_bytes()
-}
-
-/// The `VARIANT` frame payload for one streamed sweep variant.
-pub fn variant_payload(run: usize, report: &VariantReport) -> Vec<u8> {
-    let v = Value::Object(vec![
-        ("run".into(), Value::U64(run as u64)),
-        ("report".into(), serde_json::to_value(report)),
-    ]);
-    serde_json::to_string_pretty(&v).expect("variant payload serialises").into_bytes()
+    /// True once the plan has fired (the worker is dead).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
 }
 
 /// The daemon: a bound listener plus the shared executor every connection
@@ -171,6 +102,8 @@ pub struct Server {
     listener: TcpListener,
     executor: Arc<Executor>,
     threads: Option<usize>,
+    scratch: PathBuf,
+    fault: Arc<FaultPlan>,
 }
 
 impl Server {
@@ -180,10 +113,17 @@ impl Server {
     /// size each connection thread uses (results are bitwise identical
     /// either way — this only shapes load).
     pub fn bind(addr: &str, cache_capacity: usize, threads: Option<usize>) -> io::Result<Self> {
+        let scratch = std::env::temp_dir().join(format!(
+            "sixg-serve-scratch-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             executor: Arc::new(Executor::with_capacity(cache_capacity)),
             threads,
+            scratch,
+            fault: Arc::new(FaultPlan::disarmed()),
         })
     }
 
@@ -197,8 +137,33 @@ impl Server {
         &self.executor
     }
 
+    /// The scratch root dispatched shard stores are resolved under
+    /// (`--scratch` on the binary). Defaults to a process-unique
+    /// directory under the system temp dir.
+    pub fn scratch(&self) -> &PathBuf {
+        &self.scratch
+    }
+
+    /// Overrides the scratch root.
+    pub fn set_scratch(&mut self, dir: impl Into<PathBuf>) {
+        self.scratch = dir.into();
+    }
+
+    /// Arms the worker-death drill: die mid-stream on the `k`-th written
+    /// `STORE` frame (`k >= 1`) and refuse all connections afterwards.
+    pub fn set_fault_plan(&self, kill_after_store_frames: u64) {
+        self.fault.store_arm(kill_after_store_frames);
+    }
+
+    /// The fault plan (for tests asserting the drill fired).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.fault
+    }
+
     /// The accept loop: one thread per connection, forever. Accept errors
     /// on a single connection are skipped; only a dead listener returns.
+    /// Once the fault plan fires, every accepted connection is dropped on
+    /// the floor — the worker stays dead.
     pub fn run(&self) -> io::Result<()> {
         loop {
             let (stream, _) = match self.listener.accept() {
@@ -206,18 +171,43 @@ impl Server {
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                 Err(e) => return Err(e),
             };
+            if self.fault.is_dead() {
+                drop(stream);
+                continue;
+            }
             let executor = Arc::clone(&self.executor);
             let threads = self.threads;
-            std::thread::spawn(move || serve_connection(&executor, stream, threads));
+            let scratch = self.scratch.clone();
+            let fault = Arc::clone(&self.fault);
+            std::thread::spawn(move || {
+                serve_connection(&executor, stream, threads, &scratch, &fault)
+            });
         }
+    }
+}
+
+impl FaultPlan {
+    fn store_arm(&self, kill_after_store_frames: u64) {
+        let k = kill_after_store_frames.max(1) as i64;
+        self.remaining.store(k, Ordering::SeqCst);
     }
 }
 
 /// One connection's request loop: frames in, frames out, until the client
 /// shuts down or the stream turns unrecoverable.
-fn serve_connection(executor: &Executor, mut stream: TcpStream, threads: Option<usize>) {
+fn serve_connection(
+    executor: &Executor,
+    mut stream: TcpStream,
+    threads: Option<usize>,
+    scratch: &std::path::Path,
+    fault: &FaultPlan,
+) {
     let _ = stream.set_nodelay(true);
     loop {
+        if fault.is_dead() {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         let (kind, payload) = match read_frame(&mut stream) {
             Ok(Some(frame)) => frame,
             // Clean shutdown, client vanished, or garbage on the wire:
@@ -249,7 +239,12 @@ fn serve_connection(executor: &Executor, mut stream: TcpStream, threads: Option<
                 continue;
             }
         };
-        if !answer_request(executor, &mut stream, &request, threads) {
+        let alive = if request.stream_store {
+            answer_stream_request(&mut stream, &request, threads, scratch, fault)
+        } else {
+            answer_request(executor, &mut stream, &request, threads)
+        };
+        if !alive {
             return;
         }
     }
@@ -284,73 +279,108 @@ fn answer_request(
     written.is_ok()
 }
 
+/// Executes one dispatched shard request (`stream_store: true`): resolve
+/// the store name under the scratch root, read the optional seed `STORE`
+/// frame, run the shard with every store mutation echoed back as a
+/// `STORE` frame, then the terminal `REPORT`/`ERROR`. `false` means the
+/// socket died (or the fault drill fired) and the connection should end.
+fn answer_stream_request(
+    stream: &mut TcpStream,
+    request: &ExecRequest,
+    threads: Option<usize>,
+    scratch: &std::path::Path,
+    fault: &FaultPlan,
+) -> bool {
+    // Validate before touching the filesystem: the store name is only
+    // trustworthy once `validate` vouched for it.
+    if let Err(e) = request.validate() {
+        return write_frame(stream, FrameKind::Error, &error_payload(&e)).is_ok();
+    }
+    let name = request.checkpoint.as_deref().expect("validated: stream_store has checkpoint");
+    let store_dir = scratch.join(name);
+
+    let seed = if request.seed_store {
+        match read_frame(stream) {
+            Ok(Some((FrameKind::Store, payload))) => match StoreBundle::decode(&payload) {
+                Ok(bundle) => Some(bundle),
+                // A corrupt seed is protocol garbage, not a request error:
+                // the stream is out of step, close it.
+                Err(_) => return false,
+            },
+            _ => return false,
+        }
+    } else {
+        None
+    };
+
+    let mut wire_dead = false;
+    let mut observe = |ev: StoreEvent<'_>| -> bool {
+        if wire_dead {
+            return false;
+        }
+        let (entry, bytes): (String, &[u8]) = match ev {
+            StoreEvent::Opened { manifest } => (MANIFEST_FILE.to_string(), manifest),
+            StoreEvent::RunSpilled { run, blob } => (run_blob_name(run), blob),
+            StoreEvent::CursorCommitted { blob, .. } => (CURSOR_FILE.to_string(), blob),
+        };
+        let mut bundle = StoreBundle::new();
+        bundle.push(&entry, bytes.to_vec());
+        if write_frame(&mut *stream, FrameKind::Store, &bundle.encode()).is_err() {
+            wire_dead = true;
+            return false;
+        }
+        if fault.on_store_frame() {
+            // The drill: die mid-stream, abruptly, exactly here.
+            let _ = stream.shutdown(Shutdown::Both);
+            wire_dead = true;
+            return false;
+        }
+        true
+    };
+    let result = match threads {
+        Some(t) => with_thread_count(t, || {
+            run_streamed_shard(request, &store_dir, seed.as_ref(), &mut observe)
+        }),
+        None => run_streamed_shard(request, &store_dir, seed.as_ref(), &mut observe),
+    };
+    if wire_dead {
+        return false;
+    }
+    let written = match result {
+        Ok(report) => write_frame(stream, FrameKind::Report, report.to_json().as_bytes()),
+        Err(e) => write_frame(stream, FrameKind::Error, &error_payload(&e)),
+    };
+    written.is_ok()
+}
+
+// The frame-codec unit tests moved to `sixg_measure::wire` with the codec
+// itself; what stays here is the daemon's own machinery.
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn frame_kinds_round_trip() {
-        for kind in [FrameKind::Request, FrameKind::Variant, FrameKind::Report, FrameKind::Error] {
-            assert_eq!(FrameKind::from_u8(kind.as_u8()), Some(kind));
+    fn fault_plan_fires_on_the_armed_frame_and_stays_dead() {
+        let plan = FaultPlan::disarmed();
+        for _ in 0..100 {
+            assert!(!plan.on_store_frame(), "disarmed plan must never fire");
         }
-        assert_eq!(FrameKind::from_u8(0), None);
-        assert_eq!(FrameKind::from_u8(5), None);
+        assert!(!plan.is_dead());
+
+        plan.store_arm(3);
+        assert!(!plan.on_store_frame());
+        assert!(!plan.on_store_frame());
+        assert!(!plan.is_dead());
+        assert!(plan.on_store_frame(), "third frame fires the plan");
+        assert!(plan.is_dead());
+        assert!(!plan.on_store_frame(), "the plan fires exactly once");
+        assert!(plan.is_dead(), "death is permanent");
     }
 
     #[test]
-    fn frames_round_trip_through_a_buffer() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, FrameKind::Request, b"{\"action\":\"validate\"}").unwrap();
-        write_frame(&mut buf, FrameKind::Report, b"").unwrap();
-        let mut r = &buf[..];
-        let (kind, payload) = read_frame(&mut r).unwrap().expect("first frame");
-        assert_eq!(kind, FrameKind::Request);
-        assert_eq!(payload, b"{\"action\":\"validate\"}");
-        let (kind, payload) = read_frame(&mut r).unwrap().expect("second frame");
-        assert_eq!(kind, FrameKind::Report);
-        assert!(payload.is_empty());
-        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after the last frame");
-    }
-
-    #[test]
-    fn corrupt_frames_are_invalid_data() {
-        // Bad magic.
-        let mut buf = Vec::new();
-        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
-        buf[0] = b'!';
-        let err = read_frame(&mut &buf[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-
-        // Unknown kind.
-        let mut buf = Vec::new();
-        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
-        buf[4] = 9;
-        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
-
-        // Non-zero reserved bytes.
-        let mut buf = Vec::new();
-        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
-        buf[6] = 1;
-        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
-
-        // Length past the cap.
-        let mut buf = Vec::new();
-        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
-        buf[8..12].copy_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
-        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
-
-        // EOF inside the header.
-        let err = read_frame(&mut &buf[..7]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    #[test]
-    fn error_payload_carries_the_machine_readable_code() {
-        let e = SpecError::coded(ErrorCode::Conflict, "$.checkpoint", "no checkpointed runs");
-        let text = String::from_utf8(error_payload(&e)).unwrap();
-        let v = serde_json::from_str(&text).unwrap();
-        assert_eq!(v.get("code").and_then(Value::as_str), Some("conflict"));
-        assert_eq!(v.get("path").and_then(Value::as_str), Some("$.checkpoint"));
-        assert_eq!(v.get("message").and_then(Value::as_str), Some("no checkpointed runs"));
+    fn scratch_roots_are_process_unique() {
+        let a = Server::bind("127.0.0.1:0", 1, None).expect("bind");
+        let b = Server::bind("127.0.0.1:0", 1, None).expect("bind");
+        assert_ne!(a.scratch(), b.scratch(), "two in-process servers must not share scratch");
     }
 }

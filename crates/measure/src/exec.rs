@@ -149,6 +149,15 @@ pub struct ExecRequest {
     /// With `checkpoint`: stop once this many items are folded (the
     /// kill/resume testing hook).
     pub stop_after_items: Option<u64>,
+    /// With `checkpoint`: stream every store mutation back to the client
+    /// as `STORE` frames (the dispatch protocol). When set, `checkpoint`
+    /// is a store *name* the worker resolves under its own scratch root —
+    /// a safe file-name component, not a path.
+    pub stream_store: bool,
+    /// With `stream_store`: a `STORE` frame carrying seed state (the dead
+    /// previous owner's manifest, cursor and run blobs) follows this
+    /// request; the worker plants it in a fresh store and resumes from it.
+    pub seed_store: bool,
 }
 
 impl ExecRequest {
@@ -168,6 +177,8 @@ impl ExecRequest {
             shard: None,
             interval: None,
             stop_after_items: None,
+            stream_store: false,
+            seed_store: false,
         }
     }
 
@@ -235,6 +246,8 @@ impl ExecRequest {
             shard,
             interval: c.opt("interval").map(|x| x.u64()).transpose()?.map(|n| n as usize),
             stop_after_items: c.opt("stop_after_items").map(|x| x.u64()).transpose()?,
+            stream_store: c.opt("stream_store").map(|x| x.bool()).transpose()?.unwrap_or(false),
+            seed_store: c.opt("seed_store").map(|x| x.bool()).transpose()?.unwrap_or(false),
         })
     }
 
@@ -288,6 +301,36 @@ impl ExecRequest {
                     );
                 }
             }
+        }
+        if self.stream_store {
+            match &self.checkpoint {
+                None => {
+                    return conflict(
+                        "$.stream_store",
+                        "$.stream_store streams the checkpoint store over the wire, so it \
+                         requires $.checkpoint"
+                            .into(),
+                    )
+                }
+                Some(name) if !crate::wire::is_safe_store_name(name) => {
+                    return Err(SpecError::new(
+                        "$.checkpoint",
+                        format!(
+                            "with $.stream_store, $.checkpoint is a store name the worker \
+                             resolves under its own scratch root, not a path — {name:?} must \
+                             be at most 128 characters of [A-Za-z0-9._-] starting with an \
+                             alphanumeric"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        if self.seed_store && !self.stream_store {
+            return conflict(
+                "$.seed_store",
+                "$.seed_store seeds a streamed store, so it requires $.stream_store".into(),
+            );
         }
         if let Some(s) = self.shard {
             if s.count < 1 || s.index >= s.count {
@@ -475,6 +518,10 @@ impl Serialize for ExecRequest {
         put("shard", self.shard.as_ref().map(Serialize::to_value));
         put("interval", self.interval.map(|n| Value::U64(n as u64)));
         put("stop_after_items", self.stop_after_items.map(Value::U64));
+        // Flags serialise only when set, so every pre-dispatch request
+        // byte string is unchanged.
+        put("stream_store", self.stream_store.then_some(Value::Bool(true)));
+        put("seed_store", self.seed_store.then_some(Value::Bool(true)));
         Value::Object(pairs)
     }
 }
@@ -958,6 +1005,20 @@ impl Executor {
         req: &ExecRequest,
         emit: &mut impl FnMut(usize, &VariantReport),
     ) -> Result<ExecReport, SpecError> {
+        // Store streaming is a wire-protocol feature: only the serve
+        // worker path (`dispatch::run_streamed_shard`) has a frame stream
+        // to write to. Rejecting here keeps the no-silent-drop contract —
+        // an in-process caller asking for it is confused, not ignorable.
+        if req.stream_store {
+            return Err(SpecError::coded(
+                ErrorCode::Conflict,
+                "$.stream_store",
+                "store streaming is honored by a sixg-serve worker, not in-process \
+                 execution — drop $.stream_store or send the request to a worker"
+                    .to_string(),
+            ));
+        }
+
         let sweep = build_sweep(req)?;
 
         if let Some(dir) = &req.checkpoint {
@@ -1053,7 +1114,7 @@ fn emit_completed(
 /// requests lift the in-memory variant cap (accumulators spill to disk).
 /// Errors anchor inside the sweep document (or the base spec, named in
 /// the message) — see the module docs on error anchoring.
-fn build_sweep(req: &ExecRequest) -> Result<Sweep, SpecError> {
+pub(crate) fn build_sweep(req: &ExecRequest) -> Result<Sweep, SpecError> {
     let sweep = req.sweep.clone().expect("validated: sweep present");
     let base = req.base.as_ref().expect("validated: base present");
     let base_json = serde_json::to_string(base).expect("value serialises");
@@ -1068,7 +1129,7 @@ fn build_sweep(req: &ExecRequest) -> Result<Sweep, SpecError> {
 /// failures pass through; store-level failures become [`ErrorCode::Io`]
 /// errors anchored at the request's `$.checkpoint` member (the store
 /// error text already names the offending file).
-fn checkpoint_spec_error(e: CheckpointError) -> SpecError {
+pub(crate) fn checkpoint_spec_error(e: CheckpointError) -> SpecError {
     match e {
         CheckpointError::Spec(e) => e,
         CheckpointError::Store(e) => SpecError::coded(ErrorCode::Io, "$.checkpoint", e.to_string()),

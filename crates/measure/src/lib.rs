@@ -46,6 +46,17 @@
 //!   `(run, pass, cell)` resume cursor, so killed mega-sweeps (beyond the
 //!   in-memory variant cap) resume bitwise-identically, and disjoint
 //!   shard stores merge back into the exact single-machine report;
+//! * [`wire`] — the length-framed wire codec shared by the `sixg-serve`
+//!   daemon and the dispatch coordinator: frame kinds (REQUEST / VARIANT /
+//!   REPORT / ERROR / STORE), the named-blob [`wire::StoreBundle`]
+//!   container that carries checkpoint-store state over STORE frames, and
+//!   the transient-vs-fatal I/O error taxonomy retries are built on;
+//! * [`dispatch`] — the fault-tolerant distributed sweep coordinator: the
+//!   run range splits into more shards than workers, each shard runs as a
+//!   checkpointed request on a `sixg-serve` worker that streams its store
+//!   state back over STORE frames, and a dead worker's shard is reseeded
+//!   onto a live one from the last streamed cursor — the folded report is
+//!   bitwise-identical to a single-machine sweep;
 //! * [`spec`] — the declarative scenario subsystem: a serde-backed
 //!   [`spec::ScenarioSpec`] (JSON, loadable from a file) describing a
 //!   campaign end to end, validated with path-anchored errors;
@@ -62,6 +73,7 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod continental;
+pub mod dispatch;
 pub mod event_backend;
 pub mod exec;
 pub mod faults;
@@ -76,10 +88,14 @@ pub mod spec;
 pub mod store;
 pub mod sweep;
 pub mod validate;
+pub mod wire;
 pub mod wired;
 
 pub use aggregate::{CellField, CellStats};
 pub use campaign::{CampaignConfig, MobileCampaign};
+pub use dispatch::{
+    dispatch_sweep, run_streamed_shard, DispatchConfig, DispatchError, DispatchRun, DispatchStats,
+};
 pub use event_backend::EventCampaign;
 pub use exec::{
     execute, run_field, scenario_content_hash, ExecAction, ExecReport, ExecRequest, Executor,
@@ -91,8 +107,9 @@ pub use klagenfurt::KlagenfurtScenario;
 pub use scenario::{Scenario, TargetField};
 pub use spec::{ErrorCode, ExecBackend, ScenarioSpec, SpecError};
 pub use store::{
-    merge_stores, run_checkpointed, shard_run_range, sweep_content_hash, CheckpointConfig,
-    CheckpointError, CheckpointOutcome, CheckpointStore, StoreError, StoreMeta,
+    merge_stores, run_checkpointed, run_checkpointed_observed, shard_run_range, sweep_content_hash,
+    CheckpointConfig, CheckpointError, CheckpointOutcome, CheckpointStore, StoreError, StoreEvent,
+    StoreMeta,
 };
 pub use sweep::{Sweep, SweepReport, SweepRun, SweepSpec};
 pub use wired::WiredCampaign;

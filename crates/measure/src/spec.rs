@@ -690,6 +690,10 @@ impl<'a> Ctx<'a> {
         u8::try_from(n).map_err(|_| self.err(format!("{n} does not fit in 8 bits")))
     }
 
+    pub(crate) fn bool(&self) -> Result<bool, SpecError> {
+        self.v.as_bool().ok_or_else(|| self.type_err("boolean"))
+    }
+
     pub(crate) fn str(&self) -> Result<&'a str, SpecError> {
         self.v.as_str().ok_or_else(|| self.type_err("string"))
     }

@@ -57,6 +57,17 @@ const KIND_CURSOR: u32 = 2;
 /// magic + version + kind + spec hash.
 const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 
+/// File name of the store's identity card.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// File name of the resume-cursor blob.
+pub const CURSOR_FILE: &str = "cursor.blob";
+
+/// File name of run `run`'s spilled-accumulator blob.
+pub fn run_blob_name(run: u32) -> String {
+    format!("run_{run:05}.blob")
+}
+
 // ---------------------------------------------------------------------------
 // Errors.
 // ---------------------------------------------------------------------------
@@ -313,6 +324,32 @@ fn unframe<'a>(
     Ok(&body[HEADER_LEN..])
 }
 
+/// Decodes one run blob from bytes — the byte-level twin of
+/// [`CheckpointStore::read_run`], used by the dispatch coordinator to fold
+/// run records it received over the wire without ever touching disk.
+/// `label` anchors error messages (a file path on disk, a descriptive
+/// label for wire-received bytes).
+pub fn decode_run_blob(
+    label: &Path,
+    buf: &[u8],
+    run: u32,
+    spec_hash: u64,
+    grid: &GridSpec,
+) -> Result<CellField, StoreError> {
+    let payload = unframe(label, buf, KIND_RUN, spec_hash)?;
+    let mut r = Reader { buf: payload, pos: 0, path: label };
+    let stored_run = r.u32()?;
+    if stored_run != run {
+        return Err(StoreError::new(
+            label,
+            format!("blob is for run {stored_run}, expected run {run}"),
+        ));
+    }
+    let field = r.field(grid)?;
+    r.done()?;
+    Ok(field)
+}
+
 /// Durable write: tmp file, fsync, rename over the target, best-effort
 /// directory fsync — a kill leaves either the old record or the new one.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
@@ -358,7 +395,10 @@ pub struct StoreMeta {
 }
 
 impl StoreMeta {
-    fn to_json(&self) -> String {
+    /// The manifest's canonical JSON — deterministic field order, so the
+    /// same meta always serialises to the same bytes (dispatch streams
+    /// these bytes over the wire and seeds reassigned stores with them).
+    pub fn to_json(&self) -> String {
         let v = Value::Object(vec![
             ("store_version".into(), Value::U64(STORE_VERSION as u64)),
             ("spec_hash".into(), Value::String(format!("{:016x}", self.spec_hash))),
@@ -460,7 +500,7 @@ impl CheckpointStore {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| StoreError::new(&dir, format!("cannot create store directory: {e}")))?;
-        let manifest = dir.join("manifest.json");
+        let manifest = dir.join(MANIFEST_FILE);
         if manifest.exists() {
             let text = std::fs::read_to_string(&manifest)
                 .map_err(|e| StoreError::new(&manifest, format!("cannot read: {e}")))?;
@@ -514,7 +554,7 @@ impl CheckpointStore {
     /// Loads an existing store (merge path): the manifest must be present.
     pub fn load(dir: impl Into<PathBuf>) -> Result<(Self, StoreMeta), StoreError> {
         let dir = dir.into();
-        let manifest = dir.join("manifest.json");
+        let manifest = dir.join(MANIFEST_FILE);
         let text = std::fs::read_to_string(&manifest)
             .map_err(|e| StoreError::new(&manifest, format!("cannot read: {e}")))?;
         let meta = StoreMeta::from_json(&manifest, &text)?;
@@ -528,19 +568,28 @@ impl CheckpointStore {
     }
 
     fn run_path(&self, run: u32) -> PathBuf {
-        self.dir.join(format!("run_{run:05}.blob"))
+        self.dir.join(run_blob_name(run))
     }
 
     fn cursor_path(&self) -> PathBuf {
-        self.dir.join("cursor.blob")
+        self.dir.join(CURSOR_FILE)
     }
 
     /// Spills one completed run's accumulators.
     pub fn write_run(&self, run: u32, field: &CellField) -> Result<(), StoreError> {
+        self.write_run_bytes(run, field).map(|_| ())
+    }
+
+    /// Spills one completed run's accumulators and returns the exact
+    /// framed bytes written to disk — the dispatch worker streams them
+    /// verbatim, so the coordinator's copy is the on-disk record.
+    pub fn write_run_bytes(&self, run: u32, field: &CellField) -> Result<Vec<u8>, StoreError> {
         let mut payload = Vec::new();
         push_u32(&mut payload, run);
         push_field(&mut payload, field);
-        write_atomic(&self.run_path(run), &frame(KIND_RUN, self.spec_hash, &payload))
+        let bytes = frame(KIND_RUN, self.spec_hash, &payload);
+        write_atomic(&self.run_path(run), &bytes)?;
+        Ok(bytes)
     }
 
     /// Reads one run's accumulators back, bit for bit. `grid` is the grid
@@ -550,22 +599,17 @@ impl CheckpointStore {
         let path = self.run_path(run);
         let buf = std::fs::read(&path)
             .map_err(|e| StoreError::new(&path, format!("cannot read: {e}")))?;
-        let payload = unframe(&path, &buf, KIND_RUN, self.spec_hash)?;
-        let mut r = Reader { buf: payload, pos: 0, path: &path };
-        let stored_run = r.u32()?;
-        if stored_run != run {
-            return Err(StoreError::new(
-                &path,
-                format!("blob is for run {stored_run}, expected run {run}"),
-            ));
-        }
-        let field = r.field(grid)?;
-        r.done()?;
-        Ok(field)
+        decode_run_blob(&path, &buf, run, self.spec_hash, grid)
     }
 
     /// Writes the resume cursor (checkpoint commit point).
     pub fn write_cursor(&self, cursor: &CursorRecord) -> Result<(), StoreError> {
+        self.write_cursor_bytes(cursor).map(|_| ())
+    }
+
+    /// Writes the resume cursor and returns the exact framed bytes written
+    /// to disk (see [`Self::write_run_bytes`]).
+    pub fn write_cursor_bytes(&self, cursor: &CursorRecord) -> Result<Vec<u8>, StoreError> {
         let mut payload = Vec::new();
         push_u64(&mut payload, cursor.next_item);
         push_u64(&mut payload, cursor.total_items);
@@ -581,7 +625,9 @@ impl CheckpointStore {
                 push_field(&mut payload, field);
             }
         }
-        write_atomic(&self.cursor_path(), &frame(KIND_CURSOR, self.spec_hash, &payload))
+        let bytes = frame(KIND_CURSOR, self.spec_hash, &payload);
+        write_atomic(&self.cursor_path(), &bytes)?;
+        Ok(bytes)
     }
 
     /// Reads the resume cursor; `None` when no checkpoint was ever
@@ -702,6 +748,37 @@ pub enum CheckpointOutcome {
     },
 }
 
+/// One store mutation, observed as it commits. The dispatch worker maps
+/// each event to a `STORE` frame so the coordinator always holds exactly
+/// the state a fresh worker would need to resume this shard: spills are
+/// observed *before* the cursor commit that covers them, so an observer
+/// cut off mid-round is left with a cursor no newer than its blob set.
+#[derive(Debug)]
+pub enum StoreEvent<'a> {
+    /// The store is open and validated (fresh or resumed); `manifest` is
+    /// the canonical `manifest.json` bytes.
+    Opened {
+        /// The manifest bytes, exactly as on disk.
+        manifest: &'a [u8],
+    },
+    /// A completed run's accumulators were spilled.
+    RunSpilled {
+        /// The run index.
+        run: u32,
+        /// The framed blob bytes, exactly as on disk.
+        blob: &'a [u8],
+    },
+    /// The resume cursor was committed.
+    CursorCommitted {
+        /// Items folded so far (the committed cursor position).
+        done_items: u64,
+        /// The shard's work-list length.
+        total_items: u64,
+        /// The framed blob bytes, exactly as on disk.
+        blob: &'a [u8],
+    },
+}
+
 /// Runs `sweep` with on-disk checkpointing, resuming from whatever the
 /// store already holds. See the module docs for the layout and the
 /// bitwise-resume argument. The variant cap does not apply here — load the
@@ -709,6 +786,19 @@ pub enum CheckpointOutcome {
 pub fn run_checkpointed(
     sweep: &Sweep,
     cfg: &CheckpointConfig,
+) -> Result<CheckpointOutcome, CheckpointError> {
+    run_checkpointed_observed(sweep, cfg, &mut |_| true)
+}
+
+/// [`run_checkpointed`] with a [`StoreEvent`] observer called at every
+/// store mutation. The observer returning `false` stops the sweep at the
+/// next safe point with [`CheckpointOutcome::Interrupted`] — the store
+/// (and everything already observed) stays valid for resumption, exactly
+/// as if the process had been killed there.
+pub fn run_checkpointed_observed(
+    sweep: &Sweep,
+    cfg: &CheckpointConfig,
+    observe: &mut dyn FnMut(StoreEvent<'_>) -> bool,
 ) -> Result<CheckpointOutcome, CheckpointError> {
     assert!(cfg.interval >= 1, "checkpoint interval must be at least 1");
     if !(cfg.shard_count >= 1 && cfg.shard_index < cfg.shard_count) {
@@ -809,15 +899,24 @@ pub fn run_checkpointed(
         }
     };
 
+    // The store is open and the resume point validated: give the observer
+    // the manifest first, so a streaming consumer can bind every later
+    // blob to the store identity.
+    let manifest_json = meta.to_json();
+    let interrupted = |done: usize| CheckpointOutcome::Interrupted {
+        done_items: done as u64,
+        total_items: owned.len() as u64,
+    };
+    if !observe(StoreEvent::Opened { manifest: manifest_json.as_bytes() }) {
+        return Ok(interrupted(next));
+    }
+
     // The fold loop: rounds of `interval` items, cursor committed after
     // each round. Completed runs spill the moment their last item folds.
     let stop = cfg.stop_after_items.map(|s| s as usize);
     while next < owned.len() {
         if stop.is_some_and(|s| next >= s) {
-            return Ok(CheckpointOutcome::Interrupted {
-                done_items: next as u64,
-                total_items: owned.len() as u64,
-            });
+            return Ok(interrupted(next));
         }
         let mut end = (next + cfg.interval).min(owned.len());
         if let Some(s) = stop {
@@ -825,18 +924,27 @@ pub fn run_checkpointed(
         }
 
         let mut io_err: Option<StoreError> = None;
+        let mut observer_stopped = false;
         run_items_streaming(
             &owned[next..end],
             |(ri, shard), buf| runners[ri as usize].collect_shard_into(shard, buf),
             |(ri, shard), buf| {
-                if io_err.is_some() {
+                if io_err.is_some() || observer_stopped {
                     return;
                 }
                 if cur.as_ref().map(|(r, _)| *r) != Some(ri) {
                     if let Some((done_run, field)) = cur.take() {
-                        if let Err(e) = store.write_run(done_run, &field) {
-                            io_err = Some(e);
-                            return;
+                        match store.write_run_bytes(done_run, &field) {
+                            Ok(blob) => {
+                                if !observe(StoreEvent::RunSpilled { run: done_run, blob: &blob }) {
+                                    observer_stopped = true;
+                                    return;
+                                }
+                            }
+                            Err(e) => {
+                                io_err = Some(e);
+                                return;
+                            }
                         }
                     }
                     cur = Some((ri, CellField::new(plan.grid_of(ri as usize).clone())));
@@ -850,13 +958,23 @@ pub fn run_checkpointed(
         if let Some(e) = io_err {
             return Err(e.into());
         }
+        // The observer bailed mid-round: the cursor on disk (and on the
+        // observer's side) still points at the round start, which is a
+        // valid resume point — runs spilled past it are harmless extras
+        // a resume rewrites with identical bytes.
+        if observer_stopped {
+            return Ok(interrupted(next));
+        }
 
         // Spill the current run if the round ended exactly on its boundary.
         let run_finished =
             end == owned.len() || cur.as_ref().is_some_and(|(r, _)| owned[end].0 != *r);
         if run_finished {
             if let Some((done_run, field)) = cur.take() {
-                store.write_run(done_run, &field)?;
+                let blob = store.write_run_bytes(done_run, &field)?;
+                if !observe(StoreEvent::RunSpilled { run: done_run, blob: &blob }) {
+                    return Ok(interrupted(next));
+                }
             }
         }
 
@@ -867,7 +985,7 @@ pub fn run_checkpointed(
         } else {
             (0, 0, 0, 0)
         };
-        store.write_cursor(&CursorRecord {
+        let blob = store.write_cursor_bytes(&CursorRecord {
             next_item: next as u64,
             total_items: owned.len() as u64,
             next_run,
@@ -876,6 +994,13 @@ pub fn run_checkpointed(
             next_row,
             partial: cur.clone(),
         })?;
+        if !observe(StoreEvent::CursorCommitted {
+            done_items: next as u64,
+            total_items: owned.len() as u64,
+            blob: &blob,
+        }) {
+            return Ok(interrupted(next));
+        }
     }
 
     // Shard complete. An unsharded run reassembles the full report from the

@@ -579,6 +579,14 @@ impl Sweep {
         Ok(Self { spec, base, base_value })
     }
 
+    /// The base spec's raw value tree — the exact form override axes
+    /// mutate and wire requests carry as `$.base` (sending a
+    /// re-canonicalised tree instead could perturb override resolution,
+    /// so distributed executions ship this one).
+    pub fn base_value(&self) -> &Value {
+        &self.base_value
+    }
+
     /// Builds a sweep from sweep-file JSON text, resolving its `base`
     /// reference relative to `dir` — the single-read path for callers
     /// that already have the sweep text in hand (the CLI reads the file
